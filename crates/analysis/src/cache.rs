@@ -1,0 +1,303 @@
+//! A multi-level, set-associative, LRU cache simulator.
+//!
+//! Substitutes for the POWER8 performance counters the paper used: instead
+//! of *inferring* the hit rate `α` of Equation (1), we replay the kernel's
+//! exact access stream ([`crate::trace`]) through a model of the paper's
+//! cache hierarchy and *measure* it, per data structure.
+//!
+//! The model is deliberately simple — physical = virtual addresses, true
+//! LRU, inclusive levels, no prefetcher — because the quantity of interest
+//! is the locality of the access *pattern*, which these simplifications
+//! preserve.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        self.size / (self.line * self.assoc)
+    }
+}
+
+/// Hit/miss counts for one level (optionally per stream tag).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Accesses that hit in this level.
+    pub hits: u64,
+    /// Accesses that missed (and were forwarded to the next level).
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// `hits / (hits + misses)`, or 1.0 for an untouched level.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Level {
+    cfg: CacheConfig,
+    set_shift: u32,
+    set_mask: u64,
+    /// Per set: line tags in LRU order, most recent last.
+    sets: Vec<Vec<u64>>,
+    totals: LevelStats,
+    by_tag: Vec<LevelStats>,
+}
+
+impl Level {
+    fn new(cfg: CacheConfig, n_tags: usize) -> Self {
+        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        let n_sets = cfg.n_sets();
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        Level {
+            cfg,
+            set_shift: cfg.line.trailing_zeros(),
+            set_mask: (n_sets - 1) as u64,
+            sets: vec![Vec::with_capacity(cfg.assoc); n_sets],
+            totals: LevelStats::default(),
+            by_tag: vec![LevelStats::default(); n_tags],
+        }
+    }
+
+    /// Accesses one line address; returns true on hit.
+    fn access_line(&mut self, line_addr: u64, tag: usize) -> bool {
+        let set = &mut self.sets[((line_addr >> self.set_shift) & self.set_mask) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line_addr) {
+            // move to MRU position
+            let t = set.remove(pos);
+            set.push(t);
+            self.totals.hits += 1;
+            self.by_tag[tag].hits += 1;
+            true
+        } else {
+            if set.len() == self.cfg.assoc {
+                set.remove(0); // evict LRU
+            }
+            set.push(line_addr);
+            self.totals.misses += 1;
+            self.by_tag[tag].misses += 1;
+            false
+        }
+    }
+}
+
+/// A hierarchy of cache levels with per-stream accounting.
+///
+/// ```
+/// use tenblock_analysis::CacheSim;
+/// let mut sim = CacheSim::power8(1);
+/// sim.access(0x1000, 0);      // compulsory miss
+/// sim.access(0x1000, 0);      // hit
+/// assert_eq!(sim.level_stats(0).hits, 1);
+/// assert_eq!(sim.memory_bytes(), 128); // one POWER8 line fetched
+/// ```
+pub struct CacheSim {
+    levels: Vec<Level>,
+    line: usize,
+    n_tags: usize,
+}
+
+impl CacheSim {
+    /// Builds a hierarchy (L1 first). All levels must share the line size.
+    /// `n_tags` is the number of access-stream tags tracked.
+    pub fn new(configs: &[CacheConfig], n_tags: usize) -> Self {
+        assert!(!configs.is_empty(), "need at least one level");
+        let line = configs[0].line;
+        assert!(
+            configs.iter().all(|c| c.line == line),
+            "all levels must share one line size"
+        );
+        CacheSim {
+            levels: configs.iter().map(|&c| Level::new(c, n_tags)).collect(),
+            line,
+            n_tags,
+        }
+    }
+
+    /// The paper's POWER8 per-core hierarchy: 64 KiB 8-way L1 and 512 KiB
+    /// 8-way L2, 128-byte lines (Section VI-A1).
+    pub fn power8(n_tags: usize) -> Self {
+        CacheSim::new(
+            &[
+                CacheConfig { size: 64 * 1024, line: 128, assoc: 8 },
+                CacheConfig { size: 512 * 1024, line: 128, assoc: 8 },
+            ],
+            n_tags,
+        )
+    }
+
+    /// Line size in bytes.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Accesses a single byte address under stream `tag`; the access walks
+    /// down the hierarchy until it hits.
+    pub fn access(&mut self, addr: u64, tag: usize) {
+        debug_assert!(tag < self.n_tags);
+        let line_addr = addr & !((self.line as u64) - 1);
+        for level in &mut self.levels {
+            if level.access_line(line_addr, tag) {
+                return;
+            }
+        }
+    }
+
+    /// Accesses every line of the byte range `[addr, addr + len)`.
+    pub fn access_range(&mut self, addr: u64, len: usize, tag: usize) {
+        let first = addr & !((self.line as u64) - 1);
+        let last = (addr + len.max(1) as u64 - 1) & !((self.line as u64) - 1);
+        let mut a = first;
+        while a <= last {
+            self.access(a, tag);
+            a += self.line as u64;
+        }
+    }
+
+    /// Total stats for level `l` (0 = L1).
+    pub fn level_stats(&self, l: usize) -> LevelStats {
+        self.levels[l].totals.clone()
+    }
+
+    /// Per-tag stats for level `l`.
+    pub fn tag_stats(&self, l: usize, tag: usize) -> LevelStats {
+        self.levels[l].by_tag[tag].clone()
+    }
+
+    /// Overall hit rate of the whole hierarchy for one tag: the fraction of
+    /// that stream's accesses served by *any* cache level (only last-level
+    /// misses go to memory).
+    pub fn hierarchy_hit_rate(&self, tag: usize) -> f64 {
+        let l1 = &self.levels[0].by_tag[tag];
+        let accesses = l1.hits + l1.misses;
+        if accesses == 0 {
+            return 1.0;
+        }
+        let mem = self.levels.last().unwrap().by_tag[tag].misses;
+        1.0 - mem as f64 / accesses as f64
+    }
+
+    /// Bytes fetched from main memory (last-level misses × line size),
+    /// summed over all tags.
+    pub fn memory_bytes(&self) -> u64 {
+        self.levels.last().unwrap().totals.misses * self.line as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // 4 sets x 2 ways x 64B lines = 512B L1; 1KiB L2
+        CacheSim::new(
+            &[
+                CacheConfig { size: 512, line: 64, assoc: 2 },
+                CacheConfig { size: 1024, line: 64, assoc: 2 },
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        c.access(0x1000, 0);
+        assert_eq!(c.level_stats(0), LevelStats { hits: 0, misses: 1 });
+        for _ in 0..5 {
+            c.access(0x1000, 0);
+        }
+        assert_eq!(c.level_stats(0), LevelStats { hits: 5, misses: 1 });
+        assert!((c.hierarchy_hit_rate(0) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_line_is_one_entry() {
+        let mut c = tiny();
+        c.access(0x1000, 0);
+        c.access(0x1030, 0); // same 64B line
+        assert_eq!(c.level_stats(0).hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 sets * 64 = 256B)
+        c.access(0x0000, 0);
+        c.access(0x0100, 0);
+        c.access(0x0200, 0); // evicts 0x0000 from L1
+        c.access(0x0000, 0); // L1 miss, L2 hit
+        assert_eq!(c.level_stats(0).misses, 4);
+        assert_eq!(c.level_stats(1).hits, 1);
+    }
+
+    #[test]
+    fn lru_order_updated_on_hit() {
+        let mut c = tiny();
+        c.access(0x0000, 0);
+        c.access(0x0100, 0);
+        c.access(0x0000, 0); // refresh 0x0000 to MRU
+        c.access(0x0200, 0); // should evict 0x0100, not 0x0000
+        c.access(0x0000, 0);
+        let s = c.level_stats(0);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn capacity_streaming_misses() {
+        // streaming 4 KiB through a 512B cache: every new line misses L1
+        let mut c = tiny();
+        for i in 0..64u64 {
+            c.access(i * 64, 1);
+        }
+        assert_eq!(c.tag_stats(0, 1), LevelStats { hits: 0, misses: 64 });
+        assert_eq!(c.tag_stats(0, 0), LevelStats::default());
+        assert!(c.hierarchy_hit_rate(1) < 1e-12);
+        assert_eq!(c.memory_bytes(), 64 * 64);
+    }
+
+    #[test]
+    fn working_set_fitting_in_l2_hits_there() {
+        let mut c = tiny();
+        // 768B working set: fits in L2 (1KiB), not L1 (512B)
+        for _ in 0..10 {
+            for i in 0..12u64 {
+                c.access(i * 64, 0);
+            }
+        }
+        let rate = c.hierarchy_hit_rate(0);
+        assert!(rate > 0.85, "hierarchy rate {rate}");
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut c = tiny();
+        c.access_range(0x10, 200, 0); // spans lines 0x00, 0x40, 0x80, 0xC0
+        assert_eq!(c.level_stats(0).misses, 4);
+        c.access_range(0x40, 1, 0);
+        assert_eq!(c.level_stats(0).hits, 1);
+    }
+
+    #[test]
+    fn power8_preset_geometry() {
+        let c = CacheSim::power8(1);
+        assert_eq!(c.line(), 128);
+        assert_eq!(c.levels[0].cfg.n_sets(), 64);
+        assert_eq!(c.levels[1].cfg.n_sets(), 512);
+    }
+}

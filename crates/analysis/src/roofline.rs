@@ -1,0 +1,218 @@
+//! The roofline analysis of Section IV-A — Equations (1), (2), (3) and the
+//! Figure 2 arithmetic-intensity series.
+//!
+//! With `nnz` nonzeros, `F` non-empty fibers, rank `R`, and overall cache
+//! hit rate `α` (all data 64-bit):
+//!
+//! ```text
+//! Q = 2·nnz + 2·F + (1-α)·R·nnz + (1-α)·R·F     (words from memory)
+//! W = 2·R·(nnz + F)                              (flops)
+//! I = W / (Q·8 bytes) = R / (8 + 4·R·(1-α))      (flops per byte)
+//! ```
+//!
+//! The first two terms of `Q` are the tensor stream (`val`/`j_index`, then
+//! `k_index`/`k_pointer`); the `(1-α)` terms are the factor-matrix rows
+//! missed in cache (B per nonzero, C per fiber). `i_pointer` and the
+//! destination factor are ignored as negligible (Section IV-A).
+
+/// Problem parameters for the traffic/flop formulas.
+#[derive(Debug, Clone, Copy)]
+pub struct RooflineInputs {
+    /// Number of nonzeros.
+    pub nnz: u64,
+    /// Number of non-empty fibers.
+    pub fibers: u64,
+    /// Decomposition rank.
+    pub rank: u64,
+    /// Overall cache hit rate in `[0, 1]`.
+    pub alpha: f64,
+}
+
+impl RooflineInputs {
+    /// Equation (1): words required from memory.
+    pub fn traffic_words(&self) -> f64 {
+        let nnz = self.nnz as f64;
+        let f = self.fibers as f64;
+        let r = self.rank as f64;
+        2.0 * nnz + 2.0 * f + (1.0 - self.alpha) * r * nnz + (1.0 - self.alpha) * r * f
+    }
+
+    /// Equation (1) in bytes (64-bit words).
+    pub fn traffic_bytes(&self) -> f64 {
+        self.traffic_words() * 8.0
+    }
+
+    /// Equation (2): floating-point operations.
+    pub fn flops(&self) -> f64 {
+        2.0 * self.rank as f64 * (self.nnz + self.fibers) as f64
+    }
+
+    /// Equation (3): arithmetic intensity `W / (Q · 8)`.
+    pub fn intensity(&self) -> f64 {
+        self.flops() / self.traffic_bytes()
+    }
+}
+
+/// Equation (3) in closed form: `I = R / (8 + 4·R·(1-α))`. Independent of
+/// `nnz` and `F`.
+///
+/// ```
+/// use tenblock_analysis::arithmetic_intensity;
+/// // the paper's quoted checkpoints (Section IV-A)
+/// assert!((arithmetic_intensity(16, 0.95) - 1.43).abs() < 0.01);
+/// assert!((arithmetic_intensity(2048, 0.95) - 4.90).abs() < 0.01);
+/// ```
+pub fn arithmetic_intensity(rank: u64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let r = rank as f64;
+    r / (8.0 + 4.0 * r * (1.0 - alpha))
+}
+
+/// The α values plotted in Figure 2.
+pub const FIG2_ALPHAS: [f64; 9] = [1.0, 0.95, 0.9, 0.8, 0.7, 0.6, 0.4, 0.2, 0.0];
+
+/// The rank axis of Figure 2: 16, 32, …, 2048.
+pub const FIG2_RANKS: [u64; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// Generates the Figure 2 series: for each α, the arithmetic intensity at
+/// every rank. Returns `(alpha, Vec<(rank, intensity)>)` per curve.
+pub fn fig2_series() -> Vec<(f64, Vec<(u64, f64)>)> {
+    FIG2_ALPHAS
+        .iter()
+        .map(|&a| {
+            let pts = FIG2_RANKS
+                .iter()
+                .map(|&r| (r, arithmetic_intensity(r, a)))
+                .collect();
+            (a, pts)
+        })
+        .collect()
+}
+
+/// A machine's balance point: peak flops per byte of memory bandwidth.
+/// The paper quotes modern CPU/GPU balances of 6–12 flops/byte.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineBalance {
+    /// Peak floating-point throughput in Gflop/s.
+    pub peak_gflops: f64,
+    /// Sustainable memory bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+}
+
+impl MachineBalance {
+    /// The paper's POWER8 socket: 10 cores x 3.49 GHz x 2 FMA pipes x
+    /// 2 lanes x 2 flops ≈ 279 Gflop/s, 75 GB/s read bandwidth.
+    pub fn power8_socket() -> Self {
+        MachineBalance { peak_gflops: 279.0, mem_bw_gbs: 75.0 }
+    }
+
+    /// Flops per byte at the roofline ridge point.
+    pub fn balance(&self) -> f64 {
+        self.peak_gflops / self.mem_bw_gbs
+    }
+
+    /// True if a kernel with arithmetic intensity `i` is memory-bound on
+    /// this machine.
+    pub fn is_memory_bound(&self, i: f64) -> bool {
+        i < self.balance()
+    }
+
+    /// Attainable performance (Gflop/s) at intensity `i`: the roofline.
+    pub fn attainable_gflops(&self, i: f64) -> f64 {
+        self.peak_gflops.min(self.mem_bw_gbs * i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_full_formula() {
+        // I must be independent of nnz and F
+        for &(nnz, f) in &[(1000u64, 100u64), (5_000_000, 30_000)] {
+            for &rank in &FIG2_RANKS {
+                for &alpha in &FIG2_ALPHAS {
+                    let inp = RooflineInputs { nnz, fibers: f, rank, alpha };
+                    let closed = arithmetic_intensity(rank, alpha);
+                    assert!(
+                        (inp.intensity() - closed).abs() < 1e-12,
+                        "mismatch at nnz={nnz} R={rank} a={alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_quoted_values() {
+        // Section IV-A: "for a very high cache hit rate of 95%, the
+        // arithmetic intensity ranges from 1.43 at rank 16 to at most 4.90
+        // at rank 2048".
+        assert!((arithmetic_intensity(16, 0.95) - 1.43).abs() < 0.01);
+        assert!((arithmetic_intensity(2048, 0.95) - 4.90).abs() < 0.01);
+        // Limits: R/(8+4R) at alpha=0, R/8 at alpha=1.
+        assert!((arithmetic_intensity(64, 0.0) - 64.0 / (8.0 + 256.0)).abs() < 1e-12);
+        assert!((arithmetic_intensity(64, 1.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_monotone_in_alpha_and_rank() {
+        for &rank in &FIG2_RANKS {
+            let mut prev = -1.0;
+            for &alpha in FIG2_ALPHAS.iter().rev() {
+                let i = arithmetic_intensity(rank, alpha);
+                assert!(i > prev, "intensity not increasing in alpha");
+                prev = i;
+            }
+        }
+        for &alpha in &FIG2_ALPHAS {
+            let mut prev = 0.0;
+            for &rank in &FIG2_RANKS {
+                let i = arithmetic_intensity(rank, alpha);
+                assert!(i > prev, "intensity not increasing in rank");
+                prev = i;
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bound_conclusion() {
+        // Section IV conclusion 1: memory-bound unless data fits in cache
+        // (alpha ~ 1) and rank > 64.
+        let m = MachineBalance::power8_socket();
+        assert!(m.balance() > 3.0 && m.balance() < 6.0);
+        // On a generic modern machine (balance 6-12 per the paper), MTTKRP
+        // is memory-bound at every rank even with a 95% hit rate …
+        let modern = MachineBalance { peak_gflops: 600.0, mem_bw_gbs: 100.0 };
+        for &rank in &FIG2_RANKS {
+            assert!(modern.is_memory_bound(arithmetic_intensity(rank, 0.95)));
+        }
+        // … and becomes compute-bound only when data fits in cache
+        // (alpha = 1) and the rank is large enough (> 64).
+        assert!(!m.is_memory_bound(arithmetic_intensity(128, 1.0)));
+        assert!(m.is_memory_bound(arithmetic_intensity(16, 1.0)));
+    }
+
+    #[test]
+    fn fig2_shape() {
+        let series = fig2_series();
+        assert_eq!(series.len(), 9);
+        for (_, pts) in &series {
+            assert_eq!(pts.len(), 8);
+        }
+        // alpha = 1 curve is R/8
+        let (a, pts) = &series[0];
+        assert_eq!(*a, 1.0);
+        for &(r, i) in pts {
+            assert!((i - r as f64 / 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn attainable_roofline() {
+        let m = MachineBalance::power8_socket();
+        assert_eq!(m.attainable_gflops(1000.0), m.peak_gflops);
+        assert!((m.attainable_gflops(1.0) - m.mem_bw_gbs).abs() < 1e-12);
+    }
+}

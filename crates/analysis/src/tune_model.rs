@@ -1,0 +1,216 @@
+//! Model-guided block-size selection — the paper's future-work item
+//! ("finding the optimal sizes would require a more accurate model for
+//! data movement … a well designed autotuning framework", Section VII),
+//! built from the pieces this crate already has: instead of *timing* each
+//! candidate like the Section V-C heuristic, each candidate's exact access
+//! stream is replayed through the cache simulator and scored by predicted
+//! memory traffic.
+//!
+//! The search structure mirrors `tenblock_core::tune` (strip widths in
+//! cache-line increments, then axes longest-first with doubling block
+//! counts), so the two tuners are directly comparable — see the
+//! `model_tuner` bench binary.
+
+use crate::cache::CacheSim;
+use crate::trace::{trace_kernel, TraceKernel};
+use tenblock_core::mttkrp::REG_BLOCK;
+use tenblock_tensor::coo::perm_for_mode;
+use tenblock_tensor::{CooTensor, Entry, NMODES};
+
+/// Options for [`tune_by_model`].
+#[derive(Debug, Clone)]
+pub struct ModelTuneOptions {
+    /// Decomposition rank to tune for.
+    pub rank: usize,
+    /// Upper bound on blocks per axis.
+    pub max_blocks: usize,
+    /// Trace at most this many nonzeros (a leading slice-contiguous sample
+    /// is used beyond it — locality within the sample is preserved).
+    pub sample_nnz: usize,
+}
+
+impl ModelTuneOptions {
+    /// Defaults: sample 100K nonzeros.
+    pub fn new(rank: usize) -> Self {
+        ModelTuneOptions { rank, max_blocks: 64, sample_nnz: 100_000 }
+    }
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone)]
+pub struct ModelTuneSample {
+    /// Candidate MB grid (kernel axes).
+    pub grid: [usize; NMODES],
+    /// Candidate RankB strip width.
+    pub strip_width: usize,
+    /// Predicted bytes fetched from memory.
+    pub memory_bytes: u64,
+    /// Measured factor-matrix hit rate of the candidate.
+    pub alpha: f64,
+}
+
+/// Result of the model-guided search.
+#[derive(Debug, Clone)]
+pub struct ModelTuneResult {
+    /// Selected grid (kernel axes).
+    pub grid: [usize; NMODES],
+    /// Selected strip width.
+    pub strip_width: usize,
+    /// Predicted memory traffic of the selection.
+    pub memory_bytes: u64,
+    /// Every candidate scored, in search order.
+    pub history: Vec<ModelTuneSample>,
+}
+
+/// A slice-contiguous sample of at most `cap` nonzeros.
+fn sample(coo: &CooTensor, mode: usize, cap: usize) -> CooTensor {
+    if coo.nnz() <= cap {
+        return coo.clone();
+    }
+    let mut sorted = coo.clone();
+    sorted.sort(perm_for_mode(mode));
+    let entries: Vec<Entry> = sorted.entries()[..cap].to_vec();
+    CooTensor::from_entries(coo.dims(), entries)
+}
+
+/// Scores one candidate: predicted memory bytes under the POWER8 hierarchy.
+fn score(x: &CooTensor, mode: usize, rank: usize, k: TraceKernel) -> (u64, f64) {
+    let r = trace_kernel(x, mode, rank, k, CacheSim::power8(4));
+    (r.memory_bytes, r.alpha_factors)
+}
+
+/// Runs the model-guided search for the mode-`mode` MTTKRP of `coo`.
+pub fn tune_by_model(coo: &CooTensor, mode: usize, opts: &ModelTuneOptions) -> ModelTuneResult {
+    let x = sample(coo, mode, opts.sample_nnz);
+    let dims = x.dims();
+    let perm = perm_for_mode(mode);
+    let mut history = Vec::new();
+
+    let eval = |grid: [usize; NMODES], strip: usize, history: &mut Vec<ModelTuneSample>| {
+        let (bytes, alpha) = score(&x, mode, opts.rank, TraceKernel::MbRankB(grid, strip));
+        history.push(ModelTuneSample { grid, strip_width: strip, memory_bytes: bytes, alpha });
+        bytes
+    };
+
+    // Phase 1: strip width.
+    let mut best_strip = opts.rank.max(1);
+    let mut best_bytes = eval([1, 1, 1], best_strip, &mut history);
+    let mut width = REG_BLOCK;
+    while width < opts.rank {
+        let bytes = eval([1, 1, 1], width, &mut history);
+        if bytes < best_bytes {
+            best_bytes = bytes;
+            best_strip = width;
+            width += REG_BLOCK;
+        } else {
+            break;
+        }
+    }
+
+    // Phase 2: MB grid, longest axis first (access-volume tie-break).
+    let axis_len = [dims[perm[0]], dims[perm[1]], dims[perm[2]]];
+    let tie_rank = [2usize, 0, 1];
+    let mut axes = [0usize, 1, 2];
+    axes.sort_by_key(|&ax| (std::cmp::Reverse(axis_len[ax]), tie_rank[ax]));
+
+    let mut grid = [1usize; NMODES];
+    for &ax in &axes {
+        let mut n = 1usize;
+        loop {
+            let next = (n * 2).min(axis_len[ax].max(1)).min(opts.max_blocks);
+            if next == n {
+                break;
+            }
+            let mut cand = grid;
+            cand[ax] = next;
+            let bytes = eval(cand, best_strip, &mut history);
+            if bytes < best_bytes {
+                best_bytes = bytes;
+                grid = cand;
+                n = next;
+            } else {
+                break;
+            }
+        }
+    }
+
+    ModelTuneResult { grid, strip_width: best_strip, memory_bytes: best_bytes, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenblock_tensor::gen::{clustered_tensor, ClusteredConfig};
+
+    #[test]
+    fn model_tuner_returns_valid_config() {
+        let cfg = ClusteredConfig {
+            dims: [2_000, 3_000, 1_500],
+            nnz: 20_000,
+            n_clusters: 16,
+            cluster_frac: 0.9,
+            box_frac: 0.04,
+        };
+        let x = clustered_tensor(&cfg, 5);
+        let opts = ModelTuneOptions { rank: 32, max_blocks: 8, sample_nnz: 10_000 };
+        let r = tune_by_model(&x, 0, &opts);
+        assert!(r.strip_width >= 1 && r.strip_width <= 32);
+        for ax in 0..3 {
+            assert!(r.grid[ax] >= 1 && r.grid[ax] <= 8);
+        }
+        // the selection's predicted traffic can't exceed the unblocked
+        // candidate's
+        let unblocked = r
+            .history
+            .iter()
+            .find(|s| s.grid == [1, 1, 1] && s.strip_width == 32)
+            .expect("unblocked candidate scored");
+        assert!(r.memory_bytes <= unblocked.memory_bytes);
+    }
+
+    #[test]
+    fn blocking_reduces_predicted_traffic_when_factors_spill() {
+        // factors far larger than L2: the model must prefer some blocking
+        let cfg = ClusteredConfig {
+            dims: [4_000, 4_000, 4_000],
+            nnz: 30_000,
+            n_clusters: 32,
+            cluster_frac: 0.95,
+            box_frac: 0.05,
+        };
+        let x = clustered_tensor(&cfg, 9);
+        let opts = ModelTuneOptions { rank: 64, max_blocks: 8, sample_nnz: 30_000 };
+        let r = tune_by_model(&x, 0, &opts);
+        let base = r.history.first().unwrap();
+        assert!(
+            r.memory_bytes < base.memory_bytes,
+            "model found no improvement: {} vs {}",
+            r.memory_bytes,
+            base.memory_bytes
+        );
+        // and the chosen config's alpha is at least the baseline's
+        let chosen = r
+            .history
+            .iter()
+            .find(|s| s.grid == r.grid && s.strip_width == r.strip_width)
+            .unwrap();
+        assert!(chosen.alpha >= base.alpha - 1e-9);
+    }
+
+    #[test]
+    fn sampling_caps_trace_size() {
+        let cfg = ClusteredConfig::new([500, 500, 500], 30_000);
+        let x = clustered_tensor(&cfg, 2);
+        let s = sample(&x, 0, 5_000);
+        assert_eq!(s.nnz(), 5_000);
+        assert_eq!(s.dims(), x.dims());
+        // sample is slice-contiguous: its slice ids are a prefix range
+        let max_slice = s.entries().iter().map(|e| e.idx[0]).max().unwrap();
+        let full_sorted_prefix_max = {
+            let mut t = x.clone();
+            t.sort(tenblock_tensor::coo::MODE1_PERM);
+            t.entries()[..5_000].iter().map(|e| e.idx[0]).max().unwrap()
+        };
+        assert_eq!(max_slice, full_sorted_prefix_max);
+    }
+}

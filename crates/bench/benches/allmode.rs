@@ -1,0 +1,48 @@
+//! Criterion bench: fused all-mode MTTKRP (memoized, ref. [17] style)
+//! versus three separate SPLATT kernels at the same factor state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tenblock_bench::{bench_factors, scaled_dataset};
+use tenblock_core::mttkrp::{AllModeKernel, SplattKernel};
+use tenblock_core::MttkrpKernel;
+use tenblock_tensor::gen::Dataset;
+use tenblock_tensor::DenseMatrix;
+
+fn bench_allmode(c: &mut Criterion) {
+    let rank = 32;
+    let x = scaled_dataset(Dataset::Poisson2, 0.2, 42);
+    let dims = x.dims();
+    let factors = bench_factors(dims, rank, 42);
+    let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+
+    let mut group = c.benchmark_group("allmode/poisson2_r32");
+    group.sample_size(10);
+
+    let fused = AllModeKernel::new(&x);
+    let mut outs = [
+        DenseMatrix::zeros(dims[0], rank),
+        DenseMatrix::zeros(dims[1], rank),
+        DenseMatrix::zeros(dims[2], rank),
+    ];
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            fused.mttkrp_all(black_box(&fs), &mut outs);
+            black_box(outs[0].as_slice());
+        })
+    });
+
+    let kernels: Vec<SplattKernel> = (0..3).map(|m| SplattKernel::new(&x, m)).collect();
+    group.bench_function("separate_x3", |b| {
+        b.iter(|| {
+            for (m, k) in kernels.iter().enumerate() {
+                k.mttkrp(black_box(&fs), &mut outs[m]);
+            }
+            black_box(outs[0].as_slice());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allmode);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: the four MTTKRP kernels head-to-head on a
+//! synthetic-Poisson and a clustered ("real-like") data set — the
+//! per-kernel view behind Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tenblock_bench::{bench_factors, scaled_dataset};
+use tenblock_core::block::{MbKernel, MbRankBKernel, RankBKernel};
+use tenblock_core::mttkrp::SplattKernel;
+use tenblock_core::MttkrpKernel;
+use tenblock_tensor::gen::Dataset;
+use tenblock_tensor::DenseMatrix;
+
+fn bench_kernels(c: &mut Criterion) {
+    let rank = 64;
+    for ds in [Dataset::Poisson2, Dataset::Nell2] {
+        let x = scaled_dataset(ds, 0.2, 42);
+        let name = ds.spec().name;
+        let factors = bench_factors(x.dims(), rank, 42);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        let mut out = DenseMatrix::zeros(x.dims()[0], rank);
+
+        let kernels: Vec<(&str, Box<dyn MttkrpKernel>)> = vec![
+            ("splatt", Box::new(SplattKernel::new(&x, 0))),
+            ("mb", Box::new(MbKernel::new(&x, 0, [4, 4, 2]))),
+            ("rankb", Box::new(RankBKernel::new(&x, 0, 16))),
+            ("mb_rankb", Box::new(MbRankBKernel::new(&x, 0, [4, 4, 2], 16))),
+        ];
+
+        let mut group = c.benchmark_group(format!("mttkrp/{name}"));
+        group.sample_size(10);
+        for (kname, kernel) in &kernels {
+            group.bench_function(BenchmarkId::from_parameter(kname), |b| {
+                b.iter(|| {
+                    kernel.mttkrp(black_box(&fs), &mut out);
+                    black_box(out.as_slice());
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

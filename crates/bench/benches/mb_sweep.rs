@@ -1,0 +1,34 @@
+//! Criterion version of Figure 5: multi-dimensional blocking grid sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tenblock_bench::{bench_factors, scaled_dataset};
+use tenblock_core::block::MbKernel;
+use tenblock_core::MttkrpKernel;
+use tenblock_tensor::gen::Dataset;
+use tenblock_tensor::DenseMatrix;
+
+fn bench_mb_sweep(c: &mut Criterion) {
+    let rank = 64;
+    let x = scaled_dataset(Dataset::Poisson3, 0.2, 42);
+    let factors = bench_factors(x.dims(), rank, 42);
+    let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+    let mut out = DenseMatrix::zeros(x.dims()[0], rank);
+
+    let mut group = c.benchmark_group("mb_sweep/poisson3_r64");
+    group.sample_size(10);
+    for grid in [[1usize, 1, 1], [1, 4, 1], [1, 10, 5], [4, 4, 4], [8, 1, 1], [1, 1, 8]] {
+        let kernel = MbKernel::new(&x, 0, grid);
+        let label = format!("{}x{}x{}", grid[0], grid[1], grid[2]);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                kernel.mttkrp(black_box(&fs), &mut out);
+                black_box(out.as_slice());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mb_sweep);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion version of Table I: the six pressure-point variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tenblock_analysis::ppa::{run_variant, PpaVariant};
+use tenblock_bench::scaled_dataset;
+use tenblock_tensor::gen::Dataset;
+use tenblock_tensor::{DenseMatrix, SplattTensor};
+
+fn bench_ppa(c: &mut Criterion) {
+    let rank = 64;
+    let x = scaled_dataset(Dataset::Poisson3, 0.2, 42);
+    let t = SplattTensor::for_mode(&x, 0);
+    let dims = x.dims();
+    let b = DenseMatrix::from_fn(dims[1], rank, |r, cc| ((r * 3 + cc) % 11) as f64 * 0.1);
+    let cm = DenseMatrix::from_fn(dims[2], rank, |r, cc| ((r + 5 * cc) % 13) as f64 * 0.1);
+    let mut out = DenseMatrix::zeros(dims[0], rank);
+    let mut accum = vec![0.0; rank];
+
+    let mut group = c.benchmark_group("ppa/poisson3_r64");
+    group.sample_size(10);
+    for variant in PpaVariant::ALL {
+        group.bench_function(BenchmarkId::from_parameter(variant.type_no()), |bch| {
+            bch.iter(|| {
+                run_variant(variant, &t, &b, &cm, &mut out, &mut accum);
+                black_box(out.as_slice());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppa);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion version of Figure 4: RankB strip-width sweep at a high rank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tenblock_bench::{bench_factors, scaled_dataset};
+use tenblock_core::block::RankBKernel;
+use tenblock_core::MttkrpKernel;
+use tenblock_tensor::gen::Dataset;
+use tenblock_tensor::DenseMatrix;
+
+fn bench_rankb_sweep(c: &mut Criterion) {
+    let rank = 128;
+    let x = scaled_dataset(Dataset::Poisson2, 0.2, 42);
+    let factors = bench_factors(x.dims(), rank, 42);
+    let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+    let mut out = DenseMatrix::zeros(x.dims()[0], rank);
+
+    let mut group = c.benchmark_group("rankb_sweep/poisson2_r128");
+    group.sample_size(10);
+    for width in [16usize, 32, 64, 128] {
+        let kernel = RankBKernel::new(&x, 0, width);
+        group.bench_function(BenchmarkId::from_parameter(width), |b| {
+            b.iter(|| {
+                kernel.mttkrp(black_box(&fs), &mut out);
+                black_box(out.as_slice());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rankb_sweep);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Strip factor layout** (Section V-B's "small rearrangement of the
+//!    factor matrix") vs reading strips out of the plain row-major layout.
+//! 2. **Block traversal order**: `b`-major (reuse the expensive mode-2
+//!    factor block, per Section IV-B) vs `c`-major.
+//! 3. **Format**: the COO kernel vs the SPLATT kernel (the Section III-C
+//!    motivation for the fiber format).
+//! 4. **Parallelism**: rayon on/off for the baseline and blocked kernels.
+//!
+//! Run: `cargo run -p tenblock-bench --release --bin ablations [--scale f] [--rank r] [--reps n]`
+
+use tenblock_bench::{
+    arg_reps, arg_scale, arg_seed, arg_value, bench_factors, scaled_dataset, time_kernel,
+};
+use tenblock_core::block::{MbKernel, MbRankBKernel, RankBKernel, RankbLayout, Traversal};
+use tenblock_core::mttkrp::{CooKernel, SplattKernel};
+use tenblock_tensor::gen::Dataset;
+use tenblock_tensor::DenseMatrix;
+
+fn main() {
+    let scale = arg_scale();
+    let reps = arg_reps(3);
+    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(128);
+    let seed = arg_seed();
+
+    let x = scaled_dataset(Dataset::Nell2, scale, seed);
+    println!(
+        "ablations on NELL2 analogue: dims {:?}, nnz {}, rank {rank}",
+        x.dims(),
+        x.nnz()
+    );
+    let factors = bench_factors(x.dims(), rank, seed);
+    let mut out = DenseMatrix::zeros(x.dims()[0], rank);
+    let row = |name: &str, secs: f64, base: Option<f64>| {
+        match base {
+            Some(b) => println!("  {name:<34} {secs:>9.4} s   ({:>5.2}x)", b / secs),
+            None => println!("  {name:<34} {secs:>9.4} s", ),
+        }
+        secs
+    };
+
+    println!("\n[1] RankB factor layout (strip width 16):");
+    let plain = RankBKernel::new(&x, 0, 16);
+    let strip = RankBKernel::new(&x, 0, 16).with_layout(RankbLayout::Strip);
+    let tp = time_kernel(&plain, &factors, &mut out, reps);
+    row("plain row-major reads", tp, None);
+    let ts = time_kernel(&strip, &factors, &mut out, reps);
+    row("stacked strip layout", ts, Some(tp));
+
+    println!("\n[2] MB block traversal order (grid 4x4x4):");
+    let bmaj = MbKernel::new(&x, 0, [4, 4, 4]);
+    let cmaj = MbKernel::new(&x, 0, [4, 4, 4]).with_traversal(Traversal::CMajor);
+    let tb = time_kernel(&bmaj, &factors, &mut out, reps);
+    row("b-major (mode-2 block reused)", tb, None);
+    let tc = time_kernel(&cmaj, &factors, &mut out, reps);
+    row("c-major (mode-3 block reused)", tc, Some(tb));
+
+    println!("\n[3] Storage format (Section III-C):");
+    println!("  -- thin fibers (this NELL2 analogue, nnz/F ~= 1):");
+    let coo = CooKernel::new(&x, 0);
+    let splatt = SplattKernel::new(&x, 0);
+    let tcoo = time_kernel(&coo, &factors, &mut out, reps);
+    row("COO kernel", tcoo, None);
+    let tsp = time_kernel(&splatt, &factors, &mut out, reps);
+    row("SPLATT kernel (Algorithm 1)", tsp, Some(tcoo));
+    // Algorithm 1's per-fiber factoring only pays when fibers hold several
+    // nonzeros ("more nonzeros there are in the fiber, more computation and
+    // data movement that can be saved") — show the dense-fiber regime too.
+    {
+        use tenblock_tensor::gen::{poisson_tensor, PoissonConfig};
+        let dim = ((x.dims()[0] as f64) * 1.5) as usize;
+        let mut pcfg = PoissonConfig::new([dim; 3], x.nnz());
+        pcfg.gen_rank = 8;
+        pcfg.support_frac_per_mode = Some([0.01, 0.08, 0.01]);
+        let xf = poisson_tensor(&pcfg, seed);
+        let f = xf.count_fibers(tenblock_tensor::coo::MODE1_PERM);
+        println!(
+            "  -- dense fibers (Poisson, nnz/F = {:.1}):",
+            xf.nnz() as f64 / f as f64
+        );
+        let ffac = bench_factors(xf.dims(), rank, seed);
+        let mut fout = DenseMatrix::zeros(xf.dims()[0], rank);
+        let coo_f = CooKernel::new(&xf, 0);
+        let splatt_f = SplattKernel::new(&xf, 0);
+        let tcoo_f = time_kernel(&coo_f, &ffac, &mut fout, reps);
+        row("COO kernel", tcoo_f, None);
+        let tsp_f = time_kernel(&splatt_f, &ffac, &mut fout, reps);
+        row("SPLATT kernel (Algorithm 1)", tsp_f, Some(tcoo_f));
+    }
+
+    println!("\n[4] rayon parallelism ({} threads available):", rayon::current_num_threads());
+    let base_seq = SplattKernel::new(&x, 0);
+    let base_par = SplattKernel::new(&x, 0).with_parallel(true);
+    let t1 = time_kernel(&base_seq, &factors, &mut out, reps);
+    row("SPLATT sequential", t1, None);
+    let t2 = time_kernel(&base_par, &factors, &mut out, reps);
+    row("SPLATT parallel", t2, Some(t1));
+    let blk_seq = MbRankBKernel::new(&x, 0, [4, 2, 2], 16);
+    let blk_par = MbRankBKernel::new(&x, 0, [4, 2, 2], 16).with_parallel(true);
+    let t3 = time_kernel(&blk_seq, &factors, &mut out, reps);
+    row("MB+RankB sequential", t3, None);
+    let t4 = time_kernel(&blk_par, &factors, &mut out, reps);
+    row("MB+RankB parallel", t4, Some(t3));
+}

@@ -1,0 +1,97 @@
+//! Figure 6: speedup of MB, RankB, and MB+RankB over baseline SPLATT across
+//! the six evaluation data sets and a sweep of ranks, with block sizes
+//! chosen by the Section V-C heuristic.
+//!
+//! Run: `cargo run -p tenblock-bench --release --bin fig6_speedup \
+//!        [--scale f] [--reps n] [--ranks 16,32,64,128,256]`
+
+use tenblock_bench::{
+    arg_reps, arg_scale, arg_seed, arg_value, bench_factors, scaled_dataset, time_kernel,
+    FIG6_DATASETS,
+};
+use tenblock_core::block::{MbKernel, MbRankBKernel, RankBKernel};
+use tenblock_core::mttkrp::SplattKernel;
+use tenblock_core::{tune, TuneOptions};
+use tenblock_tensor::DenseMatrix;
+
+fn main() {
+    let scale = arg_scale();
+    let reps = arg_reps(2);
+    let seed = arg_seed();
+    let ranks: Vec<usize> = arg_value("--ranks")
+        .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
+        .unwrap_or_else(|| vec![16, 32, 64, 128, 256]);
+    // optional machine-readable series, one row per (dataset, rank)
+    let mut csv: Option<std::fs::File> = arg_value("--csv").map(|p| {
+        use std::io::Write;
+        let mut f = std::fs::File::create(p).expect("create csv");
+        writeln!(f, "dataset,rank,splatt_secs,mb_speedup,rankb_speedup,mb_rankb_speedup")
+            .unwrap();
+        f
+    });
+
+    println!("Figure 6: speedup over SPLATT (heuristic-tuned blocks)");
+    println!(
+        "{:<10} {:>6} {:>12} {:>6} {:>9} {:>8} {:>8} {:>9}",
+        "dataset", "rank", "grid", "strip", "SPLATT(s)", "MB", "RankB", "MB+RankB"
+    );
+
+    for ds in FIG6_DATASETS {
+        let x = scaled_dataset(ds, scale, seed);
+        let name = ds.spec().name;
+        let dims = x.dims();
+
+        for &rank in &ranks {
+            let factors = bench_factors(dims, rank, seed);
+            let mut out = DenseMatrix::zeros(dims[0], rank);
+
+            // Section V-C heuristic picks the grid and strip width.
+            let mut topts = TuneOptions::new(rank);
+            topts.reps = 1;
+            topts.max_blocks = 32;
+            let tuned = tune(&x, 0, &topts);
+
+            let base = SplattKernel::new(&x, 0);
+            let base_secs = time_kernel(&base, &factors, &mut out, reps);
+
+            let mb = MbKernel::new(&x, 0, tuned.grid);
+            let mb_secs = time_kernel(&mb, &factors, &mut out, reps);
+
+            let rb = RankBKernel::new(&x, 0, tuned.strip_width);
+            let rb_secs = time_kernel(&rb, &factors, &mut out, reps);
+
+            let both = MbRankBKernel::new(&x, 0, tuned.grid, tuned.strip_width);
+            let both_secs = time_kernel(&both, &factors, &mut out, reps);
+
+            println!(
+                "{:<10} {:>6} {:>12} {:>6} {:>9.4} {:>7.2}x {:>7.2}x {:>8.2}x",
+                name,
+                rank,
+                format!("{}x{}x{}", tuned.grid[0], tuned.grid[1], tuned.grid[2]),
+                tuned.strip_width,
+                base_secs,
+                base_secs / mb_secs,
+                base_secs / rb_secs,
+                base_secs / both_secs
+            );
+            if let Some(f) = csv.as_mut() {
+                use std::io::Write;
+                writeln!(
+                    f,
+                    "{name},{rank},{base_secs},{},{},{}",
+                    base_secs / mb_secs,
+                    base_secs / rb_secs,
+                    base_secs / both_secs
+                )
+                .unwrap();
+            }
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper): speedups grow with rank for the smaller tensors \
+         (Poisson2/3, NELL-2), peak at moderate ranks for the huge-mode tensors \
+         (Netflix, Reddit, Amazon); real/clustered data beats synthetic \
+         (up to 3.5x vs up to 2.0x); MB+RankB >= MB >= RankB on most points."
+    );
+}

@@ -1,0 +1,234 @@
+//! The rank-blocking (RankB) kernel — Section V-B, Algorithm 2.
+//!
+//! The factor matrices are divided along the rank into strips of
+//! `strip_width` columns. The whole tensor is traversed once per strip;
+//! within a strip, fibers are processed with 16-wide register accumulators
+//! ([`crate::mttkrp::REG_BLOCK`]), eliminating the heap accumulator array of
+//! Algorithm 1 and with it the load-unit pressure identified by the
+//! pressure-point analysis (Section IV-B, type 3).
+//!
+//! With [`RankbLayout::Strip`], the factor matrices are first re-laid-out as
+//! stacked strips (the paper's `(I*N_RankB) x BS_RankB` arrangement) so each
+//! pass reads contiguous memory.
+
+use super::split_rows_by_bounds;
+use crate::kernel::MttkrpKernel;
+use crate::mttkrp::{process_block_rankb, DenseWindow, RowWindow, StripWindow};
+use rayon::prelude::*;
+use tenblock_tensor::{CooTensor, DenseMatrix, SplattTensor, StripMatrix, NMODES};
+
+/// Factor-matrix layout used by the rank-blocked pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankbLayout {
+    /// Read strips directly out of the row-major factor matrices.
+    Plain,
+    /// Re-lay the factors out as stacked strips before the pass
+    /// (Section V-B's "small rearrangement of the factor matrix").
+    Strip,
+}
+
+/// RankB kernel for one mode.
+pub struct RankBKernel {
+    mode: usize,
+    t: SplattTensor,
+    strip_width: usize,
+    layout: RankbLayout,
+    parallel: bool,
+}
+
+impl RankBKernel {
+    /// Builds the kernel with the given strip width (in columns). The paper
+    /// selects widths in cache-line (16-double) increments; any positive
+    /// width is accepted and remainders are handled.
+    pub fn new(coo: &CooTensor, mode: usize, strip_width: usize) -> Self {
+        assert!(strip_width > 0, "strip width must be positive");
+        RankBKernel {
+            mode,
+            t: SplattTensor::for_mode(coo, mode),
+            strip_width,
+            layout: RankbLayout::Plain,
+            parallel: false,
+        }
+    }
+
+    /// Selects the factor layout for the pass.
+    pub fn with_layout(mut self, layout: RankbLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Enables or disables rayon parallelism over slices within a strip.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The configured strip width.
+    pub fn strip_width(&self) -> usize {
+        self.strip_width
+    }
+}
+
+/// One strip pass over a full SPLATT tensor: parallel over slice chunks.
+pub(crate) fn rankb_pass<B: RowWindow, C: RowWindow>(
+    t: &SplattTensor,
+    b: &B,
+    c: &C,
+    out: &mut DenseMatrix,
+    col0: usize,
+    width: usize,
+    parallel: bool,
+) {
+    let rank = out.cols();
+    let n_slices = t.n_slices();
+    if n_slices == 0 {
+        return;
+    }
+    if parallel {
+        let chunk = n_slices.div_ceil(4 * rayon::current_num_threads().max(1)).max(1);
+        let mut bounds: Vec<usize> = (0..n_slices).step_by(chunk).collect();
+        bounds.push(n_slices);
+        let chunks = split_rows_by_bounds(out.as_mut_slice(), &bounds, rank);
+        chunks.into_par_iter().for_each(|(lo, rows)| {
+            let hi = lo + rows.len() / rank;
+            process_block_rankb(t, b, c, lo..hi, rows, lo, rank, col0, width);
+        });
+    } else {
+        process_block_rankb(t, b, c, 0..n_slices, out.as_mut_slice(), 0, rank, col0, width);
+    }
+}
+
+impl MttkrpKernel for RankBKernel {
+    fn mttkrp(&self, factors: &[&DenseMatrix; NMODES], out: &mut DenseMatrix) {
+        let perm = self.t.perm();
+        let b = factors[perm[1]];
+        let c = factors[perm[2]];
+        let rank = out.cols();
+        assert_eq!(out.rows(), self.t.dims()[perm[0]], "output rows != mode length");
+        assert_eq!(b.cols(), rank, "factor rank mismatch");
+        assert_eq!(c.cols(), rank, "factor rank mismatch");
+        out.fill_zero();
+
+        match self.layout {
+            RankbLayout::Plain => {
+                let mut col0 = 0;
+                while col0 < rank {
+                    let width = self.strip_width.min(rank - col0);
+                    let bw = DenseWindow::new(b, col0, width);
+                    let cw = DenseWindow::new(c, col0, width);
+                    rankb_pass(&self.t, &bw, &cw, out, col0, width, self.parallel);
+                    col0 += width;
+                }
+            }
+            RankbLayout::Strip => {
+                let bs = StripMatrix::from_dense(b, self.strip_width);
+                let cs = StripMatrix::from_dense(c, self.strip_width);
+                for s in 0..bs.n_strips() {
+                    let col0 = bs.col_begin(s);
+                    let width = bs.width_of(s);
+                    let bw = StripWindow::new(&bs, s);
+                    let cw = StripWindow::new(&cs, s);
+                    rankb_pass(&self.t, &bw, &cw, out, col0, width, self.parallel);
+                }
+            }
+        }
+    }
+
+    fn mode(&self) -> usize {
+        self.mode
+    }
+
+    fn name(&self) -> &'static str {
+        "RankB"
+    }
+
+    fn tensor_bytes(&self) -> usize {
+        self.t.actual_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttkrp::{dense_mttkrp, SplattKernel};
+    use tenblock_tensor::gen::uniform_tensor;
+
+    fn factors_for(x: &CooTensor, rank: usize) -> Vec<DenseMatrix> {
+        x.dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| {
+                DenseMatrix::from_fn(d, rank, |r, c| {
+                    (((r * 29 + c * 5 + m) % 13) as f64 - 6.0) * 0.11
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_dense_reference_various_widths() {
+        let x = uniform_tensor([14, 10, 12], 300, 55);
+        // ranks exercising: exact multiple of 16, sub-16, odd remainder
+        for rank in [4usize, 16, 32, 37] {
+            let factors = factors_for(&x, rank);
+            let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+            for mode in 0..3 {
+                let expect = dense_mttkrp(&x, &fs, mode);
+                for width in [1usize, 3, 16, 32, 100] {
+                    let k = RankBKernel::new(&x, mode, width);
+                    let mut out = DenseMatrix::zeros(x.dims()[mode], rank);
+                    k.mttkrp(&fs, &mut out);
+                    assert!(
+                        expect.approx_eq(&out, 1e-10),
+                        "rank {rank} mode {mode} width {width} mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strip_layout_equals_plain() {
+        let x = uniform_tensor([30, 25, 20], 900, 4);
+        let rank = 48;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        let plain = RankBKernel::new(&x, 0, 16);
+        let strip = RankBKernel::new(&x, 0, 16).with_layout(RankbLayout::Strip);
+        let mut a = DenseMatrix::zeros(30, rank);
+        let mut b = DenseMatrix::zeros(30, rank);
+        plain.mttkrp(&fs, &mut a);
+        strip.mttkrp(&fs, &mut b);
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let x = uniform_tensor([100, 40, 40], 3_000, 6);
+        let rank = 24;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        let seq = RankBKernel::new(&x, 0, 16);
+        let par = RankBKernel::new(&x, 0, 16).with_parallel(true);
+        let mut a = DenseMatrix::zeros(100, rank);
+        let mut b = DenseMatrix::zeros(100, rank);
+        seq.mttkrp(&fs, &mut a);
+        par.mttkrp(&fs, &mut b);
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn agrees_with_splatt_baseline() {
+        let x = uniform_tensor([22, 33, 44], 700, 13);
+        let rank = 20;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        let base = SplattKernel::new(&x, 1);
+        let rb = RankBKernel::new(&x, 1, 8);
+        let mut a = DenseMatrix::zeros(33, rank);
+        let mut b = DenseMatrix::zeros(33, rank);
+        base.mttkrp(&fs, &mut a);
+        rb.mttkrp(&fs, &mut b);
+        assert!(a.approx_eq(&b, 1e-10));
+    }
+}

@@ -1,0 +1,56 @@
+//! # tenblock-core
+//!
+//! The paper's primary contribution: sparse MTTKRP kernels with the blocking
+//! optimizations of *Choi et al., IPDPS 2018* — multi-dimensional blocking
+//! (MB, Section V-A), rank blocking with register blocking (RankB,
+//! Section V-B / Algorithm 2), their combination, and the block-size
+//! selection heuristic (Section V-C).
+//!
+//! ## Kernel zoo
+//!
+//! | Kernel | Paper section | Type |
+//! |---|---|---|
+//! | [`mttkrp::CooKernel`] | III-C1 | coordinate-format reference |
+//! | [`mttkrp::SplattKernel`] | Algorithm 1 | state-of-the-art baseline |
+//! | [`block::MbKernel`] | V-A | multi-dimensional blocking |
+//! | [`block::RankBKernel`] | V-B / Algorithm 2 | rank + register blocking |
+//! | [`block::MbRankBKernel`] | V-B, Fig. 3b | MB + RankB combined |
+//!
+//! All kernels implement [`MttkrpKernel`] and produce the same mathematical
+//! result (up to floating-point reassociation); the property-test suite
+//! enforces mutual agreement against a dense reference.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tenblock_tensor::{gen::uniform_tensor, DenseMatrix};
+//! use tenblock_core::{MttkrpKernel, mttkrp::SplattKernel, block::MbRankBKernel};
+//!
+//! let x = uniform_tensor([60, 50, 40], 2_000, 7);
+//! let rank = 24;
+//! let factors: Vec<DenseMatrix> = x
+//!     .dims()
+//!     .iter()
+//!     .map(|&d| DenseMatrix::from_fn(d, rank, |r, c| ((r * 31 + c) % 7) as f64 * 0.25))
+//!     .collect();
+//! let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+//!
+//! let baseline = SplattKernel::new(&x, 0);
+//! let blocked = MbRankBKernel::new(&x, 0, [2, 2, 2], 16);
+//! let mut a0 = DenseMatrix::zeros(x.dims()[0], rank);
+//! let mut a1 = DenseMatrix::zeros(x.dims()[0], rank);
+//! baseline.mttkrp(&fs, &mut a0);
+//! blocked.mttkrp(&fs, &mut a1);
+//! assert!(a0.approx_eq(&a1, 1e-10));
+//! ```
+
+// Index loops are the clearer idiom for the numeric kernels here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod block;
+pub mod kernel;
+pub mod mttkrp;
+pub mod tune;
+
+pub use kernel::{build_kernel, KernelConfig, KernelKind, MttkrpKernel};
+pub use tune::{tune, TuneOptions, TuneResult};

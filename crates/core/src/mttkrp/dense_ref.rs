@@ -1,0 +1,99 @@
+//! Dense MTTKRP reference: materializes the matricized tensor and the
+//! Khatri-Rao product explicitly (Section III-B), exactly as the definition
+//! reads. Quadratic in memory — test-sized tensors only.
+
+use tenblock_tensor::coo::perm_for_mode;
+use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
+
+/// Computes the mode-`mode` MTTKRP of `x` by definition:
+/// `A = X_(m) (B ⊙ C)` with the Khatri-Rao product formed explicitly.
+///
+/// # Panics
+/// Panics if the flattened dimension `J*K` is enormous (guard against
+/// accidentally calling this on benchmark-sized data).
+pub fn dense_mttkrp(
+    x: &CooTensor,
+    factors: &[&DenseMatrix; NMODES],
+    mode: usize,
+) -> DenseMatrix {
+    let perm = perm_for_mode(mode);
+    let dims = x.dims();
+    let (di, dj, dk) = (dims[perm[0]], dims[perm[1]], dims[perm[2]]);
+    assert!(
+        dj.checked_mul(dk).map(|p| p <= 1 << 24).unwrap_or(false),
+        "dense reference limited to small tensors (J*K <= 2^24)"
+    );
+    let b = factors[perm[1]];
+    let c = factors[perm[2]];
+    let rank = b.cols();
+    assert_eq!(c.cols(), rank);
+
+    // Khatri-Rao product K = B ⊙ C, a (J*K) x R matrix whose row (j*dk + k)
+    // is the Hadamard product of B[j] and C[k].
+    let mut kr = DenseMatrix::zeros(dj * dk, rank);
+    for j in 0..dj {
+        for k in 0..dk {
+            let row = kr.row_mut(j * dk + k);
+            for (r, slot) in row.iter_mut().enumerate() {
+                *slot = b.get(j, r) * c.get(k, r);
+            }
+        }
+    }
+
+    // Matricize X along `mode`: row i, column (j*dk + k).
+    let mut xm = DenseMatrix::zeros(di, dj * dk);
+    for e in x.entries() {
+        let (i, j, k) = (
+            e.idx[perm[0]] as usize,
+            e.idx[perm[1]] as usize,
+            e.idx[perm[2]] as usize,
+        );
+        xm.set(i, j * dk + k, xm.get(i, j * dk + k) + e.val);
+    }
+
+    // A = X_(m) * K
+    let mut a = DenseMatrix::zeros(di, rank);
+    for i in 0..di {
+        let xr = xm.row(i);
+        let ar = a.row_mut(i);
+        for (col, &xv) in xr.iter().enumerate() {
+            if xv != 0.0 {
+                let krow = kr.row(col);
+                for (r, slot) in ar.iter_mut().enumerate() {
+                    *slot += xv * krow[r];
+                }
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_example() {
+        // X with a single nonzero x[1,2,0] = 3; mode-1 MTTKRP row 1 must be
+        // 3 * B[2] .* C[0].
+        let x = CooTensor::from_triples([2, 3, 2], &[1], &[2], &[0], &[3.0]);
+        let a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let c = DenseMatrix::from_vec(2, 2, vec![7.0, 8.0, 9.0, 10.0]);
+        let out = dense_mttkrp(&x, &[&a, &b, &c], 0);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+        assert_eq!(out.row(1), &[3.0 * 5.0 * 7.0, 3.0 * 6.0 * 8.0]);
+    }
+
+    #[test]
+    fn symmetric_in_other_modes() {
+        // mode-2 MTTKRP of the same nonzero: row 2 = 3 * C[0] .* A[1]
+        let x = CooTensor::from_triples([2, 3, 2], &[1], &[2], &[0], &[3.0]);
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::zeros(3, 2);
+        let c = DenseMatrix::from_vec(2, 2, vec![7.0, 8.0, 9.0, 10.0]);
+        let out = dense_mttkrp(&x, &[&a, &b, &c], 1);
+        assert_eq!(out.row(2), &[3.0 * 7.0 * 3.0, 3.0 * 8.0 * 4.0]);
+        assert_eq!(out.row(0), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,234 @@
+//! The block-size selection heuristic of Section V-C.
+//!
+//! * **RankB**: strip widths are explored in 128-byte (16-double) increments
+//!   — one cache line on the paper's POWER8 — until performance stops
+//!   improving.
+//! * **MB**: starting with the longest kernel axis, the number of blocks
+//!   along that axis is doubled until performance stops improving, then the
+//!   remaining axes are traversed in descending order of length. Ties are
+//!   broken by access volume — mode-2 (`j` axis), then mode-3 (`k` axis),
+//!   then mode-1 (slice axis) — because the mode-2 factor is the most
+//!   expensive to access (Section IV-B). "Not blocking at all along a
+//!   particular mode" is always a candidate (the search starts from one
+//!   block).
+//!
+//! The search cost is `O(log2 I_n)` per mode, "relatively inexpensive
+//! compared to the 10–1000s of iterations required for decomposition".
+
+use crate::block::MbRankBKernel;
+use crate::kernel::MttkrpKernel;
+use crate::mttkrp::REG_BLOCK;
+use std::time::Instant;
+use tenblock_tensor::coo::perm_for_mode;
+use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
+
+/// Options controlling the heuristic search.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Decomposition rank to tune for.
+    pub rank: usize,
+    /// Timing repetitions per candidate (the minimum is kept).
+    pub reps: usize,
+    /// Upper bound on blocks per axis (safety valve; the paper's heuristic
+    /// stops on its own well before this).
+    pub max_blocks: usize,
+    /// Run candidates with rayon parallelism enabled.
+    pub parallel: bool,
+    /// Seed for the synthetic factor matrices used during timing.
+    pub seed: u64,
+}
+
+impl TuneOptions {
+    /// Sensible defaults for a given rank.
+    pub fn new(rank: usize) -> Self {
+        TuneOptions { rank, reps: 3, max_blocks: 64, parallel: false, seed: 0x7e9b10c4 }
+    }
+}
+
+/// One timed candidate configuration.
+#[derive(Debug, Clone)]
+pub struct TuneSample {
+    /// MB grid (kernel axes) of the candidate.
+    pub grid: [usize; NMODES],
+    /// RankB strip width of the candidate.
+    pub strip_width: usize,
+    /// Best-of-`reps` execution time in seconds.
+    pub secs: f64,
+}
+
+/// Result of the heuristic search.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Selected MB grid (kernel axes: slice, `j`, `k`).
+    pub grid: [usize; NMODES],
+    /// Selected RankB strip width in columns.
+    pub strip_width: usize,
+    /// Best observed time with the selected configuration.
+    pub best_secs: f64,
+    /// Every candidate evaluated, in search order.
+    pub history: Vec<TuneSample>,
+}
+
+/// Deterministic pseudo-random factor matrices for candidate timing.
+fn timing_factors(coo: &CooTensor, rank: usize, seed: u64) -> Vec<DenseMatrix> {
+    coo.dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| {
+            DenseMatrix::from_fn(d, rank, |r, c| {
+                // xorshift-style hash; values in [-0.5, 0.5)
+                let mut h = seed ^ ((r as u64) << 32) ^ ((c as u64) << 8) ^ (m as u64);
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51afd7ed558ccd);
+                h ^= h >> 33;
+                (h % 1000) as f64 / 1000.0 - 0.5
+            })
+        })
+        .collect()
+}
+
+/// Times one configuration: best of `reps` runs of a freshly built
+/// MB+RankB kernel (construction cost excluded, as the paper amortizes it
+/// over the CPD iterations).
+fn time_config(
+    coo: &CooTensor,
+    mode: usize,
+    grid: [usize; NMODES],
+    strip_width: usize,
+    factors: &[DenseMatrix],
+    out: &mut DenseMatrix,
+    opts: &TuneOptions,
+) -> f64 {
+    let kernel =
+        MbRankBKernel::new(coo, mode, grid, strip_width).with_parallel(opts.parallel);
+    let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+    let mut best = f64::INFINITY;
+    for _ in 0..opts.reps.max(1) {
+        let t0 = Instant::now();
+        kernel.mttkrp(&fs, out);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Runs the Section V-C heuristic for the mode-`mode` MTTKRP of `coo`.
+///
+/// ```
+/// use tenblock_core::{tune, TuneOptions};
+/// use tenblock_tensor::gen::uniform_tensor;
+///
+/// let x = uniform_tensor([50, 80, 40], 2_000, 1);
+/// let mut opts = TuneOptions::new(16);
+/// opts.reps = 1;
+/// opts.max_blocks = 4;
+/// let result = tune(&x, 0, &opts);
+/// assert!(result.grid.iter().all(|&g| (1..=4).contains(&g)));
+/// assert!(result.strip_width >= 1 && result.strip_width <= 16);
+/// ```
+pub fn tune(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResult {
+    let perm = perm_for_mode(mode);
+    let dims = coo.dims();
+    let factors = timing_factors(coo, opts.rank, opts.seed);
+    let mut out = DenseMatrix::zeros(dims[mode], opts.rank);
+    let mut history = Vec::new();
+
+    let mut eval = |grid: [usize; NMODES], strip: usize, history: &mut Vec<TuneSample>| {
+        let secs = time_config(coo, mode, grid, strip, &factors, &mut out, opts);
+        history.push(TuneSample { grid, strip_width: strip, secs });
+        secs
+    };
+
+    // --- Phase 1: rank strip width, 16-column increments, stop when the
+    // time stops improving. Width == rank means a single strip.
+    let mut best_strip = opts.rank.max(1);
+    let mut best_secs = eval([1, 1, 1], best_strip, &mut history);
+    let mut width = REG_BLOCK;
+    while width < opts.rank {
+        let secs = eval([1, 1, 1], width, &mut history);
+        if secs < best_secs {
+            best_secs = secs;
+            best_strip = width;
+            width += REG_BLOCK;
+        } else {
+            break;
+        }
+    }
+
+    // --- Phase 2: MB grid, axes in descending length order (ties broken by
+    // access volume: j axis, k axis, slice axis).
+    let axis_len = [dims[perm[0]], dims[perm[1]], dims[perm[2]]];
+    let tie_rank = [2usize, 0, 1]; // axis 1 first, then 2, then 0
+    let mut axes = [0usize, 1, 2];
+    axes.sort_by_key(|&ax| (std::cmp::Reverse(axis_len[ax]), tie_rank[ax]));
+
+    let mut grid = [1usize; NMODES];
+    for &ax in &axes {
+        let mut n = 1usize;
+        loop {
+            let next = (n * 2).min(axis_len[ax].max(1)).min(opts.max_blocks);
+            if next == n {
+                break;
+            }
+            let mut cand = grid;
+            cand[ax] = next;
+            let secs = eval(cand, best_strip, &mut history);
+            if secs < best_secs {
+                best_secs = secs;
+                grid = cand;
+                n = next;
+            } else {
+                break;
+            }
+        }
+    }
+
+    TuneResult { grid, strip_width: best_strip, best_secs, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenblock_tensor::gen::{clustered_tensor, ClusteredConfig};
+
+    #[test]
+    fn tune_returns_valid_config() {
+        let cfg = ClusteredConfig::new([300, 500, 200], 20_000);
+        let x = clustered_tensor(&cfg, 99);
+        let opts = TuneOptions { rank: 32, reps: 1, max_blocks: 8, parallel: false, seed: 1 };
+        let r = tune(&x, 0, &opts);
+        assert!(r.strip_width >= 1 && r.strip_width <= 32);
+        for ax in 0..3 {
+            assert!(r.grid[ax] >= 1 && r.grid[ax] <= 8);
+        }
+        assert!(!r.history.is_empty());
+        assert!(r.best_secs.is_finite());
+        // best time must appear in history
+        assert!(r.history.iter().any(|s| s.secs <= r.best_secs + 1e-12));
+    }
+
+    #[test]
+    fn tiny_rank_skips_strip_search() {
+        let cfg = ClusteredConfig::new([50, 50, 50], 2_000);
+        let x = clustered_tensor(&cfg, 3);
+        let opts = TuneOptions { rank: 8, reps: 1, max_blocks: 4, parallel: false, seed: 2 };
+        let r = tune(&x, 1, &opts);
+        // rank 8 < REG_BLOCK: only the single-strip candidate exists
+        assert_eq!(r.strip_width, 8);
+    }
+
+    #[test]
+    fn longest_axis_is_explored_first() {
+        let cfg = ClusteredConfig::new([20, 400, 20], 5_000);
+        let x = clustered_tensor(&cfg, 5);
+        let opts = TuneOptions { rank: 16, reps: 1, max_blocks: 4, parallel: false, seed: 3 };
+        let r = tune(&x, 0, &opts);
+        // The first MB candidate in history (after strip phase) must block
+        // the j axis (axis 1), the longest.
+        let first_mb = r
+            .history
+            .iter()
+            .find(|s| s.grid != [1, 1, 1])
+            .expect("some MB candidate was tried");
+        assert!(first_mb.grid[1] > 1, "expected j-axis first, got {:?}", first_mb.grid);
+    }
+}

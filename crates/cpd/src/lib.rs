@@ -1,0 +1,37 @@
+//! # tenblock-cpd
+//!
+//! Canonical polyadic decomposition (CP-ALS) built on the blocked MTTKRP
+//! kernels of `tenblock-core`.
+//!
+//! MTTKRP is "the most expensive part of tensor decompositions"
+//! (Section III-B of the paper); CPD is the application context that makes
+//! the blocking work pay off: each mode's MTTKRP runs once per ALS
+//! iteration, 10–1000s of times per decomposition, amortizing the one-time
+//! blocking reorganization.
+//!
+//! * [`linalg`] — the small dense `R x R` algebra ALS needs (gram matrices,
+//!   Hadamard products, Cholesky solves with a ridge fallback).
+//! * [`kruskal`] — the Kruskal-form result (`λ` + factor matrices), norms,
+//!   inner products and fit against a sparse tensor.
+//! * [`als`] — the CP-ALS driver, generic over any
+//!   [`tenblock_core::MttkrpKernel`].
+
+//! * [`apr`] — CP-APR, the Poisson (KL-divergence) factorization of
+//!   Chi & Kolda used on count data like the paper's Poisson tensors; each
+//!   multiplicative update is a value-scaled MTTKRP, so the blocking
+//!   kernels apply verbatim.
+
+// Index-based loops are the clearer idiom for the numeric code in this
+// crate (triangular solves, coordinate walks); silence the style lint.
+#![allow(clippy::needless_range_loop)]
+
+pub mod als;
+pub mod apr;
+pub mod gcp;
+pub mod kruskal;
+pub mod linalg;
+
+pub use als::{CpAls, CpAlsOptions, CpAlsResult};
+pub use apr::{cp_apr, CpAprOptions, CpAprResult};
+pub use gcp::{cp_gradient, cp_gradient_descent, GcpOptions, GcpResult};
+pub use kruskal::KruskalTensor;

@@ -1,0 +1,258 @@
+//! Small dense linear algebra for CP-ALS: everything is `R x R` or
+//! `n x R`, so simple triple loops are appropriate (the heavy lifting lives
+//! in the MTTKRP kernels, not here).
+
+use tenblock_tensor::DenseMatrix;
+
+/// `A * B` for `m x k` times `k x n`.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av != 0.0 {
+                let brow = b.row(p);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The gram matrix `Aᵀ A` (`R x R`, symmetric) of an `n x R` factor.
+pub fn gram(a: &DenseMatrix) -> DenseMatrix {
+    let r = a.cols();
+    let mut g = DenseMatrix::zeros(r, r);
+    for i in 0..a.rows() {
+        let row = a.row(i);
+        for p in 0..r {
+            let v = row[p];
+            if v != 0.0 {
+                let grow = g.row_mut(p);
+                for (q, &w) in row.iter().enumerate() {
+                    grow[q] += v * w;
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Element-wise (Hadamard) product, in place: `a .*= b`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn hadamard_assign(a: &mut DenseMatrix, b: &DenseMatrix) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `L Lᵀ = A`, or `None` if a pivot is
+/// not positive.
+pub fn cholesky(a: &DenseMatrix) -> Option<DenseMatrix> {
+    assert_eq!(a.rows(), a.cols(), "matrix must be square");
+    let n = a.rows();
+    let mut l = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `X * A = B` for `X` (each row of `B` independently), where `A`
+/// is symmetric positive semi-definite (`R x R`) and `B` is `n x R` — the
+/// ALS factor update `A_new = M · V⁻¹`. Falls back to a ridge
+/// (`A + εI`) when `A` is singular.
+pub fn solve_spd_rhs_rows(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.rows(), a.cols(), "system matrix must be square");
+    assert_eq!(b.cols(), a.rows(), "rhs width must match system size");
+    let n = a.rows();
+
+    let l = cholesky(a).unwrap_or_else(|| {
+        // ridge fallback: scale-aware epsilon on the diagonal
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        let eps = (trace / n as f64).max(1.0) * 1e-10;
+        let mut reg = a.clone();
+        for i in 0..n {
+            reg.set(i, i, reg.get(i, i) + eps);
+        }
+        let mut eps = eps;
+        loop {
+            if let Some(l) = cholesky(&reg) {
+                return l;
+            }
+            eps *= 100.0;
+            for i in 0..n {
+                reg.set(i, i, reg.get(i, i) + eps);
+            }
+            assert!(eps.is_finite(), "ridge regularization diverged");
+        }
+    });
+
+    // For each row m of B: solve (L Lᵀ) x = mᵀ, write xᵀ into the result.
+    let mut out = DenseMatrix::zeros(b.rows(), n);
+    let mut y = vec![0.0; n];
+    for r in 0..b.rows() {
+        let rhs = b.row(r);
+        // forward substitution L y = rhs
+        for i in 0..n {
+            let mut s = rhs[i];
+            for k in 0..i {
+                s -= l.get(i, k) * y[k];
+            }
+            y[i] = s / l.get(i, i);
+        }
+        // back substitution Lᵀ x = y
+        let orow = out.row_mut(r);
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= l.get(k, i) * orow[k];
+            }
+            orow[i] = s / l.get(i, i);
+        }
+    }
+    out
+}
+
+/// Euclidean norms of each column of an `n x R` matrix.
+pub fn column_norms(a: &DenseMatrix) -> Vec<f64> {
+    let mut norms = vec![0.0; a.cols()];
+    for i in 0..a.rows() {
+        for (n, &v) in norms.iter_mut().zip(a.row(i)) {
+            *n += v * v;
+        }
+    }
+    norms.iter_mut().for_each(|n| *n = n.sqrt());
+    norms
+}
+
+/// Divides each column by its norm (columns with zero norm are left
+/// untouched) and returns the norms.
+pub fn normalize_columns(a: &mut DenseMatrix) -> Vec<f64> {
+    let norms = column_norms(a);
+    for i in 0..a.rows() {
+        for (v, &n) in a.row_mut(i).iter_mut().zip(&norms) {
+            if n > 0.0 {
+                *v /= n;
+            }
+        }
+    }
+    norms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = DenseMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn gram_is_ata() {
+        let a = DenseMatrix::from_fn(5, 3, |r, c| (r * 3 + c) as f64 * 0.5);
+        let g = gram(&a);
+        // compare against explicit AᵀA via matmul with a transposed copy
+        let at = DenseMatrix::from_fn(3, 5, |r, c| a.get(c, r));
+        let expect = matmul(&at, &a);
+        assert!(g.approx_eq(&expect, 1e-12));
+        // symmetry
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g.get(i, j), g.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_elementwise() {
+        let mut a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        hadamard_assign(&mut a, &b);
+        assert_eq!(a.as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+    }
+
+    #[test]
+    fn cholesky_of_identityish() {
+        let a = DenseMatrix::from_fn(3, 3, |r, c| if r == c { 4.0 } else { 0.0 });
+        let l = cholesky(&a).unwrap();
+        for i in 0..3 {
+            assert!((l.get(i, i) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn spd_solve_recovers_solution() {
+        // A = Mᵀ M + I (SPD), X random, B = X A; solve must recover X.
+        let m = DenseMatrix::from_fn(4, 4, |r, c| ((r * 5 + c * 3) % 7) as f64 * 0.3);
+        let mut a = gram(&m);
+        for i in 0..4 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        let x = DenseMatrix::from_fn(6, 4, |r, c| ((r + 2 * c) % 5) as f64 - 2.0);
+        let b = matmul(&x, &a);
+        let got = solve_spd_rhs_rows(&a, &b);
+        assert!(x.approx_eq(&got, 1e-8), "max diff {}", x.max_abs_diff(&got));
+    }
+
+    #[test]
+    fn singular_system_uses_ridge() {
+        // rank-deficient A (duplicate columns): solution exists for
+        // consistent rhs; ridge keeps it finite.
+        let mut a = DenseMatrix::zeros(3, 3);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 1.0);
+        // third row/col zero -> singular
+        let b = DenseMatrix::from_vec(1, 3, vec![2.0, 3.0, 0.0]);
+        let x = solve_spd_rhs_rows(&a, &b);
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+        assert!((x.get(0, 0) - 2.0).abs() < 1e-3);
+        assert!((x.get(0, 1) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut a = DenseMatrix::from_vec(2, 2, vec![3.0, 0.0, 4.0, 0.0]);
+        let norms = normalize_columns(&mut a);
+        assert!((norms[0] - 5.0).abs() < 1e-12);
+        assert_eq!(norms[1], 0.0);
+        assert!((a.get(0, 0) - 0.6).abs() < 1e-12);
+        assert!((a.get(1, 0) - 0.8).abs() < 1e-12);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! α–β communication cost models.
+//!
+//! A message of `n` bytes costs `α + n·β`. Collectives use the standard
+//! bandwidth-optimal algorithm costs (Thakur et al.): recursive doubling /
+//! ring, `log₂(p)` latency terms and `(p-1)/p` of the data volume on the
+//! wire.
+
+/// Network parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CommParams {
+    /// Per-message latency in seconds.
+    pub alpha: f64,
+    /// Per-byte transfer time in seconds (1 / bandwidth).
+    pub beta: f64,
+}
+
+impl CommParams {
+    /// A 2018-era InfiniBand EDR-class cluster like the paper's: ~1.5 µs
+    /// latency, ~12 GB/s per-link bandwidth.
+    pub fn cluster_2018() -> Self {
+        CommParams { alpha: 1.5e-6, beta: 1.0 / 12.0e9 }
+    }
+
+    /// Point-to-point message of `bytes`.
+    pub fn ptp(&self, bytes: f64) -> f64 {
+        self.alpha + bytes * self.beta
+    }
+
+    /// AllGather over `p` ranks where the *gathered total* is `total_bytes`
+    /// (each rank contributes `total_bytes / p`). Ring/recursive-doubling
+    /// cost: `log₂(p)·α + (p-1)/p · total·β`.
+    pub fn allgather(&self, p: usize, total_bytes: f64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let pf = p as f64;
+        (pf.log2().ceil()) * self.alpha + (pf - 1.0) / pf * total_bytes * self.beta
+    }
+
+    /// Reduce-Scatter over `p` ranks of a `total_bytes` buffer; same wire
+    /// cost shape as AllGather (reduction flops ignored).
+    pub fn reduce_scatter(&self, p: usize, total_bytes: f64) -> f64 {
+        self.allgather(p, total_bytes)
+    }
+
+    /// AllReduce = Reduce-Scatter + AllGather.
+    pub fn allreduce(&self, p: usize, total_bytes: f64) -> f64 {
+        self.reduce_scatter(p, total_bytes) + self.allgather(p, total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let c = CommParams::cluster_2018();
+        assert_eq!(c.allgather(1, 1e9), 0.0);
+        assert_eq!(c.reduce_scatter(1, 1e9), 0.0);
+        assert_eq!(c.allreduce(1, 1e9), 0.0);
+    }
+
+    #[test]
+    fn costs_scale_with_volume_and_ranks() {
+        let c = CommParams::cluster_2018();
+        let small = c.allgather(4, 1e6);
+        let big = c.allgather(4, 1e7);
+        assert!(big > small);
+        // more ranks -> more latency terms and larger (p-1)/p factor
+        assert!(c.allgather(64, 1e6) > c.allgather(4, 1e6));
+        // allreduce is exactly two phases
+        assert!((c.allreduce(8, 1e6) - 2.0 * c.allgather(8, 1e6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ptp_affine() {
+        let c = CommParams { alpha: 1e-6, beta: 1e-9 };
+        assert!((c.ptp(0.0) - 1e-6).abs() < 1e-18);
+        assert!((c.ptp(1000.0) - (1e-6 + 1e-6)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,325 @@
+//! Dense factor matrices.
+//!
+//! [`DenseMatrix`] is the ordinary row-major layout used by the baseline
+//! SPLATT kernel. [`StripMatrix`] is the rank-strip layout of Section V-B:
+//! the factor matrix is cut into `n_strips` column strips which are stacked
+//! vertically, making accesses within one rank block fully sequential (an
+//! `(I * n_strips) x strip_width` matrix in the paper's description).
+
+use std::fmt;
+
+/// A row-major dense matrix of `f64`, used for factor matrices.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// A zero-filled `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the decomposition rank for factor matrices).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The backing row-major slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Splits the matrix into disjoint mutable row chunks of `chunk_rows`
+    /// rows each (the last chunk may be shorter). Used to hand disjoint
+    /// output ranges to rayon workers.
+    pub fn par_row_chunks_mut(&mut self, chunk_rows: usize) -> Vec<(usize, &mut [f64])> {
+        assert!(chunk_rows > 0);
+        let cols = self.cols;
+        self.data
+            .chunks_mut(chunk_rows * cols)
+            .enumerate()
+            .map(|(c, chunk)| (c * chunk_rows, chunk))
+            .collect()
+    }
+
+    /// Fills the matrix with zeros.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True if all elements are within `tol` of `other`, scaled by magnitude
+    /// (`|a-b| <= tol * max(1, |a|, |b|)`).
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        if (self.rows, self.cols) != (other.rows, other.cols) {
+            return false;
+        }
+        self.data.iter().zip(&other.data).all(|(a, b)| {
+            let scale = 1.0_f64.max(a.abs()).max(b.abs());
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DenseMatrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            writeln!(f)?;
+            for r in 0..self.rows {
+                writeln!(f, "  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The rank-strip factor layout of Section V-B.
+///
+/// The matrix's `cols` columns are divided into strips of `strip_width`
+/// columns (the last strip may be narrower). Strip `s` is stored as its own
+/// contiguous row-major block, and the blocks are stacked: the paper's
+/// "(I * N_RankB) x BS_RankB matrix". Accessing rows of one strip touches a
+/// contiguous region, which keeps the hardware prefetcher effective and
+/// reduces page misses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StripMatrix {
+    rows: usize,
+    cols: usize,
+    strip_width: usize,
+    /// Byte offsets of each strip block inside `data` (in f64 elements),
+    /// plus a final end offset.
+    strip_off: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl StripMatrix {
+    /// Re-lays out `m` into strips of `strip_width` columns.
+    ///
+    /// # Panics
+    /// Panics if `strip_width == 0`.
+    pub fn from_dense(m: &DenseMatrix, strip_width: usize) -> Self {
+        assert!(strip_width > 0, "strip width must be positive");
+        let rows = m.rows();
+        let cols = m.cols();
+        let n_strips = cols.div_ceil(strip_width);
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut strip_off = Vec::with_capacity(n_strips + 1);
+        for s in 0..n_strips {
+            strip_off.push(data.len());
+            let c0 = s * strip_width;
+            let c1 = cols.min(c0 + strip_width);
+            for r in 0..rows {
+                data.extend_from_slice(&m.row(r)[c0..c1]);
+            }
+        }
+        strip_off.push(data.len());
+        StripMatrix { rows, cols, strip_width, strip_off, data }
+    }
+
+    /// Number of logical rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of logical columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of strips.
+    pub fn n_strips(&self) -> usize {
+        self.strip_off.len() - 1
+    }
+
+    /// Configured strip width (last strip may be narrower).
+    pub fn strip_width(&self) -> usize {
+        self.strip_width
+    }
+
+    /// Width of strip `s`.
+    #[inline]
+    pub fn width_of(&self, s: usize) -> usize {
+        let c0 = s * self.strip_width;
+        (self.cols - c0).min(self.strip_width)
+    }
+
+    /// First column covered by strip `s`.
+    #[inline]
+    pub fn col_begin(&self, s: usize) -> usize {
+        s * self.strip_width
+    }
+
+    /// Row `r` of strip `s` as a contiguous slice of `width_of(s)` values.
+    #[inline]
+    pub fn strip_row(&self, s: usize, r: usize) -> &[f64] {
+        let w = self.width_of(s);
+        let base = self.strip_off[s] + r * w;
+        &self.data[base..base + w]
+    }
+
+    /// Converts back to the ordinary row-major layout.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for s in 0..self.n_strips() {
+            let c0 = self.col_begin(s);
+            let w = self.width_of(s);
+            for r in 0..self.rows {
+                out.row_mut(r)[c0..c0 + w].copy_from_slice(self.strip_row(s, r));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_access() {
+        let mut m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        m.set(1, 2, 7.5);
+        assert_eq!(m.get(1, 2), 7.5);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.5, 0.0]);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn row_chunks_are_disjoint_and_cover() {
+        let mut m = DenseMatrix::from_fn(5, 2, |r, _| r as f64);
+        let chunks = m.par_row_chunks_mut(2);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].0, 0);
+        assert_eq!(chunks[1].0, 2);
+        assert_eq!(chunks[2].0, 4);
+        let total: usize = chunks.iter().map(|(_, c)| c.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn approx_eq_and_diff() {
+        let a = DenseMatrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let mut b = a.clone();
+        assert!(a.approx_eq(&b, 0.0));
+        b.set(1, 1, b.get(1, 1) + 1e-9);
+        assert!(a.approx_eq(&b, 1e-8));
+        assert!(!a.approx_eq(&b, 1e-12));
+        assert!(a.max_abs_diff(&b) > 0.0);
+    }
+
+    #[test]
+    fn strip_roundtrip_exact_division() {
+        let m = DenseMatrix::from_fn(4, 8, |r, c| (r * 100 + c) as f64);
+        let s = StripMatrix::from_dense(&m, 4);
+        assert_eq!(s.n_strips(), 2);
+        assert_eq!(s.width_of(0), 4);
+        assert_eq!(s.width_of(1), 4);
+        assert_eq!(s.to_dense(), m);
+        assert_eq!(s.strip_row(1, 2), &[204.0, 205.0, 206.0, 207.0]);
+    }
+
+    #[test]
+    fn strip_roundtrip_ragged() {
+        let m = DenseMatrix::from_fn(3, 10, |r, c| (r * 100 + c) as f64);
+        let s = StripMatrix::from_dense(&m, 4);
+        assert_eq!(s.n_strips(), 3);
+        assert_eq!(s.width_of(2), 2);
+        assert_eq!(s.col_begin(2), 8);
+        assert_eq!(s.to_dense(), m);
+    }
+
+    #[test]
+    fn strip_wider_than_matrix() {
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r + c) as f64);
+        let s = StripMatrix::from_dense(&m, 16);
+        assert_eq!(s.n_strips(), 1);
+        assert_eq!(s.width_of(0), 3);
+        assert_eq!(s.to_dense(), m);
+    }
+}

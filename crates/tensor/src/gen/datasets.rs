@@ -1,0 +1,202 @@
+//! The Table II data-set registry.
+//!
+//! Each entry records the paper's dimensions and nonzero count plus a
+//! default laptop-scale analogue: Poisson rows use the Chi–Kolda event
+//! sampler ([`super::poisson_tensor`]), real-data rows use the clustered
+//! generator ([`super::clustered_tensor`]) that plants the dense
+//! sub-structure real tensors exhibit. Scale factors are chosen so each
+//! default tensor lands near 1M nonzeros; `generate_with` allows arbitrary
+//! re-scaling (up to and including the full paper sizes).
+
+use super::{clustered_tensor, poisson_tensor, ClusteredConfig, PoissonConfig};
+use crate::coo::CooTensor;
+use crate::NMODES;
+
+/// The seven data sets of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 256 x 256 x 256, 1.5M nnz, synthetic Poisson.
+    Poisson1,
+    /// 2K x 16K x 2K, 121M nnz, synthetic Poisson.
+    Poisson2,
+    /// 30K x 30K x 30K, 135M nnz, synthetic Poisson.
+    Poisson3,
+    /// 12K x 9K x 29K, 77M nnz (NELL-2, real).
+    Nell2,
+    /// 480K x 18K x 80, 80M nnz (Netflix, real).
+    Netflix,
+    /// 1.2M x 23K x 1.3M, 924M nnz (Reddit, real).
+    Reddit,
+    /// 4.8M x 1.8M x 1.8M, 1.7B nnz (Amazon, real).
+    Amazon,
+}
+
+/// All data sets in Table II order.
+pub const ALL_DATASETS: [Dataset; 7] = [
+    Dataset::Poisson1,
+    Dataset::Poisson2,
+    Dataset::Poisson3,
+    Dataset::Nell2,
+    Dataset::Netflix,
+    Dataset::Reddit,
+    Dataset::Amazon,
+];
+
+/// How a data set's analogue is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenKind {
+    /// Chi–Kolda Poisson event sampling (synthetic rows of Table II).
+    Poisson,
+    /// Planted dense clusters + background (real-data rows of Table II).
+    Clustered,
+}
+
+/// Static description of one Table II row and its scaled default.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Table II name.
+    pub name: &'static str,
+    /// Dimensions in the paper.
+    pub paper_dims: [usize; NMODES],
+    /// Nonzeros in the paper.
+    pub paper_nnz: u64,
+    /// Generator family.
+    pub kind: GenKind,
+    /// Default scaled dimensions for this reproduction.
+    pub default_dims: [usize; NMODES],
+    /// Default scaled nonzero target.
+    pub default_nnz: usize,
+}
+
+impl Dataset {
+    /// The registry entry for this data set.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Dataset::Poisson1 => DatasetSpec {
+                name: "Poisson1",
+                paper_dims: [256, 256, 256],
+                paper_nnz: 1_500_000,
+                kind: GenKind::Poisson,
+                default_dims: [256, 256, 256],
+                default_nnz: 1_000_000,
+            },
+            Dataset::Poisson2 => DatasetSpec {
+                name: "Poisson2",
+                paper_dims: [2_000, 16_000, 2_000],
+                paper_nnz: 121_000_000,
+                kind: GenKind::Poisson,
+                default_dims: [1_000, 8_000, 1_000],
+                default_nnz: 1_200_000,
+            },
+            Dataset::Poisson3 => DatasetSpec {
+                name: "Poisson3",
+                paper_dims: [30_000, 30_000, 30_000],
+                paper_nnz: 135_000_000,
+                kind: GenKind::Poisson,
+                default_dims: [6_000, 6_000, 6_000],
+                default_nnz: 1_200_000,
+            },
+            Dataset::Nell2 => DatasetSpec {
+                name: "NELL2",
+                paper_dims: [12_000, 9_000, 29_000],
+                paper_nnz: 77_000_000,
+                kind: GenKind::Clustered,
+                default_dims: [6_000, 4_500, 14_500],
+                default_nnz: 1_000_000,
+            },
+            Dataset::Netflix => DatasetSpec {
+                name: "Netflix",
+                paper_dims: [480_000, 18_000, 80],
+                paper_nnz: 80_000_000,
+                kind: GenKind::Clustered,
+                default_dims: [48_000, 9_000, 80],
+                default_nnz: 1_000_000,
+            },
+            Dataset::Reddit => DatasetSpec {
+                name: "Reddit",
+                paper_dims: [1_200_000, 23_000, 1_300_000],
+                paper_nnz: 924_000_000,
+                kind: GenKind::Clustered,
+                default_dims: [120_000, 11_500, 130_000],
+                default_nnz: 1_000_000,
+            },
+            Dataset::Amazon => DatasetSpec {
+                name: "Amazon",
+                paper_dims: [4_800_000, 1_800_000, 1_800_000],
+                paper_nnz: 1_700_000_000,
+                kind: GenKind::Clustered,
+                default_dims: [240_000, 90_000, 90_000],
+                default_nnz: 1_000_000,
+            },
+        }
+    }
+
+    /// Generates the default-scale analogue, deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> CooTensor {
+        let spec = self.spec();
+        self.generate_with(spec.default_dims, spec.default_nnz, seed)
+    }
+
+    /// Generates an analogue at an arbitrary scale. `nnz` is a target:
+    /// merged duplicates make the realized count slightly smaller.
+    pub fn generate_with(&self, dims: [usize; NMODES], nnz: usize, seed: u64) -> CooTensor {
+        let spec = self.spec();
+        match spec.kind {
+            GenKind::Poisson => {
+                let mut cfg = PoissonConfig::new(dims, nnz);
+                // Amazon-like slightly-denser clustering is irrelevant here;
+                // Poisson rows use the default rank-16/10% model.
+                cfg.gen_rank = 16;
+                poisson_tensor(&cfg, seed)
+            }
+            GenKind::Clustered => {
+                let cfg = ClusteredConfig::new(dims, nnz);
+                clustered_tensor(&cfg, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_table_ii() {
+        assert_eq!(ALL_DATASETS.len(), 7);
+        for d in ALL_DATASETS {
+            let s = d.spec();
+            assert!(s.paper_nnz > 0);
+            assert!(s.default_nnz > 0);
+            for m in 0..NMODES {
+                assert!(s.default_dims[m] <= s.paper_dims[m]);
+            }
+        }
+    }
+
+    #[test]
+    fn aspect_ratios_preserved_roughly() {
+        // Netflix keeps its extreme mode-3 = 80
+        let s = Dataset::Netflix.spec();
+        assert_eq!(s.default_dims[2], 80);
+        // Poisson2 keeps the 1:8:1 shape
+        let s2 = Dataset::Poisson2.spec();
+        assert_eq!(s2.default_dims[1] / s2.default_dims[0], 8);
+    }
+
+    #[test]
+    fn small_scale_generation_works() {
+        for d in ALL_DATASETS {
+            let t = d.generate_with([100, 80, 60], 2_000, 42);
+            assert!(t.nnz() > 500, "{:?} produced only {} nnz", d, t.nnz());
+            assert_eq!(t.dims(), [100, 80, 60]);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::Nell2.generate_with([64, 64, 64], 1_000, 5);
+        let b = Dataset::Nell2.generate_with([64, 64, 64], 1_000, 5);
+        assert_eq!(a.entries(), b.entries());
+    }
+}

@@ -1,0 +1,177 @@
+//! FROSTT `.tns` text format I/O.
+//!
+//! The FROSTT repository (Smith, Choi, et al., reference [29] of the paper)
+//! distributes sparse tensors as whitespace-separated text: one nonzero per
+//! line, `N` 1-based coordinates followed by the value. Comment lines start
+//! with `#`. This reader accepts exactly 3-mode files, matching the rest of
+//! the crate; dimensions are inferred as the per-mode coordinate maxima
+//! unless given explicitly.
+
+use crate::coo::{CooTensor, Entry};
+use crate::{Idx, NMODES};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the `.tns` reader.
+#[derive(Debug)]
+pub enum TnsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse { line: usize, msg: String },
+}
+
+impl std::fmt::Display for TnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TnsError::Io(e) => write!(f, "I/O error: {e}"),
+            TnsError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TnsError {}
+
+impl From<std::io::Error> for TnsError {
+    fn from(e: std::io::Error) -> Self {
+        TnsError::Io(e)
+    }
+}
+
+/// Reads a 3-mode tensor from `.tns` text.
+///
+/// Coordinates in the file are 1-based (FROSTT convention) and converted to
+/// 0-based. Dimensions are the per-mode maxima of the coordinates.
+pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
+    let reader = BufReader::new(reader);
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut dims = [0usize; NMODES];
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = ln + 1;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let mut it = s.split_ascii_whitespace();
+        let mut idx = [0 as Idx; NMODES];
+        for (m, slot) in idx.iter_mut().enumerate() {
+            let tok = it.next().ok_or_else(|| TnsError::Parse {
+                line: line_no,
+                msg: format!("expected {} coordinates + value, found fewer fields", NMODES),
+            })?;
+            let c: u64 = tok.parse().map_err(|_| TnsError::Parse {
+                line: line_no,
+                msg: format!("invalid coordinate `{tok}`"),
+            })?;
+            if c == 0 {
+                return Err(TnsError::Parse {
+                    line: line_no,
+                    msg: "coordinates are 1-based; found 0".into(),
+                });
+            }
+            *slot = (c - 1) as Idx;
+            dims[m] = dims[m].max(c as usize);
+        }
+        let vtok = it.next().ok_or_else(|| TnsError::Parse {
+            line: line_no,
+            msg: "missing value field".into(),
+        })?;
+        let val: f64 = vtok.parse().map_err(|_| TnsError::Parse {
+            line: line_no,
+            msg: format!("invalid value `{vtok}`"),
+        })?;
+        if it.next().is_some() {
+            return Err(TnsError::Parse {
+                line: line_no,
+                msg: "trailing fields after value (only 3-mode tensors are supported)".into(),
+            });
+        }
+        entries.push(Entry { idx, val });
+    }
+    Ok(CooTensor::from_entries(dims, entries))
+}
+
+/// Reads a `.tns` file from disk.
+pub fn read_tns_file<P: AsRef<Path>>(path: P) -> Result<CooTensor, TnsError> {
+    read_tns(std::fs::File::open(path)?)
+}
+
+/// Writes a tensor as `.tns` text (1-based coordinates).
+pub fn write_tns<W: Write>(tensor: &CooTensor, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for e in tensor.entries() {
+        writeln!(
+            w,
+            "{} {} {} {}",
+            e.idx[0] as u64 + 1,
+            e.idx[1] as u64 + 1,
+            e.idx[2] as u64 + 1,
+            e.val
+        )?;
+    }
+    w.flush()
+}
+
+/// Writes a `.tns` file to disk.
+pub fn write_tns_file<P: AsRef<Path>>(tensor: &CooTensor, path: P) -> std::io::Result<()> {
+    write_tns(tensor, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_frostt_text() {
+        let text = "# a comment\n1 1 1 5.0\n\n2 3 1 -2.5\n";
+        let t = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(t.dims(), [2, 3, 1]);
+        assert_eq!(t.nnz(), 2);
+        let e = t.entries();
+        assert_eq!(e[0].idx, [0, 0, 0]);
+        assert_eq!(e[0].val, 5.0);
+        assert_eq!(e[1].idx, [1, 2, 0]);
+        assert_eq!(e[1].val, -2.5);
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let t = CooTensor::from_triples(
+            [4, 2, 3],
+            &[0, 3, 1],
+            &[1, 0, 1],
+            &[2, 0, 1],
+            &[1.5, 2.5, -3.0],
+        );
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice()).unwrap();
+        assert_eq!(back.nnz(), t.nnz());
+        assert_eq!(back.entries(), t.entries());
+    }
+
+    #[test]
+    fn rejects_zero_based() {
+        let err = read_tns("0 1 1 2.0".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_short_lines_and_bad_values() {
+        assert!(read_tns("1 1 1".as_bytes()).is_err());
+        assert!(read_tns("1 1 1 abc".as_bytes()).is_err());
+        assert!(read_tns("1 1 1 1 1".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = CooTensor::from_triples([2, 2, 2], &[0, 1], &[0, 1], &[0, 1], &[1.0, 2.0]);
+        let dir = std::env::temp_dir().join("tenblock_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tns");
+        write_tns_file(&t, &path).unwrap();
+        let back = read_tns_file(&path).unwrap();
+        assert_eq!(back.entries(), t.entries());
+    }
+}

@@ -1,0 +1,240 @@
+//! A compact binary tensor format.
+//!
+//! FROSTT text files parse slowly at hundreds of millions of nonzeros
+//! (Table II scale); this little-endian binary container loads with one
+//! pass and no number parsing:
+//!
+//! ```text
+//! magic  "TNSB"          4 bytes
+//! version u32            currently 1
+//! order   u32
+//! dims    u64 * order
+//! nnz     u64
+//! coords  u32 * order * nnz   (entry-major)
+//! vals    f64 * nnz
+//! ```
+
+use crate::coo::CooTensor;
+use crate::nd::NdCooTensor;
+use crate::{Entry, Idx, NMODES};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"TNSB";
+const VERSION: u32 = 1;
+
+/// Errors from the binary reader.
+#[derive(Debug)]
+pub enum BinError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid file.
+    Format(String),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "I/O error: {e}"),
+            BinError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<std::io::Error> for BinError {
+    fn from(e: std::io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, BinError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, BinError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes an N-mode tensor in the binary format.
+pub fn write_bin_nd<W: Write>(t: &NdCooTensor, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, t.order() as u32)?;
+    for &d in t.dims() {
+        write_u64(&mut w, d as u64)?;
+    }
+    write_u64(&mut w, t.nnz() as u64)?;
+    for n in 0..t.nnz() {
+        for &c in t.coord(n) {
+            write_u32(&mut w, c)?;
+        }
+    }
+    for &v in t.values() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads an N-mode tensor from the binary format.
+pub fn read_bin_nd<R: Read>(reader: R) -> Result<NdCooTensor, BinError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(BinError::Format("bad magic (not a TNSB file)".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(BinError::Format(format!("unsupported version {version}")));
+    }
+    let order = read_u32(&mut r)? as usize;
+    if order == 0 || order > 64 {
+        return Err(BinError::Format(format!("implausible order {order}")));
+    }
+    let mut dims = Vec::with_capacity(order);
+    for _ in 0..order {
+        dims.push(read_u64(&mut r)? as usize);
+    }
+    let nnz = read_u64(&mut r)? as usize;
+    let cells: u128 = dims.iter().map(|&d| d as u128).product();
+    if (nnz as u128) > cells {
+        return Err(BinError::Format(format!("nnz {nnz} exceeds tensor cells")));
+    }
+    let mut coords: Vec<Idx> = Vec::with_capacity(nnz * order);
+    for _ in 0..nnz * order {
+        coords.push(read_u32(&mut r)?);
+    }
+    let mut vals = Vec::with_capacity(nnz);
+    let mut b = [0u8; 8];
+    for _ in 0..nnz {
+        r.read_exact(&mut b)?;
+        vals.push(f64::from_le_bytes(b));
+    }
+    for (n, chunk) in coords.chunks_exact(order).enumerate() {
+        for (m, &c) in chunk.iter().enumerate() {
+            if c as usize >= dims[m] {
+                return Err(BinError::Format(format!(
+                    "entry {n}: coordinate {c} out of range for mode {m}"
+                )));
+            }
+        }
+    }
+    Ok(NdCooTensor::from_flat(dims, coords, vals))
+}
+
+/// Writes a 3-mode tensor in the binary format.
+pub fn write_bin<W: Write>(t: &CooTensor, writer: W) -> std::io::Result<()> {
+    write_bin_nd(&NdCooTensor::from_coo3(t), writer)
+}
+
+/// Reads a 3-mode tensor from the binary format.
+///
+/// Fails if the file's order is not 3.
+pub fn read_bin<R: Read>(reader: R) -> Result<CooTensor, BinError> {
+    let nd = read_bin_nd(reader)?;
+    if nd.order() != NMODES {
+        return Err(BinError::Format(format!(
+            "expected a 3-mode tensor, file has order {}",
+            nd.order()
+        )));
+    }
+    let dims = [nd.dims()[0], nd.dims()[1], nd.dims()[2]];
+    let entries = (0..nd.nnz())
+        .map(|n| {
+            let c = nd.coord(n);
+            Entry::new(c[0], c[1], c[2], nd.value(n))
+        })
+        .collect();
+    Ok(CooTensor::from_entries(dims, entries))
+}
+
+/// File-path conveniences.
+pub fn write_bin_file<P: AsRef<Path>>(t: &CooTensor, path: P) -> std::io::Result<()> {
+    write_bin(t, std::fs::File::create(path)?)
+}
+
+/// Reads a 3-mode binary tensor file.
+pub fn read_bin_file<P: AsRef<Path>>(path: P) -> Result<CooTensor, BinError> {
+    read_bin(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform_tensor;
+    use crate::nd::uniform_nd;
+
+    #[test]
+    fn roundtrip_3mode() {
+        let t = uniform_tensor([20, 30, 40], 500, 7);
+        let mut buf = Vec::new();
+        write_bin(&t, &mut buf).unwrap();
+        let back = read_bin(buf.as_slice()).unwrap();
+        assert_eq!(back.entries(), t.entries());
+    }
+
+    #[test]
+    fn roundtrip_nd() {
+        let t = uniform_nd(&[5, 6, 7, 8, 9], 300, 3);
+        let mut buf = Vec::new();
+        write_bin_nd(&t, &mut buf).unwrap();
+        let back = read_bin_nd(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            read_bin(b"NOPE".as_slice()),
+            Err(BinError::Format(_)) | Err(BinError::Io(_))
+        ));
+        let mut buf = Vec::new();
+        write_bin(&uniform_tensor([4, 4, 4], 10, 1), &mut buf).unwrap();
+        buf[4] = 99; // version
+        assert!(matches!(read_bin(buf.as_slice()), Err(BinError::Format(_))));
+        // truncated payload
+        let mut buf2 = Vec::new();
+        write_bin(&uniform_tensor([4, 4, 4], 10, 1), &mut buf2).unwrap();
+        buf2.truncate(buf2.len() - 4);
+        assert!(read_bin(buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn order_mismatch_is_reported() {
+        let t = uniform_nd(&[4, 4], 8, 2);
+        let mut buf = Vec::new();
+        write_bin_nd(&t, &mut buf).unwrap();
+        assert!(matches!(read_bin(buf.as_slice()), Err(BinError::Format(_))));
+        // but the nd reader accepts it
+        assert_eq!(read_bin_nd(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn file_roundtrip_and_size() {
+        let t = uniform_tensor([50, 50, 50], 1_000, 9);
+        let dir = std::env::temp_dir().join("tenblock_bin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tnsb");
+        write_bin_file(&t, &path).unwrap();
+        let back = read_bin_file(&path).unwrap();
+        assert_eq!(back.entries(), t.entries());
+        let size = std::fs::metadata(&path).unwrap().len() as usize;
+        // header + 12 bytes coords + 8 bytes value per entry
+        assert_eq!(size, 4 + 4 + 4 + 3 * 8 + 8 + 1_000 * (12 + 8));
+    }
+}

@@ -1,0 +1,50 @@
+//! # tenblock-tensor
+//!
+//! Sparse tensor substrate for the `tenblock` project: storage formats,
+//! dense factor matrices, I/O, and synthetic data generators.
+//!
+//! This crate provides everything below the MTTKRP kernels:
+//!
+//! * [`CooTensor`] — the coordinate format of Figure 1a of the paper,
+//! * [`SplattTensor`] — the fiber-compressed SPLATT format of Figure 1b,
+//! * [`DenseMatrix`] / [`StripMatrix`] — row-major factor matrices and the
+//!   rank-strip layout used by rank blocking (Section V-B),
+//! * [`io`] — FROSTT `.tns` reading/writing,
+//! * [`gen`] — the synthetic Poisson / clustered / uniform generators used to
+//!   stand in for the paper's data sets (Table II),
+//! * [`stats`] — data-set statistics (dimensions, nonzeros, fibers, sparsity).
+//!
+//! All tensors in this crate are 3-mode, matching the paper's experimental
+//! focus ("we focus our optimization efforts on the SPLATT format and 3D
+//! data"). Coordinates are stored as `u32` ([`Idx`]), values as `f64`.
+
+// Index-based loops are the clearer idiom for the numeric code in this
+// crate (triangular solves, coordinate walks); silence the style lint.
+#![allow(clippy::needless_range_loop)]
+
+pub mod coo;
+pub mod csf;
+pub mod dense;
+pub mod gen;
+pub mod io;
+pub mod io_bin;
+pub mod nd;
+pub mod reorder;
+pub mod splatt;
+pub mod stats;
+pub mod validate;
+
+pub use coo::{CooTensor, Entry};
+pub use csf::CsfTensor;
+pub use dense::{DenseMatrix, StripMatrix};
+pub use nd::NdCooTensor;
+pub use splatt::SplattTensor;
+pub use stats::TensorStats;
+
+/// Coordinate index type. `u32` comfortably covers every data set in the
+/// paper (largest mode length: 4.8M for Amazon) while halving index traffic
+/// relative to `usize`.
+pub type Idx = u32;
+
+/// Number of modes; the crate is specialized to 3-mode tensors.
+pub const NMODES: usize = 3;

@@ -1,0 +1,83 @@
+//! Data-set statistics (the columns of Table II plus fiber counts).
+
+use crate::coo::{perm_for_mode, CooTensor};
+use crate::NMODES;
+
+/// Summary statistics of a sparse tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorStats {
+    /// Mode lengths.
+    pub dims: [usize; NMODES],
+    /// Number of nonzeros.
+    pub nnz: usize,
+    /// `nnz / (I*J*K)`.
+    pub sparsity: f64,
+    /// Non-empty fibers per mode orientation (the `F` of Equation 1 for
+    /// each mode's MTTKRP).
+    pub fibers: [usize; NMODES],
+    /// Average nonzeros per non-empty fiber, per mode.
+    pub nnz_per_fiber: [f64; NMODES],
+}
+
+impl TensorStats {
+    /// Computes statistics of `t`.
+    pub fn of(t: &CooTensor) -> Self {
+        let dims = t.dims();
+        let nnz = t.nnz();
+        let cells: f64 = dims.iter().map(|&d| d as f64).product();
+        let mut fibers = [0usize; NMODES];
+        let mut nnz_per_fiber = [0.0; NMODES];
+        for m in 0..NMODES {
+            fibers[m] = t.count_fibers(perm_for_mode(m));
+            nnz_per_fiber[m] = if fibers[m] == 0 { 0.0 } else { nnz as f64 / fibers[m] as f64 };
+        }
+        TensorStats {
+            dims,
+            nnz,
+            sparsity: if cells == 0.0 { 0.0 } else { nnz as f64 / cells },
+            fibers,
+            nnz_per_fiber,
+        }
+    }
+
+    /// One Table II-style row: `name, IxJxK, nnz, sparsity`.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{:<10} {:>9}x{:<9}x{:<9} {:>12} {:>10.1e}",
+            name, self.dims[0], self.dims[1], self.dims[2], self.nnz, self.sparsity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_tensor() {
+        let t = CooTensor::from_triples(
+            [3, 3, 3],
+            &[0, 0, 0, 1, 1, 1, 2],
+            &[0, 1, 1, 0, 1, 2, 0],
+            &[0, 1, 2, 2, 1, 2, 0],
+            &[5.0, 3.0, 1.0, 2.0, 9.0, 7.0, 9.0],
+        );
+        let s = TensorStats::of(&t);
+        assert_eq!(s.nnz, 7);
+        assert!((s.sparsity - 7.0 / 27.0).abs() < 1e-12);
+        assert_eq!(s.fibers[0], 6); // Figure 1b
+        assert!(s.nnz_per_fiber[0] > 1.0);
+        let row = s.table_row("Fig1");
+        assert!(row.contains("Fig1"));
+        assert!(row.contains('7'));
+    }
+
+    #[test]
+    fn stats_of_empty_tensor() {
+        let s = TensorStats::of(&CooTensor::empty([2, 2, 2]));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.sparsity, 0.0);
+        assert_eq!(s.fibers, [0, 0, 0]);
+        assert_eq!(s.nnz_per_fiber, [0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Network-traffic anomaly detection with Poisson tensor factorization —
+//! one of the motivating applications from the paper's introduction
+//! ("network intrusion detection"): a (source, destination, time) count
+//! tensor is decomposed with CP-APR; flows that the low-rank model cannot
+//! explain are flagged.
+//!
+//! Run: `cargo run --release --example anomaly_detection`
+
+use tenblock::cpd::{cp_apr, CpAprOptions};
+use tenblock::core::{KernelConfig, KernelKind};
+use tenblock::tensor::gen::{poisson_tensor, PoissonConfig};
+use tenblock::tensor::{CooTensor, Entry};
+
+fn main() {
+    // Normal traffic: a low-rank Poisson process over (src, dst, hour).
+    let cfg = PoissonConfig::new([400, 400, 24], 40_000);
+    let normal = poisson_tensor(&cfg, 17);
+
+    // Inject anomalies: scattered high-volume flows at incoherent
+    // (src, dst, hour) triples — unlike a block-structured scan, scattered
+    // spikes have no low-rank explanation, which is what Poisson tensor
+    // models flag.
+    let mut entries: Vec<Entry> = normal.entries().to_vec();
+    let n_anomalies = 25u32;
+    let mut anomalous: Vec<[u32; 3]> = Vec::new();
+    for i in 0..n_anomalies {
+        // deterministic scattered coordinates
+        let src = (i * 151 + 7) % 400;
+        let dst = (i * 211 + 91) % 400;
+        let hour = (i * 13 + 5) % 24;
+        anomalous.push([src, dst, hour]);
+        entries.push(Entry::new(src, dst, hour, 60.0));
+    }
+    let x = CooTensor::from_entries(normal.dims(), entries);
+    println!(
+        "traffic tensor: {:?}, {} nonzero flows ({n_anomalies} injected anomalies)",
+        x.dims(),
+        x.nnz(),
+    );
+
+    // Fit the Poisson model with the blocked MTTKRP kernel.
+    let mut opts = CpAprOptions::new(8);
+    opts.max_iters = 25;
+    opts.kernel = KernelKind::MbRankB;
+    opts.kernel_cfg = KernelConfig { grid: [2, 2, 1], strip_width: 16, parallel: false };
+    let result = cp_apr(&x, &opts);
+    println!(
+        "CP-APR: {} iterations, log-likelihood {:.1}",
+        result.iterations,
+        result.loglik_history.last().unwrap()
+    );
+
+    // Score each flow by its Poisson surprise: x * ln(x/m) - (x - m).
+    let mut scored: Vec<(f64, &Entry)> = x
+        .entries()
+        .iter()
+        .map(|e| {
+            let m = result
+                .model
+                .value_at(e.idx[0] as usize, e.idx[1] as usize, e.idx[2] as usize)
+                .max(1e-12);
+            let s = e.val * (e.val / m).ln() - (e.val - m);
+            (s, e)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let top_n = n_anomalies as usize;
+    println!("\ntop {top_n} most surprising flows:");
+    let mut hits = 0;
+    for (s, e) in scored.iter().take(top_n) {
+        let injected = anomalous.contains(&e.idx);
+        if injected {
+            hits += 1;
+        }
+        println!(
+            "  src {:>4} -> dst {:>4} @ hour {:>2}: count {:>5}  surprise {:>8.1} {}",
+            e.idx[0],
+            e.idx[1],
+            e.idx[2],
+            e.val,
+            s,
+            if injected { "<-- injected" } else { "" }
+        );
+    }
+    let recall = hits as f64 / n_anomalies as f64;
+    println!("\nrecall@{top_n} on the injected anomalies: {:.0}%", recall * 100.0);
+    assert!(recall >= 0.6, "detector should surface the injected anomalies");
+}

@@ -1,0 +1,58 @@
+//! CP decomposition of a recommender-style (user x item x time) count
+//! tensor — the Netflix-shaped workload that motivates the paper — using
+//! the blocked MTTKRP kernel inside CP-ALS.
+//!
+//! Run: `cargo run --release --example cpd_recommender`
+
+use tenblock::cpd::{CpAls, CpAlsOptions};
+use tenblock::core::{KernelConfig, KernelKind};
+use tenblock::tensor::gen::Dataset;
+
+fn main() {
+    // A scaled Netflix analogue: tall user mode, tiny time mode.
+    let x = Dataset::Netflix.generate_with([12_000, 3_000, 80], 300_000, 11);
+    println!(
+        "decomposing a {}x{}x{} tensor with {} nonzeros (Netflix-shaped)",
+        x.dims()[0],
+        x.dims()[1],
+        x.dims()[2],
+        x.nnz()
+    );
+
+    let mut opts = CpAlsOptions::new(16);
+    opts.max_iters = 15;
+    opts.tol = 1e-4;
+    opts.kernel = KernelKind::MbRankB;
+    opts.kernel_cfg = KernelConfig { grid: [4, 2, 1], strip_width: 16, parallel: true };
+
+    let t0 = std::time::Instant::now();
+    let als = CpAls::new(&x, opts);
+    let result = als.run(&x);
+    let secs = t0.elapsed().as_secs_f64();
+
+    println!(
+        "kernel {}, {} iterations in {:.2} s (converged: {})",
+        als.kernel_name(),
+        result.iterations,
+        secs,
+        result.converged
+    );
+    for (it, fit) in result.fit_history.iter().enumerate() {
+        println!("  iter {:>2}: fit {fit:.5}", it + 1);
+    }
+
+    // The dominant components by weight — in a recommender, these are the
+    // strongest (user-group, item-group, time-pattern) co-clusters.
+    let mut weights: Vec<(usize, f64)> = result
+        .model
+        .lambda
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    weights.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top components by weight:");
+    for (r, w) in weights.iter().take(5) {
+        println!("  component {r:>2}: lambda = {w:.3}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Higher-order MTTKRP via CSF — the "trivially extended to higher-order
+//! data" path (Section III-C of the paper): a 4-mode
+//! (user, action, object, day) tensor, MTTKRP for every mode, with rank
+//! blocking.
+//!
+//! Run: `cargo run --release --example higher_order`
+
+#![allow(clippy::needless_range_loop)]
+
+use std::time::Instant;
+use tenblock::core::mttkrp::{nd_mttkrp_reference, CsfKernel};
+use tenblock::tensor::nd::uniform_nd;
+use tenblock::tensor::DenseMatrix;
+
+fn main() {
+    let dims = vec![2_000usize, 40, 1_500, 365];
+    let x = uniform_nd(&dims, 200_000, 23);
+    let rank = 32;
+    println!(
+        "4-mode tensor {:?}, {} nnz, rank {rank}",
+        x.dims(),
+        x.nnz()
+    );
+
+    let factors: Vec<DenseMatrix> = dims
+        .iter()
+        .map(|&d| DenseMatrix::from_fn(d, rank, |r, c| ((r * 3 + c) % 17) as f64 * 0.05))
+        .collect();
+    let frefs: Vec<&DenseMatrix> = factors.iter().collect();
+
+    for mode in 0..4 {
+        // plain CSF traversal ...
+        let k = CsfKernel::new(&x, mode);
+        let mut out = DenseMatrix::zeros(dims[mode], rank);
+        let t0 = Instant::now();
+        k.mttkrp(&frefs, &mut out);
+        let plain = t0.elapsed().as_secs_f64();
+
+        // ... vs the same tree with rank blocking (Section V-B)
+        let kb = CsfKernel::new(&x, mode).with_strip_width(16);
+        let mut out_b = DenseMatrix::zeros(dims[mode], rank);
+        let t0 = Instant::now();
+        kb.mttkrp(&frefs, &mut out_b);
+        let blocked = t0.elapsed().as_secs_f64();
+
+        assert!(out.approx_eq(&out_b, 1e-10));
+        println!(
+            "mode {mode}: CSF {plain:.4} s, CSF+RankB(16) {blocked:.4} s ({:.2}x)",
+            plain / blocked
+        );
+    }
+    println!(
+        "(rank blocking re-traverses the CSF tree once per strip; it pays off \
+         when the factor matrices spill the cache, and costs tree overhead \
+         when they do not — the Section V-C heuristic exists precisely to \
+         make that call per tensor)"
+    );
+
+    // spot-check against the brute-force reference on a small slice
+    let small = uniform_nd(&[50, 20, 40, 30], 2_000, 7);
+    let sf: Vec<DenseMatrix> = small
+        .dims()
+        .iter()
+        .map(|&d| DenseMatrix::from_fn(d, 8, |r, c| ((r + c) % 5) as f64))
+        .collect();
+    let sfr: Vec<&DenseMatrix> = sf.iter().collect();
+    let expect = nd_mttkrp_reference(&small, &sfr, 2);
+    let k = CsfKernel::new(&small, 2);
+    let mut got = DenseMatrix::zeros(40, 8);
+    k.mttkrp(&sfr, &mut got);
+    assert!(expect.approx_eq(&got, 1e-10));
+    println!("\nCSF kernel verified against the brute-force N-mode reference");
+}

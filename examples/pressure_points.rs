@@ -1,0 +1,49 @@
+//! Pressure-point analysis + cache simulation on one tensor: reproduce the
+//! Section IV methodology end-to-end at example scale.
+//!
+//! Run: `cargo run --release --example pressure_points`
+
+use tenblock::analysis::roofline::arithmetic_intensity;
+use tenblock::analysis::trace::{trace_kernel, TraceKernel};
+use tenblock::analysis::{run_ppa, CacheSim};
+use tenblock::tensor::gen::Dataset;
+
+fn main() {
+    let x = Dataset::Poisson3.generate_with([2_000, 2_000, 2_000], 300_000, 9);
+    let rank = 64;
+    println!("tensor {:?}, {} nnz, rank {rank}\n", x.dims(), x.nnz());
+
+    // 1. Table I: where does the time go?
+    println!("pressure points (Table I methodology):");
+    let results = run_ppa(&x, 0, rank, 2);
+    let base = results.last().unwrap().secs;
+    for r in &results {
+        println!(
+            "  type {}: {:>8.4} s ({:>+6.1}%)  {}",
+            r.variant.type_no(),
+            r.secs,
+            (r.secs / base - 1.0) * 100.0,
+            r.variant.description()
+        );
+    }
+
+    // 2. The cache simulator explains why: measure alpha with and without
+    // blocking and map it onto the Figure 2 intensity curve.
+    println!("\nmeasured cache behaviour (POWER8 model):");
+    let small = Dataset::Poisson3.generate_with([2_000, 2_000, 2_000], 40_000, 9);
+    for (name, k) in [
+        ("SPLATT  ", TraceKernel::Splatt),
+        ("blocked ", TraceKernel::MbRankB([4, 4, 2], 16)),
+    ] {
+        let t = trace_kernel(&small, 0, rank, k, CacheSim::power8(4));
+        println!(
+            "  {name}: alpha = {:.3} -> arithmetic intensity {:.2} flop/byte",
+            t.alpha_factors,
+            arithmetic_intensity(rank as u64, t.alpha_factors)
+        );
+    }
+    println!(
+        "\nBlocking raises alpha, which raises the attainable fraction of the \
+         roofline — the mechanism behind the paper's speedups."
+    );
+}

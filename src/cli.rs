@@ -1,0 +1,330 @@
+//! Implementation of the `tenblock` command-line tool.
+//!
+//! Subcommands (see [`run`]):
+//!
+//! * `stats <file>` — Table II-style statistics of a tensor file,
+//! * `convert <in> <out>` — convert between FROSTT `.tns` text and the
+//!   `.tnsb` binary container (direction inferred from extensions),
+//! * `gen <dataset> <out>` — generate a Table II analogue,
+//! * `bench <file>` — time every MTTKRP kernel on a tensor,
+//! * `tune <file>` — run the Section V-C block-size heuristic,
+//! * `decompose <file>` — CP-ALS or CP-APR with a chosen kernel.
+
+use std::path::Path;
+use tenblock_core::{build_kernel, tune, KernelConfig, KernelKind, TuneOptions};
+use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAprOptions};
+use tenblock_tensor::gen::{Dataset, ALL_DATASETS};
+use tenblock_tensor::{io, io_bin, CooTensor, DenseMatrix, TensorStats};
+
+/// A parsed command line: positional arguments and `--key value` flags.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` pairs.
+    pub flags: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses raw arguments (no subcommand included).
+    pub fn parse(raw: &[String]) -> Args {
+        let mut args = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it.next().cloned().unwrap_or_default();
+                args.flags.push((key.to_string(), value));
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        args
+    }
+
+    /// Looks up a flag value.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a flag into `T`, with a default.
+    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flag(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Loads a tensor by extension: `.tns` (FROSTT text) or `.tnsb` (binary).
+pub fn load_tensor(path: &str) -> Result<CooTensor, String> {
+    let p = Path::new(path);
+    match p.extension().and_then(|e| e.to_str()) {
+        Some("tns") => io::read_tns_file(p).map_err(|e| e.to_string()),
+        Some("tnsb") => io_bin::read_bin_file(p).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unknown tensor extension {other:?} (expected .tns or .tnsb)"
+        )),
+    }
+}
+
+/// Saves a tensor by extension.
+pub fn save_tensor(t: &CooTensor, path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    match p.extension().and_then(|e| e.to_str()) {
+        Some("tns") => io::write_tns_file(t, p).map_err(|e| e.to_string()),
+        Some("tnsb") => io_bin::write_bin_file(t, p).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unknown tensor extension {other:?} (expected .tns or .tnsb)"
+        )),
+    }
+}
+
+/// Resolves a data-set name from the Table II registry.
+pub fn dataset_by_name(name: &str) -> Option<Dataset> {
+    ALL_DATASETS
+        .into_iter()
+        .find(|d| d.spec().name.eq_ignore_ascii_case(name))
+}
+
+/// Resolves a kernel name.
+pub fn kernel_by_name(name: &str) -> Option<KernelKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "coo" => Some(KernelKind::Coo),
+        "splatt" => Some(KernelKind::Splatt),
+        "mb" => Some(KernelKind::Mb),
+        "rankb" => Some(KernelKind::RankB),
+        "mbrankb" | "mb+rankb" => Some(KernelKind::MbRankB),
+        "csf" => Some(KernelKind::Csf),
+        _ => None,
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "tenblock — blocking-optimized sparse tensor kernels (IPDPS'18 reproduction)
+
+USAGE:
+  tenblock stats <file>
+  tenblock convert <in> <out>
+  tenblock gen <dataset> <out> [--nnz N] [--seed S]
+  tenblock bench <file> [--rank R] [--reps N]
+  tenblock tune <file> [--rank R]
+  tenblock decompose <file> [--rank R] [--iters N] [--method als|apr]
+                            [--kernel splatt|mb|rankb|mbrankb]
+
+Files: .tns (FROSTT text) or .tnsb (tenblock binary).
+Datasets: Poisson1-3, NELL2, Netflix, Reddit, Amazon (scaled analogues).";
+
+/// Runs one subcommand; returns the text to print or an error message.
+pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
+    match cmd {
+        "stats" => {
+            let path = args.positional.first().ok_or("stats: missing <file>")?;
+            let t = load_tensor(path)?;
+            let s = TensorStats::of(&t);
+            let mut out = s.table_row(path);
+            out.push_str(&format!(
+                "\nfibers per mode: {:?}\nnnz per fiber:  {:?}",
+                s.fibers,
+                s.nnz_per_fiber.map(|v| (v * 100.0).round() / 100.0)
+            ));
+            Ok(out)
+        }
+        "convert" => {
+            let src = args.positional.first().ok_or("convert: missing <in>")?;
+            let dst = args.positional.get(1).ok_or("convert: missing <out>")?;
+            let t = load_tensor(src)?;
+            save_tensor(&t, dst)?;
+            Ok(format!("wrote {} nonzeros to {dst}", t.nnz()))
+        }
+        "gen" => {
+            let name = args.positional.first().ok_or("gen: missing <dataset>")?;
+            let dst = args.positional.get(1).ok_or("gen: missing <out>")?;
+            let ds = dataset_by_name(name)
+                .ok_or_else(|| format!("unknown dataset `{name}`"))?;
+            let spec = ds.spec();
+            let nnz = args.flag_or("nnz", spec.default_nnz);
+            let seed = args.flag_or("seed", 42u64);
+            let t = ds.generate_with(spec.default_dims, nnz, seed);
+            save_tensor(&t, dst)?;
+            Ok(format!(
+                "generated {} analogue: dims {:?}, {} nonzeros -> {dst}",
+                spec.name,
+                t.dims(),
+                t.nnz()
+            ))
+        }
+        "bench" => {
+            let path = args.positional.first().ok_or("bench: missing <file>")?;
+            let rank: usize = args.flag_or("rank", 64);
+            let reps: usize = args.flag_or("reps", 3);
+            let t = load_tensor(path)?;
+            let factors: Vec<DenseMatrix> = t
+                .dims()
+                .iter()
+                .map(|&d| {
+                    DenseMatrix::from_fn(d, rank, |r, c| ((r * 7 + c) % 11) as f64 * 0.1)
+                })
+                .collect();
+            let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+            let mut out = DenseMatrix::zeros(t.dims()[0], rank);
+            let cfg = KernelConfig { grid: [4, 4, 2], strip_width: 16, parallel: false };
+            let mut lines = vec![format!(
+                "mode-1 MTTKRP on {path}: nnz {}, rank {rank} (best of {reps})",
+                t.nnz()
+            )];
+            for kind in KernelKind::ALL {
+                let k = build_kernel(kind, &t, 0, &cfg);
+                let mut best = f64::INFINITY;
+                for _ in 0..reps {
+                    let t0 = std::time::Instant::now();
+                    k.mttkrp(&fs, &mut out);
+                    best = best.min(t0.elapsed().as_secs_f64());
+                }
+                lines.push(format!("  {:<10} {:>10.4} s", k.name(), best));
+            }
+            Ok(lines.join("\n"))
+        }
+        "tune" => {
+            let path = args.positional.first().ok_or("tune: missing <file>")?;
+            let rank: usize = args.flag_or("rank", 64);
+            let t = load_tensor(path)?;
+            let mut opts = TuneOptions::new(rank);
+            opts.reps = 2;
+            let r = tune(&t, 0, &opts);
+            Ok(format!(
+                "selected grid {}x{}x{}, strip width {} ({:.4} s/MTTKRP, {} candidates tried)",
+                r.grid[0],
+                r.grid[1],
+                r.grid[2],
+                r.strip_width,
+                r.best_secs,
+                r.history.len()
+            ))
+        }
+        "decompose" => {
+            let path = args.positional.first().ok_or("decompose: missing <file>")?;
+            let rank: usize = args.flag_or("rank", 16);
+            let iters: usize = args.flag_or("iters", 20);
+            let method = args.flag("method").unwrap_or("als");
+            let kernel = kernel_by_name(args.flag("kernel").unwrap_or("mbrankb"))
+                .ok_or("unknown kernel name")?;
+            let t = load_tensor(path)?;
+            let cfg = KernelConfig { grid: [4, 2, 2], strip_width: 16, parallel: true };
+            match method {
+                "als" => {
+                    let mut opts = CpAlsOptions::new(rank);
+                    opts.max_iters = iters;
+                    opts.kernel = kernel;
+                    opts.kernel_cfg = cfg;
+                    let result = CpAls::new(&t, opts).run(&t);
+                    Ok(format!(
+                        "CP-ALS rank {rank}: fit {:.5} after {} iterations (converged: {})",
+                        result.fit_history.last().unwrap_or(&0.0),
+                        result.iterations,
+                        result.converged
+                    ))
+                }
+                "apr" => {
+                    let mut opts = CpAprOptions::new(rank);
+                    opts.max_iters = iters;
+                    opts.kernel = kernel;
+                    opts.kernel_cfg = cfg;
+                    let result = cp_apr(&t, &opts);
+                    Ok(format!(
+                        "CP-APR rank {rank}: log-likelihood {:.2} after {} iterations (converged: {})",
+                        result.loglik_history.last().unwrap_or(&f64::NEG_INFINITY),
+                        result.iterations,
+                        result.converged
+                    ))
+                }
+                other => Err(format!("unknown method `{other}` (als|apr)")),
+            }
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("tenblock_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let raw: Vec<String> = ["a.tns", "--rank", "32", "b.tnsb", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse(&raw);
+        assert_eq!(a.positional, vec!["a.tns", "b.tnsb"]);
+        assert_eq!(a.flag("rank"), Some("32"));
+        assert_eq!(a.flag_or("seed", 0u64), 7);
+        assert_eq!(a.flag_or("missing", 5usize), 5);
+    }
+
+    #[test]
+    fn gen_stats_convert_roundtrip() {
+        let tns = tmpfile("gen.tns");
+        let raw = vec!["Poisson1".to_string(), tns.clone()];
+        let mut args = Args::parse(&raw);
+        args.flags.push(("nnz".into(), "2000".into()));
+        args.flags.push(("seed".into(), "1".into()));
+        let msg = run("gen", &args).unwrap();
+        assert!(msg.contains("Poisson1"));
+
+        let stats = run("stats", &Args::parse(std::slice::from_ref(&tns))).unwrap();
+        assert!(stats.contains("fibers per mode"));
+
+        let tnsb = tmpfile("gen.tnsb");
+        let msg = run("convert", &Args::parse(&[tns.clone(), tnsb.clone()])).unwrap();
+        assert!(msg.contains("wrote"));
+        let a = load_tensor(&tns).unwrap();
+        let b = load_tensor(&tnsb).unwrap();
+        assert_eq!(a.entries(), b.entries());
+    }
+
+    #[test]
+    fn bench_tune_decompose_smoke() {
+        let tns = tmpfile("small.tnsb");
+        let mut args = Args::parse(&["Poisson1".to_string(), tns.clone()]);
+        args.flags.push(("nnz".into(), "3000".into()));
+        run("gen", &args).unwrap();
+
+        let mut bargs = Args::parse(std::slice::from_ref(&tns));
+        bargs.flags.push(("rank".into(), "8".into()));
+        bargs.flags.push(("reps".into(), "1".into()));
+        let bench = run("bench", &bargs).unwrap();
+        assert!(bench.contains("SPLATT"));
+        assert!(bench.contains("MB+RankB"));
+
+        let tune_out = run("tune", &bargs).unwrap();
+        assert!(tune_out.contains("selected grid"));
+
+        let mut dargs = Args::parse(std::slice::from_ref(&tns));
+        dargs.flags.push(("rank".into(), "4".into()));
+        dargs.flags.push(("iters".into(), "3".into()));
+        let als = run("decompose", &dargs).unwrap();
+        assert!(als.contains("CP-ALS"));
+        dargs.flags.push(("method".into(), "apr".into()));
+        let apr = run("decompose", &dargs).unwrap();
+        assert!(apr.contains("CP-APR"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run("stats", &Args::default()).is_err());
+        assert!(run("nonsense", &Args::default()).is_err());
+        assert!(load_tensor("/nonexistent.xyz").is_err());
+        let mut dargs = Args::parse(&["x.tns".to_string()]);
+        dargs.flags.push(("method".into(), "magic".into()));
+        assert!(run("decompose", &dargs).is_err());
+        assert!(run("help", &Args::default()).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # tenblock
+//!
+//! Facade crate for the `tenblock` workspace — a reproduction of
+//! *Choi, Liu, Smith, Simon, "Blocking Optimization Techniques for Sparse
+//! Tensor Computation", IPDPS 2018*.
+//!
+//! Re-exports every member crate under a stable path:
+//!
+//! * [`tensor`] — sparse tensor formats, generators, I/O ([`tenblock_tensor`])
+//! * [`core`] — MTTKRP kernels with multi-dimensional / rank / register
+//!   blocking ([`tenblock_core`])
+//! * [`analysis`] — roofline model, cache simulator, pressure-point analysis
+//!   ([`tenblock_analysis`])
+//! * [`cpd`] — CP-ALS tensor decomposition ([`tenblock_cpd`])
+//! * [`dist`] — simulated distributed MTTKRP with 3D/4D partitioning
+//!   ([`tenblock_dist`])
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod cli;
+
+pub use tenblock_analysis as analysis;
+pub use tenblock_core as core;
+pub use tenblock_cpd as cpd;
+pub use tenblock_dist as dist;
+pub use tenblock_tensor as tensor;

@@ -1,0 +1,101 @@
+//! Property tests for the analysis substrate: the cache simulator against
+//! a reference stack-distance LRU model, and communication-model laws.
+
+use proptest::prelude::*;
+use tenblock::analysis::{CacheConfig, CacheSim};
+use tenblock::dist::CommParams;
+
+/// Reference fully-associative LRU: hit iff the line's reuse stack distance
+/// is below capacity.
+fn reference_lru(line_addrs: &[u64], capacity_lines: usize) -> (u64, u64) {
+    let mut stack: Vec<u64> = Vec::new();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for &a in line_addrs {
+        if let Some(pos) = stack.iter().position(|&x| x == a) {
+            hits += 1;
+            stack.remove(pos);
+        } else {
+            misses += 1;
+            if stack.len() == capacity_lines {
+                stack.remove(0);
+            }
+        }
+        stack.push(a);
+    }
+    (hits, misses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A single-set (fully associative) simulator level must agree exactly
+    /// with the reference stack-distance model.
+    #[test]
+    fn fully_associative_matches_stack_distance(
+        addrs in proptest::collection::vec(0u64..64, 1..400),
+        assoc in 1usize..16,
+    ) {
+        let line = 64u64;
+        let cfg = CacheConfig { size: 64 * assoc, line: 64, assoc };
+        prop_assert_eq!(cfg.n_sets(), 1);
+        let mut sim = CacheSim::new(&[cfg], 1);
+        for &a in &addrs {
+            sim.access(a * line, 0);
+        }
+        let (hits, misses) = reference_lru(&addrs, assoc);
+        let s = sim.level_stats(0);
+        prop_assert_eq!((s.hits, s.misses), (hits, misses));
+    }
+
+    /// Adding capacity can only help a fully-associative LRU (inclusion
+    /// property of LRU stacks).
+    #[test]
+    fn lru_inclusion_property(
+        addrs in proptest::collection::vec(0u64..128, 1..300),
+        assoc in 1usize..12,
+    ) {
+        let small = reference_lru(&addrs, assoc);
+        let large = reference_lru(&addrs, assoc + 1);
+        prop_assert!(large.0 >= small.0, "more capacity lost hits");
+    }
+
+    /// Cache accesses are conserved: hits + misses at L1 equals the number
+    /// of distinct-line accesses issued, and every L2 access is an L1 miss.
+    #[test]
+    fn hierarchy_conservation(
+        addrs in proptest::collection::vec(0u64..10_000, 1..500),
+    ) {
+        let mut sim = CacheSim::new(
+            &[
+                CacheConfig { size: 1024, line: 64, assoc: 2 },
+                CacheConfig { size: 4096, line: 64, assoc: 4 },
+            ],
+            1,
+        );
+        for &a in &addrs {
+            sim.access(a * 64, 0);
+        }
+        let l1 = sim.level_stats(0);
+        let l2 = sim.level_stats(1);
+        prop_assert_eq!(l1.hits + l1.misses, addrs.len() as u64);
+        prop_assert_eq!(l2.hits + l2.misses, l1.misses);
+        prop_assert_eq!(sim.memory_bytes(), l2.misses * 64);
+    }
+
+    /// Communication cost model laws: non-negativity, monotonicity in
+    /// volume, and free single-rank collectives.
+    #[test]
+    fn comm_model_laws(
+        p in 1usize..256,
+        bytes in 0.0f64..1e9,
+        extra in 1.0f64..1e6,
+    ) {
+        let c = CommParams::cluster_2018();
+        let t = c.allgather(p, bytes);
+        prop_assert!(t >= 0.0);
+        prop_assert!(c.allgather(p, bytes + extra) >= t);
+        prop_assert_eq!(c.allgather(1, bytes), 0.0);
+        prop_assert!(c.allreduce(p, bytes) >= c.reduce_scatter(p, bytes));
+        prop_assert!(c.ptp(bytes) >= c.ptp(0.0));
+    }
+}

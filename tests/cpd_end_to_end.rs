@@ -1,0 +1,79 @@
+//! End-to-end CPD integration: decomposition quality is identical across
+//! kernels, the tuner's output plugs straight into ALS, and the whole
+//! pipeline survives realistic (clustered, count-valued) data.
+
+use tenblock::core::{tune, KernelConfig, KernelKind, TuneOptions};
+use tenblock::cpd::{CpAls, CpAlsOptions, KruskalTensor};
+use tenblock::tensor::gen::{clustered_tensor, ClusteredConfig};
+use tenblock::tensor::DenseMatrix;
+
+/// Low-rank planted tensor via the Kruskal materializer.
+fn planted(rank: usize, dims: [usize; 3], seed: u64) -> tenblock::tensor::CooTensor {
+    let factors: Vec<DenseMatrix> = dims
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| {
+            DenseMatrix::from_fn(d, rank, |r, c| {
+                let h = (r * 2654435761 + c * 40503 + m * 97 + seed as usize) % 1000;
+                h as f64 / 1000.0 + 0.05
+            })
+        })
+        .collect();
+    KruskalTensor::new(vec![1.0; rank], factors).to_coo()
+}
+
+#[test]
+fn blocked_cpd_recovers_planted_rank() {
+    let x = planted(4, [15, 12, 10], 3);
+    let mut opts = CpAlsOptions::new(4);
+    opts.max_iters = 150;
+    opts.tol = 1e-10;
+    opts.kernel = KernelKind::MbRankB;
+    opts.kernel_cfg = KernelConfig { grid: [2, 2, 2], strip_width: 16, parallel: false };
+    let result = CpAls::new(&x, opts).run(&x);
+    let fit = *result.fit_history.last().unwrap();
+    assert!(fit > 0.99, "fit = {fit}");
+}
+
+#[test]
+fn tuner_output_feeds_als() {
+    let cfg = ClusteredConfig::new([200, 300, 150], 15_000);
+    let x = clustered_tensor(&cfg, 21);
+    let mut topts = TuneOptions::new(16);
+    topts.reps = 1;
+    topts.max_blocks = 8;
+    let tuned = tune(&x, 0, &topts);
+
+    let mut opts = CpAlsOptions::new(16);
+    opts.max_iters = 10;
+    opts.tol = 0.0;
+    opts.kernel = KernelKind::MbRankB;
+    opts.kernel_cfg = KernelConfig {
+        grid: tuned.grid,
+        strip_width: tuned.strip_width,
+        parallel: true,
+    };
+    let result = CpAls::new(&x, opts).run(&x);
+    assert_eq!(result.fit_history.len(), 10);
+    // count data with structure: ALS should make real progress
+    let fit = *result.fit_history.last().unwrap();
+    assert!(fit > 0.0, "fit = {fit}");
+}
+
+#[test]
+fn kernel_choice_does_not_change_the_math() {
+    let x = planted(3, [12, 14, 9], 8);
+    let mut fits = Vec::new();
+    for kind in KernelKind::ALL {
+        let mut opts = CpAlsOptions::new(3);
+        opts.max_iters = 20;
+        opts.tol = 0.0;
+        opts.kernel = kind;
+        opts.kernel_cfg = KernelConfig { grid: [3, 2, 2], strip_width: 8, parallel: false };
+        let result = CpAls::new(&x, opts).run(&x);
+        fits.push(*result.fit_history.last().unwrap());
+    }
+    for f in &fits[1..] {
+        assert!((f - fits[0]).abs() < 1e-6, "fits diverge across kernels: {fits:?}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Format round-trip properties: COO -> SPLATT -> COO and COO -> .tns ->
+//! COO preserve every nonzero, for every orientation.
+
+use proptest::prelude::*;
+use tenblock::tensor::coo::perm_for_mode;
+use tenblock::tensor::{io, CooTensor, Entry, SplattTensor};
+
+fn arb_tensor() -> impl Strategy<Value = CooTensor> {
+    (1usize..15, 1usize..15, 1usize..15)
+        .prop_flat_map(|(i, j, k)| {
+            let entry = (0..i as u32, 0..j as u32, 0..k as u32, -100.0f64..100.0)
+                .prop_map(|(a, b, c, v)| Entry::new(a, b, c, v));
+            proptest::collection::vec(entry, 0..80)
+                .prop_map(move |es| CooTensor::from_entries([i, j, k], es))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn splatt_roundtrip_every_mode(x in arb_tensor(), mode in 0usize..3) {
+        let t = SplattTensor::for_mode(&x, mode);
+        prop_assert_eq!(t.nnz(), x.nnz());
+        let mut back = t.to_entries();
+        back.sort_unstable_by_key(|e| e.idx);
+        let mut orig = x.entries().to_vec();
+        orig.sort_unstable_by_key(|e| e.idx);
+        prop_assert_eq!(back, orig);
+        // fiber count matches the COO-side count
+        prop_assert_eq!(t.n_fibers(), x.count_fibers(perm_for_mode(mode)));
+    }
+
+    #[test]
+    fn compressed_splatt_roundtrip(x in arb_tensor(), mode in 0usize..3) {
+        let t = SplattTensor::from_entries_compressed(
+            x.dims(),
+            perm_for_mode(mode),
+            x.entries().to_vec(),
+        );
+        let mut back = t.to_entries();
+        back.sort_unstable_by_key(|e| e.idx);
+        let mut orig = x.entries().to_vec();
+        orig.sort_unstable_by_key(|e| e.idx);
+        prop_assert_eq!(back, orig);
+        // every stored slice is non-empty
+        for s in 0..t.n_slices() {
+            prop_assert!(!t.slice_fibers(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn tns_roundtrip(x in arb_tensor()) {
+        let mut buf = Vec::new();
+        io::write_tns(&x, &mut buf).unwrap();
+        let back = io::read_tns(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.nnz(), x.nnz());
+        for (a, b) in back.entries().iter().zip(x.entries()) {
+            prop_assert_eq!(a.idx, b.idx);
+            // text round-trip preserves f64 exactly via shortest-repr printing
+            prop_assert_eq!(a.val, b.val);
+        }
+    }
+
+    #[test]
+    fn splatt_memory_model_consistency(x in arb_tensor()) {
+        let t = SplattTensor::for_mode(&x, 0);
+        // paper model: 16 + 8I + 16F + 16nnz with 64-bit everything
+        let expect = 16 + 8 * t.n_slices() + 16 * t.n_fibers() + 16 * t.nnz();
+        prop_assert_eq!(t.paper_bytes(), expect);
+        // our u32 indices make the real footprint smaller than the model
+        // for non-trivial tensors
+        if t.nnz() > 8 {
+            prop_assert!(t.actual_bytes() < expect + 8 * t.n_slices());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate property tests: every MTTKRP kernel agrees with the dense
+//! reference on arbitrary tensors, for every mode, rank, grid, and strip
+//! width.
+
+use proptest::prelude::*;
+use tenblock::core::mttkrp::dense_mttkrp;
+use tenblock::core::{build_kernel, KernelConfig, KernelKind};
+use tenblock::tensor::{CooTensor, DenseMatrix, Entry};
+
+/// Strategy: a small random sparse tensor.
+fn arb_tensor() -> impl Strategy<Value = CooTensor> {
+    (2usize..12, 2usize..12, 2usize..12)
+        .prop_flat_map(|(i, j, k)| {
+            let entry = (0..i as u32, 0..j as u32, 0..k as u32, -5.0f64..5.0)
+                .prop_map(|(a, b, c, v)| Entry::new(a, b, c, v));
+            proptest::collection::vec(entry, 0..60)
+                .prop_map(move |es| CooTensor::from_entries([i, j, k], es))
+        })
+}
+
+/// Deterministic pseudo-random factors derived from a seed.
+fn seeded_factors(dims: [usize; 3], rank: usize, seed: u64) -> Vec<DenseMatrix> {
+    (0..3)
+        .map(|m| {
+            DenseMatrix::from_fn(dims[m], rank, |r, c| {
+                let mut h = seed ^ ((r as u64) << 17) ^ ((c as u64) << 5) ^ (m as u64);
+                h ^= h >> 31;
+                h = h.wrapping_mul(0x9e3779b97f4a7c15);
+                h ^= h >> 27;
+                (h % 4000) as f64 / 1000.0 - 2.0
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_kernels_match_dense_reference(
+        x in arb_tensor(),
+        rank in 1usize..20,
+        mode in 0usize..3,
+        ga in 1usize..4,
+        gb in 1usize..4,
+        gc in 1usize..4,
+        strip in 1usize..24,
+        raw in proptest::num::u64::ANY,
+    ) {
+        let dims = x.dims();
+        let factors = seeded_factors(dims, rank, raw);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        let expect = dense_mttkrp(&x, &fs, mode);
+
+        let perm = tenblock::tensor::coo::perm_for_mode(mode);
+        let grid = [
+            ga.min(dims[perm[0]]),
+            gb.min(dims[perm[1]]),
+            gc.min(dims[perm[2]]),
+        ];
+        let cfg = KernelConfig { grid, strip_width: strip, parallel: false };
+        for kind in KernelKind::ALL {
+            let k = build_kernel(kind, &x, mode, &cfg);
+            let mut out = DenseMatrix::zeros(dims[mode], rank);
+            k.mttkrp(&fs, &mut out);
+            prop_assert!(
+                expect.approx_eq(&out, 1e-9),
+                "{kind:?} mode {mode} grid {grid:?} strip {strip}: max diff {}",
+                expect.max_abs_diff(&out)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_match_sequential(
+        x in arb_tensor(),
+        rank in 1usize..16,
+        mode in 0usize..3,
+    ) {
+        let dims = x.dims();
+        let factors: Vec<DenseMatrix> = (0..3)
+            .map(|m| DenseMatrix::from_fn(dims[m], rank, |r, c| ((r * 7 + c * 3 + m) % 11) as f64 * 0.2 - 1.0))
+            .collect();
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        for kind in [KernelKind::Splatt, KernelKind::Mb, KernelKind::RankB, KernelKind::MbRankB] {
+            let cfg_seq = KernelConfig { grid: [2, 2, 2], strip_width: 8, parallel: false };
+            let cfg_par = KernelConfig { parallel: true, ..cfg_seq.clone() };
+            let perm = tenblock::tensor::coo::perm_for_mode(mode);
+            let mut cfg_seq = cfg_seq;
+            let mut cfg_par = cfg_par;
+            for ax in 0..3 {
+                cfg_seq.grid[ax] = cfg_seq.grid[ax].min(dims[perm[ax]].max(1));
+                cfg_par.grid[ax] = cfg_par.grid[ax].min(dims[perm[ax]].max(1));
+            }
+            let k_seq = build_kernel(kind, &x, mode, &cfg_seq);
+            let k_par = build_kernel(kind, &x, mode, &cfg_par);
+            let mut a = DenseMatrix::zeros(dims[mode], rank);
+            let mut b = DenseMatrix::zeros(dims[mode], rank);
+            k_seq.mttkrp(&fs, &mut a);
+            k_par.mttkrp(&fs, &mut b);
+            prop_assert!(a.approx_eq(&b, 1e-12), "{kind:?} parallel mismatch");
+        }
+    }
+}
