@@ -61,7 +61,10 @@ struct Level {
 
 impl Level {
     fn new(cfg: CacheConfig, n_tags: usize) -> Self {
-        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let n_sets = cfg.n_sets();
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         Level {
@@ -134,8 +137,16 @@ impl CacheSim {
     pub fn power8(n_tags: usize) -> Self {
         CacheSim::new(
             &[
-                CacheConfig { size: 64 * 1024, line: 128, assoc: 8 },
-                CacheConfig { size: 512 * 1024, line: 128, assoc: 8 },
+                CacheConfig {
+                    size: 64 * 1024,
+                    line: 128,
+                    assoc: 8,
+                },
+                CacheConfig {
+                    size: 512 * 1024,
+                    line: 128,
+                    assoc: 8,
+                },
             ],
             n_tags,
         )
@@ -207,8 +218,16 @@ mod tests {
         // 4 sets x 2 ways x 64B lines = 512B L1; 1KiB L2
         CacheSim::new(
             &[
-                CacheConfig { size: 512, line: 64, assoc: 2 },
-                CacheConfig { size: 1024, line: 64, assoc: 2 },
+                CacheConfig {
+                    size: 512,
+                    line: 64,
+                    assoc: 2,
+                },
+                CacheConfig {
+                    size: 1024,
+                    line: 64,
+                    assoc: 2,
+                },
             ],
             2,
         )
@@ -265,7 +284,13 @@ mod tests {
         for i in 0..64u64 {
             c.access(i * 64, 1);
         }
-        assert_eq!(c.tag_stats(0, 1), LevelStats { hits: 0, misses: 64 });
+        assert_eq!(
+            c.tag_stats(0, 1),
+            LevelStats {
+                hits: 0,
+                misses: 64
+            }
+        );
         assert_eq!(c.tag_stats(0, 0), LevelStats::default());
         assert!(c.hierarchy_hit_rate(1) < 1e-12);
         assert_eq!(c.memory_bytes(), 64 * 64);

@@ -252,7 +252,10 @@ pub fn run_ppa(coo: &CooTensor, mode: usize, rank: usize, reps: usize) -> Vec<Pp
                 best = best.min(t0.elapsed().as_secs_f64());
                 black_box(out.as_slice());
             }
-            PpaResult { variant, secs: best }
+            PpaResult {
+                variant,
+                secs: best,
+            }
         })
         .collect()
 }

@@ -103,7 +103,10 @@ impl MachineBalance {
     /// The paper's POWER8 socket: 10 cores x 3.49 GHz x 2 FMA pipes x
     /// 2 lanes x 2 flops ≈ 279 Gflop/s, 75 GB/s read bandwidth.
     pub fn power8_socket() -> Self {
-        MachineBalance { peak_gflops: 279.0, mem_bw_gbs: 75.0 }
+        MachineBalance {
+            peak_gflops: 279.0,
+            mem_bw_gbs: 75.0,
+        }
     }
 
     /// Flops per byte at the roofline ridge point.
@@ -133,7 +136,12 @@ mod tests {
         for &(nnz, f) in &[(1000u64, 100u64), (5_000_000, 30_000)] {
             for &rank in &FIG2_RANKS {
                 for &alpha in &FIG2_ALPHAS {
-                    let inp = RooflineInputs { nnz, fibers: f, rank, alpha };
+                    let inp = RooflineInputs {
+                        nnz,
+                        fibers: f,
+                        rank,
+                        alpha,
+                    };
                     let closed = arithmetic_intensity(rank, alpha);
                     assert!(
                         (inp.intensity() - closed).abs() < 1e-12,
@@ -184,7 +192,10 @@ mod tests {
         assert!(m.balance() > 3.0 && m.balance() < 6.0);
         // On a generic modern machine (balance 6-12 per the paper), MTTKRP
         // is memory-bound at every rank even with a 95% hit rate …
-        let modern = MachineBalance { peak_gflops: 600.0, mem_bw_gbs: 100.0 };
+        let modern = MachineBalance {
+            peak_gflops: 600.0,
+            mem_bw_gbs: 100.0,
+        };
         for &rank in &FIG2_RANKS {
             assert!(modern.is_memory_bound(arithmetic_intensity(rank, 0.95)));
         }

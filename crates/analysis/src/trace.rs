@@ -247,8 +247,7 @@ pub fn trace_kernel(
     let alpha_factors = if acc_b + acc_c == 0.0 {
         1.0
     } else {
-        (acc_b * sim.hierarchy_hit_rate(SB) + acc_c * sim.hierarchy_hit_rate(SC))
-            / (acc_b + acc_c)
+        (acc_b * sim.hierarchy_hit_rate(SB) + acc_c * sim.hierarchy_hit_rate(SC)) / (acc_b + acc_c)
     };
 
     TraceReport {
@@ -304,8 +303,7 @@ mod tests {
         };
         let x = clustered_tensor(&cfg, 7);
         let base = trace_kernel(&x, 0, 64, TraceKernel::Splatt, sim());
-        let blocked =
-            trace_kernel(&x, 0, 64, TraceKernel::MbRankB([4, 4, 2], 16), sim());
+        let blocked = trace_kernel(&x, 0, 64, TraceKernel::MbRankB([4, 4, 2], 16), sim());
         assert!(
             blocked.alpha_factors > base.alpha_factors,
             "blocked {} <= baseline {}",

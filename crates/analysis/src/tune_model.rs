@@ -32,7 +32,11 @@ pub struct ModelTuneOptions {
 impl ModelTuneOptions {
     /// Defaults: sample 100K nonzeros.
     pub fn new(rank: usize) -> Self {
-        ModelTuneOptions { rank, max_blocks: 64, sample_nnz: 100_000 }
+        ModelTuneOptions {
+            rank,
+            max_blocks: 64,
+            sample_nnz: 100_000,
+        }
     }
 }
 
@@ -88,7 +92,12 @@ pub fn tune_by_model(coo: &CooTensor, mode: usize, opts: &ModelTuneOptions) -> M
 
     let eval = |grid: [usize; NMODES], strip: usize, history: &mut Vec<ModelTuneSample>| {
         let (bytes, alpha) = score(&x, mode, opts.rank, TraceKernel::MbRankB(grid, strip));
-        history.push(ModelTuneSample { grid, strip_width: strip, memory_bytes: bytes, alpha });
+        history.push(ModelTuneSample {
+            grid,
+            strip_width: strip,
+            memory_bytes: bytes,
+            alpha,
+        });
         bytes
     };
 
@@ -134,7 +143,12 @@ pub fn tune_by_model(coo: &CooTensor, mode: usize, opts: &ModelTuneOptions) -> M
         }
     }
 
-    ModelTuneResult { grid, strip_width: best_strip, memory_bytes: best_bytes, history }
+    ModelTuneResult {
+        grid,
+        strip_width: best_strip,
+        memory_bytes: best_bytes,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -152,7 +166,11 @@ mod tests {
             box_frac: 0.04,
         };
         let x = clustered_tensor(&cfg, 5);
-        let opts = ModelTuneOptions { rank: 32, max_blocks: 8, sample_nnz: 10_000 };
+        let opts = ModelTuneOptions {
+            rank: 32,
+            max_blocks: 8,
+            sample_nnz: 10_000,
+        };
         let r = tune_by_model(&x, 0, &opts);
         assert!(r.strip_width >= 1 && r.strip_width <= 32);
         for ax in 0..3 {
@@ -179,7 +197,11 @@ mod tests {
             box_frac: 0.05,
         };
         let x = clustered_tensor(&cfg, 9);
-        let opts = ModelTuneOptions { rank: 64, max_blocks: 8, sample_nnz: 30_000 };
+        let opts = ModelTuneOptions {
+            rank: 64,
+            max_blocks: 8,
+            sample_nnz: 30_000,
+        };
         let r = tune_by_model(&x, 0, &opts);
         let base = r.history.first().unwrap();
         assert!(

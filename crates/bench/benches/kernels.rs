@@ -24,7 +24,10 @@ fn bench_kernels(c: &mut Criterion) {
             ("splatt", Box::new(SplattKernel::new(&x, 0))),
             ("mb", Box::new(MbKernel::new(&x, 0, [4, 4, 2]))),
             ("rankb", Box::new(RankBKernel::new(&x, 0, 16))),
-            ("mb_rankb", Box::new(MbRankBKernel::new(&x, 0, [4, 4, 2], 16))),
+            (
+                "mb_rankb",
+                Box::new(MbRankBKernel::new(&x, 0, [4, 4, 2], 16)),
+            ),
         ];
 
         let mut group = c.benchmark_group(format!("mttkrp/{name}"));

@@ -17,7 +17,14 @@ fn bench_mb_sweep(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("mb_sweep/poisson3_r64");
     group.sample_size(10);
-    for grid in [[1usize, 1, 1], [1, 4, 1], [1, 10, 5], [4, 4, 4], [8, 1, 1], [1, 1, 8]] {
+    for grid in [
+        [1usize, 1, 1],
+        [1, 4, 1],
+        [1, 10, 5],
+        [4, 4, 4],
+        [8, 1, 1],
+        [1, 1, 8],
+    ] {
         let kernel = MbKernel::new(&x, 0, grid);
         let label = format!("{}x{}x{}", grid[0], grid[1], grid[2]);
         group.bench_function(BenchmarkId::from_parameter(label), |b| {

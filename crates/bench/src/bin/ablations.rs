@@ -21,7 +21,9 @@ use tenblock_tensor::DenseMatrix;
 fn main() {
     let scale = arg_scale();
     let reps = arg_reps(3);
-    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(128);
+    let rank: usize = arg_value("--rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
     let seed = arg_seed();
 
     let x = scaled_dataset(Dataset::Nell2, scale, seed);
@@ -35,7 +37,7 @@ fn main() {
     let row = |name: &str, secs: f64, base: Option<f64>| {
         match base {
             Some(b) => println!("  {name:<34} {secs:>9.4} s   ({:>5.2}x)", b / secs),
-            None => println!("  {name:<34} {secs:>9.4} s", ),
+            None => println!("  {name:<34} {secs:>9.4} s",),
         }
         secs
     };
@@ -89,7 +91,10 @@ fn main() {
         row("SPLATT kernel (Algorithm 1)", tsp_f, Some(tcoo_f));
     }
 
-    println!("\n[4] rayon parallelism ({} threads available):", rayon::current_num_threads());
+    println!(
+        "\n[4] rayon parallelism ({} threads available):",
+        rayon::current_num_threads()
+    );
     let base_seq = SplattKernel::new(&x, 0);
     let base_par = SplattKernel::new(&x, 0).with_parallel(true);
     let t1 = time_kernel(&base_seq, &factors, &mut out, reps);

@@ -20,7 +20,9 @@ fn main() {
     // Tracing is ~100x slower than running, so default to a small slice.
     let scale = arg_value("--scale").map(|_| arg_scale()).unwrap_or(0.05);
     let seed = arg_seed();
-    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let rank: usize = arg_value("--rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let ds = arg_value("--dataset")
         .and_then(|n| {
             ALL_DATASETS

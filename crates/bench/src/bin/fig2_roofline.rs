@@ -38,7 +38,11 @@ fn main() {
         println!(
             "  R={rank:>5} alpha={alpha:.2}: I={i:>6.2} -> {} on POWER8 \
              (attainable {:.0} Gflop/s)",
-            if m.is_memory_bound(i) { "memory-bound" } else { "compute-bound" },
+            if m.is_memory_bound(i) {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            },
             m.attainable_gflops(i)
         );
     }

@@ -15,7 +15,9 @@ use tenblock_tensor::DenseMatrix;
 fn main() {
     let scale = arg_scale();
     let reps = arg_reps(3);
-    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(512);
+    let rank: usize = arg_value("--rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
     let seed = arg_seed();
 
     println!("Figure 4: performance vs RankB block count (rank {rank})");

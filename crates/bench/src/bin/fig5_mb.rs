@@ -16,7 +16,9 @@ use tenblock_tensor::DenseMatrix;
 fn main() {
     let scale = arg_scale();
     let reps = arg_reps(3);
-    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(128);
+    let rank: usize = arg_value("--rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
     let seed = arg_seed();
 
     // Grids mirroring the paper's Figure 5 sweeps: blocking the long mode

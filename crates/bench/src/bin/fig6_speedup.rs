@@ -25,8 +25,11 @@ fn main() {
     let mut csv: Option<std::fs::File> = arg_value("--csv").map(|p| {
         use std::io::Write;
         let mut f = std::fs::File::create(p).expect("create csv");
-        writeln!(f, "dataset,rank,splatt_secs,mb_speedup,rankb_speedup,mb_rankb_speedup")
-            .unwrap();
+        writeln!(
+            f,
+            "dataset,rank,splatt_secs,mb_speedup,rankb_speedup,mb_rankb_speedup"
+        )
+        .unwrap();
         f
     });
 

@@ -19,7 +19,9 @@ use tenblock_tensor::DenseMatrix;
 fn main() {
     let scale = arg_scale();
     let seed = arg_seed();
-    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let rank: usize = arg_value("--rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
 
     println!("model-guided vs measured tuning (rank {rank})");
     println!(

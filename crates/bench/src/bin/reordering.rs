@@ -10,7 +10,9 @@
 //!
 //! Run: `cargo run -p tenblock-bench --release --bin reordering [--scale f] [--rank r]`
 
-use tenblock_bench::{arg_reps, arg_scale, arg_seed, arg_value, bench_factors, scaled_dataset, time_kernel};
+use tenblock_bench::{
+    arg_reps, arg_scale, arg_seed, arg_value, bench_factors, scaled_dataset, time_kernel,
+};
 use tenblock_core::block::MbRankBKernel;
 use tenblock_core::mttkrp::SplattKernel;
 use tenblock_core::{tune, TuneOptions};
@@ -21,7 +23,9 @@ use tenblock_tensor::DenseMatrix;
 fn main() {
     let scale = arg_scale();
     let reps = arg_reps(3);
-    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let rank: usize = arg_value("--rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let seed = arg_seed();
 
     let original = scaled_dataset(Dataset::Nell2, scale, seed);
@@ -53,8 +57,14 @@ fn main() {
     // reorderings (factors are permuted consistently; timing uses the same
     // synthetic values so only the access pattern changes)
     for (name, reordering) in [
-        ("SPLATT + degree-sort reordering", Reordering::by_degree(&scrambled)),
-        ("SPLATT + first-touch reordering", Reordering::by_first_touch(&scrambled)),
+        (
+            "SPLATT + degree-sort reordering",
+            Reordering::by_degree(&scrambled),
+        ),
+        (
+            "SPLATT + first-touch reordering",
+            Reordering::by_first_touch(&scrambled),
+        ),
     ] {
         let rt = reordering.apply(&scrambled);
         let rfactors: Vec<DenseMatrix> = (0..3)

@@ -14,7 +14,9 @@ use tenblock_tensor::gen::{poisson_tensor, PoissonConfig};
 fn main() {
     let scale = arg_scale();
     let reps = arg_reps(3);
-    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(128);
+    let rank: usize = arg_value("--rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
     let seed = arg_seed();
 
     eprintln!("generating Poisson3 analogue (scale {scale}) ...");
@@ -43,7 +45,10 @@ fn main() {
         .secs;
 
     println!("Table I: pressure points for SPLATT MTTKRP (mode 1, rank {rank})");
-    println!("{:<5} {:>10} {:>8}  Description", "Type", "Time (s)", "vs base");
+    println!(
+        "{:<5} {:>10} {:>8}  Description",
+        "Type", "Time (s)", "vs base"
+    );
     for r in &results {
         println!(
             "{:<5} {:>10.4} {:>7.1}%  {}",

@@ -13,7 +13,9 @@ use tenblock_tensor::gen::Dataset;
 fn main() {
     let scale = arg_scale();
     let seed = arg_seed();
-    let rank: usize = arg_value("--rank").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let rank: usize = arg_value("--rank")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let nodes: Vec<usize> = arg_value("--nodes")
         .map(|s| s.split(',').filter_map(|t| t.parse().ok()).collect())
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16, 32, 64]);

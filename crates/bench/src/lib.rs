@@ -25,17 +25,23 @@ pub fn arg_value(name: &str) -> Option<String> {
 
 /// Parses `--scale` (default 1.0).
 pub fn arg_scale() -> f64 {
-    arg_value("--scale").and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    arg_value("--scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Parses `--reps` (default `default`).
 pub fn arg_reps(default: usize) -> usize {
-    arg_value("--reps").and_then(|s| s.parse().ok()).unwrap_or(default)
+    arg_value("--reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Parses `--seed` (default 42).
 pub fn arg_seed() -> u64 {
-    arg_value("--seed").and_then(|s| s.parse().ok()).unwrap_or(42)
+    arg_value("--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
 }
 
 /// Generates a data set scaled by `scale`: nnz scales linearly, dimensions

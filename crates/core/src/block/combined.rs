@@ -90,7 +90,11 @@ impl MttkrpKernel for MbRankBKernel {
         let b = factors[perm[1]];
         let c = factors[perm[2]];
         let rank = out.cols();
-        assert_eq!(out.rows(), self.grid.dims()[perm[0]], "output rows != mode length");
+        assert_eq!(
+            out.rows(),
+            self.grid.dims()[perm[0]],
+            "output rows != mode length"
+        );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
         out.fill_zero();

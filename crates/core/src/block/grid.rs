@@ -76,7 +76,8 @@ impl BlockGrid {
                 (((a * nb + b) * nc + c) as u32, *e)
             })
             .collect();
-        tagged.sort_unstable_by_key(|&(id, e)| (id, e.idx[perm[0]], e.idx[perm[2]], e.idx[perm[1]]));
+        tagged
+            .sort_unstable_by_key(|&(id, e)| (id, e.idx[perm[0]], e.idx[perm[2]], e.idx[perm[1]]));
 
         let mut blocks: Vec<Option<SplattTensor>> = Vec::with_capacity(n_blocks);
         let mut pos = 0;
@@ -89,12 +90,21 @@ impl BlockGrid {
                 blocks.push(None);
             } else {
                 let entries: Vec<Entry> = tagged[start..pos].iter().map(|&(_, e)| e).collect();
-                blocks.push(Some(SplattTensor::from_entries_compressed(dims, perm, entries)));
+                blocks.push(Some(SplattTensor::from_entries_compressed(
+                    dims, perm, entries,
+                )));
             }
         }
         debug_assert_eq!(pos, tagged.len());
 
-        BlockGrid { dims, perm, grid, bounds, blocks, nnz: coo.nnz() }
+        BlockGrid {
+            dims,
+            perm,
+            grid,
+            bounds,
+            blocks,
+            nnz: coo.nnz(),
+        }
     }
 
     /// Global tensor dimensions (original mode order).

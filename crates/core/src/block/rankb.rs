@@ -85,7 +85,9 @@ pub(crate) fn rankb_pass<B: RowWindow, C: RowWindow>(
         return;
     }
     if parallel {
-        let chunk = n_slices.div_ceil(4 * rayon::current_num_threads().max(1)).max(1);
+        let chunk = n_slices
+            .div_ceil(4 * rayon::current_num_threads().max(1))
+            .max(1);
         let mut bounds: Vec<usize> = (0..n_slices).step_by(chunk).collect();
         bounds.push(n_slices);
         let chunks = split_rows_by_bounds(out.as_mut_slice(), &bounds, rank);
@@ -94,7 +96,17 @@ pub(crate) fn rankb_pass<B: RowWindow, C: RowWindow>(
             process_block_rankb(t, b, c, lo..hi, rows, lo, rank, col0, width);
         });
     } else {
-        process_block_rankb(t, b, c, 0..n_slices, out.as_mut_slice(), 0, rank, col0, width);
+        process_block_rankb(
+            t,
+            b,
+            c,
+            0..n_slices,
+            out.as_mut_slice(),
+            0,
+            rank,
+            col0,
+            width,
+        );
     }
 }
 
@@ -104,7 +116,11 @@ impl MttkrpKernel for RankBKernel {
         let b = factors[perm[1]];
         let c = factors[perm[2]];
         let rank = out.cols();
-        assert_eq!(out.rows(), self.t.dims()[perm[0]], "output rows != mode length");
+        assert_eq!(
+            out.rows(),
+            self.t.dims()[perm[0]],
+            "output rows != mode length"
+        );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
         out.fill_zero();

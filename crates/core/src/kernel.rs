@@ -73,7 +73,11 @@ pub struct KernelConfig {
 
 impl Default for KernelConfig {
     fn default() -> Self {
-        KernelConfig { grid: [1, 1, 1], strip_width: 0, parallel: false }
+        KernelConfig {
+            grid: [1, 1, 1],
+            strip_width: 0,
+            parallel: false,
+        }
     }
 }
 
@@ -88,13 +92,15 @@ pub fn build_kernel(
     mode: usize,
     cfg: &KernelConfig,
 ) -> Box<dyn MttkrpKernel> {
-    let strip = if cfg.strip_width == 0 { 16 } else { cfg.strip_width };
+    let strip = if cfg.strip_width == 0 {
+        16
+    } else {
+        cfg.strip_width
+    };
     match kind {
         KernelKind::Coo => Box::new(CooKernel::new(coo, mode)),
         KernelKind::Splatt => Box::new(SplattKernel::new(coo, mode).with_parallel(cfg.parallel)),
-        KernelKind::Mb => {
-            Box::new(MbKernel::new(coo, mode, cfg.grid).with_parallel(cfg.parallel))
-        }
+        KernelKind::Mb => Box::new(MbKernel::new(coo, mode, cfg.grid).with_parallel(cfg.parallel)),
         KernelKind::RankB => {
             Box::new(RankBKernel::new(coo, mode, strip).with_parallel(cfg.parallel))
         }
@@ -124,7 +130,11 @@ mod tests {
             .map(|&d| DenseMatrix::from_fn(d, rank, |r, c| ((r + c) % 5) as f64))
             .collect();
         let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
-        let cfg = KernelConfig { grid: [2, 2, 2], strip_width: 4, parallel: false };
+        let cfg = KernelConfig {
+            grid: [2, 2, 2],
+            strip_width: 4,
+            parallel: false,
+        };
 
         let mut reference: Option<DenseMatrix> = None;
         for kind in KernelKind::ALL {

@@ -33,7 +33,9 @@ pub struct AllModeKernel {
 impl AllModeKernel {
     /// Builds the mode-1-oriented representation used for the fused pass.
     pub fn new(coo: &CooTensor) -> Self {
-        AllModeKernel { t: SplattTensor::for_mode(coo, 0) }
+        AllModeKernel {
+            t: SplattTensor::for_mode(coo, 0),
+        }
     }
 
     /// Computes all three MTTKRPs at the factor state `factors`,
@@ -41,11 +43,7 @@ impl AllModeKernel {
     ///
     /// # Panics
     /// Panics on shape mismatches.
-    pub fn mttkrp_all(
-        &self,
-        factors: &[&DenseMatrix; NMODES],
-        outs: &mut [DenseMatrix; NMODES],
-    ) {
+    pub fn mttkrp_all(&self, factors: &[&DenseMatrix; NMODES], outs: &mut [DenseMatrix; NMODES]) {
         let dims = self.t.dims();
         let rank = factors[0].cols();
         for m in 0..NMODES {

@@ -30,7 +30,12 @@ impl CooKernel {
             .map(|e| (e.idx[perm[0]], e.idx[perm[1]], e.idx[perm[2]], e.val))
             .collect();
         entries.sort_unstable_by_key(|&(i, j, k, _)| (i, k, j));
-        CooKernel { mode, perm, dims: coo.dims(), entries }
+        CooKernel {
+            mode,
+            perm,
+            dims: coo.dims(),
+            entries,
+        }
     }
 }
 
@@ -39,7 +44,11 @@ impl MttkrpKernel for CooKernel {
         let b = factors[self.perm[1]];
         let c = factors[self.perm[2]];
         let rank = out.cols();
-        assert_eq!(out.rows(), self.dims[self.perm[0]], "output rows != mode length");
+        assert_eq!(
+            out.rows(),
+            self.dims[self.perm[0]],
+            "output rows != mode length"
+        );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
         out.fill_zero();

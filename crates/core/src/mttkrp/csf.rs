@@ -23,12 +23,20 @@ pub struct CsfKernel {
 impl CsfKernel {
     /// Builds the CSF representation rooted at `mode`.
     pub fn new(x: &NdCooTensor, mode: usize) -> Self {
-        CsfKernel { t: CsfTensor::for_mode(x, mode), strip_width: usize::MAX, parallel: false }
+        CsfKernel {
+            t: CsfTensor::for_mode(x, mode),
+            strip_width: usize::MAX,
+            parallel: false,
+        }
     }
 
     /// Wraps an existing CSF tensor.
     pub fn from_csf(t: CsfTensor) -> Self {
-        CsfKernel { t, strip_width: usize::MAX, parallel: false }
+        CsfKernel {
+            t,
+            strip_width: usize::MAX,
+            parallel: false,
+        }
     }
 
     /// Enables or disables rayon parallelism over root-node chunks.
@@ -64,7 +72,11 @@ impl CsfKernel {
         assert_eq!(factors.len(), order, "need one factor per mode");
         let rank = out.cols();
         let root_mode = self.t.perm()[0];
-        assert_eq!(out.rows(), self.t.dims()[root_mode], "output rows != root mode length");
+        assert_eq!(
+            out.rows(),
+            self.t.dims()[root_mode],
+            "output rows != root mode length"
+        );
         for (m, f) in factors.iter().enumerate() {
             if m != root_mode {
                 assert_eq!(f.cols(), rank, "factor {m} rank mismatch");
@@ -86,21 +98,37 @@ impl CsfKernel {
     }
 
     /// One rank-strip pass over the whole tree.
-    fn strip_pass(&self, factors: &[&DenseMatrix], out: &mut DenseMatrix, col0: usize, width: usize) {
+    fn strip_pass(
+        &self,
+        factors: &[&DenseMatrix],
+        out: &mut DenseMatrix,
+        col0: usize,
+        width: usize,
+    ) {
         let n_roots = self.t.n_nodes(0);
         if n_roots == 0 {
             return;
         }
         let rank = out.cols();
         if !self.parallel {
-            self.process_roots(0..n_roots, factors, out.as_mut_slice(), 0, rank, col0, width);
+            self.process_roots(
+                0..n_roots,
+                factors,
+                out.as_mut_slice(),
+                0,
+                rank,
+                col0,
+                width,
+            );
             return;
         }
         // Parallel: root fids are strictly increasing, so chunks of roots
         // own disjoint, ascending output-row ranges — split the buffer at
         // each chunk's first row.
         use rayon::prelude::*;
-        let chunk = n_roots.div_ceil(4 * rayon::current_num_threads().max(1)).max(1);
+        let chunk = n_roots
+            .div_ceil(4 * rayon::current_num_threads().max(1))
+            .max(1);
         let starts: Vec<usize> = (0..n_roots).step_by(chunk).collect();
         let mut jobs: Vec<(std::ops::Range<usize>, usize, &mut [f64])> = Vec::new();
         let mut buf = out.as_mut_slice();
@@ -176,8 +204,7 @@ impl CsfKernel {
         into: &mut [f64],
         rest: &mut [Vec<f64>],
     ) {
-        let frow = &factors[self.t.perm()[l]].row(self.t.fid(l, node) as usize)
-            [col0..col0 + width];
+        let frow = &factors[self.t.perm()[l]].row(self.t.fid(l, node) as usize)[col0..col0 + width];
         if l == self.t.order() - 1 {
             let v = self.t.values()[node];
             for (o, &f) in into.iter_mut().zip(frow) {
@@ -207,7 +234,9 @@ impl Csf3Kernel {
     /// Builds the CSF representation of a 3-mode tensor rooted at `mode`.
     pub fn new(coo: &tenblock_tensor::CooTensor, mode: usize) -> Self {
         let nd = NdCooTensor::from_coo3(coo);
-        Csf3Kernel { inner: CsfKernel::new(&nd, mode) }
+        Csf3Kernel {
+            inner: CsfKernel::new(&nd, mode),
+        }
     }
 
     /// Enables rank blocking on the wrapped kernel.
@@ -224,11 +253,7 @@ impl Csf3Kernel {
 }
 
 impl crate::kernel::MttkrpKernel for Csf3Kernel {
-    fn mttkrp(
-        &self,
-        factors: &[&DenseMatrix; tenblock_tensor::NMODES],
-        out: &mut DenseMatrix,
-    ) {
+    fn mttkrp(&self, factors: &[&DenseMatrix; tenblock_tensor::NMODES], out: &mut DenseMatrix) {
         self.inner.mttkrp(&factors[..], out);
     }
 
@@ -246,11 +271,7 @@ impl crate::kernel::MttkrpKernel for Csf3Kernel {
 }
 
 /// Brute-force N-mode MTTKRP reference: per-entry products (COO style).
-pub fn nd_mttkrp_reference(
-    x: &NdCooTensor,
-    factors: &[&DenseMatrix],
-    mode: usize,
-) -> DenseMatrix {
+pub fn nd_mttkrp_reference(x: &NdCooTensor, factors: &[&DenseMatrix], mode: usize) -> DenseMatrix {
     let rank = factors[(mode + 1) % x.order()].cols();
     let mut out = DenseMatrix::zeros(x.dims()[mode], rank);
     for n in 0..x.nnz() {
@@ -365,7 +386,10 @@ mod tests {
             let csf = CsfKernel::new(&nd, mode);
             let mut b = DenseMatrix::zeros(dims[mode], rank);
             csf.mttkrp(&frefs, &mut b);
-            assert!(a.approx_eq(&b, 1e-9), "mode {mode}: CSF disagrees with SPLATT");
+            assert!(
+                a.approx_eq(&b, 1e-9),
+                "mode {mode}: CSF disagrees with SPLATT"
+            );
         }
     }
 

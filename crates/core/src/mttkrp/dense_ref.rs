@@ -11,11 +11,7 @@ use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
 /// # Panics
 /// Panics if the flattened dimension `J*K` is enormous (guard against
 /// accidentally calling this on benchmark-sized data).
-pub fn dense_mttkrp(
-    x: &CooTensor,
-    factors: &[&DenseMatrix; NMODES],
-    mode: usize,
-) -> DenseMatrix {
+pub fn dense_mttkrp(x: &CooTensor, factors: &[&DenseMatrix; NMODES], mode: usize) -> DenseMatrix {
     let perm = perm_for_mode(mode);
     let dims = x.dims();
     let (di, dj, dk) = (dims[perm[0]], dims[perm[1]], dims[perm[2]]);

@@ -152,8 +152,7 @@ pub(crate) fn process_block_rankb<B: RowWindow, C: RowWindow>(
                 for n in nz.clone() {
                     let v = vals[n];
                     let brow = b.window(j_idx[n] as usize);
-                    let bchunk: &[f64; REG_BLOCK] =
-                        brow[col..col + REG_BLOCK].try_into().unwrap();
+                    let bchunk: &[f64; REG_BLOCK] = brow[col..col + REG_BLOCK].try_into().unwrap();
                     for l in 0..REG_BLOCK {
                         reg[l] += v * bchunk[l];
                     }

@@ -25,12 +25,20 @@ impl SplattKernel {
     /// Builds the SPLATT representation of `coo` for the mode-`mode`
     /// MTTKRP.
     pub fn new(coo: &CooTensor, mode: usize) -> Self {
-        SplattKernel { mode, t: SplattTensor::for_mode(coo, mode), parallel: false }
+        SplattKernel {
+            mode,
+            t: SplattTensor::for_mode(coo, mode),
+            parallel: false,
+        }
     }
 
     /// Wraps an already-built SPLATT tensor (its `perm()[0]` is the mode).
     pub fn from_splatt(t: SplattTensor) -> Self {
-        SplattKernel { mode: t.perm()[0], t, parallel: false }
+        SplattKernel {
+            mode: t.perm()[0],
+            t,
+            parallel: false,
+        }
     }
 
     /// Enables or disables rayon parallelism over slices.
@@ -51,7 +59,11 @@ impl MttkrpKernel for SplattKernel {
         let b = factors[perm[1]];
         let c = factors[perm[2]];
         let rank = out.cols();
-        assert_eq!(out.rows(), self.t.dims()[perm[0]], "output rows != mode length");
+        assert_eq!(
+            out.rows(),
+            self.t.dims()[perm[0]],
+            "output rows != mode length"
+        );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
         out.fill_zero();
@@ -62,7 +74,9 @@ impl MttkrpKernel for SplattKernel {
         }
         if self.parallel {
             // Chunk output rows so each worker owns a disjoint slice range.
-            let chunk = n_slices.div_ceil(4 * rayon::current_num_threads().max(1)).max(1);
+            let chunk = n_slices
+                .div_ceil(4 * rayon::current_num_threads().max(1))
+                .max(1);
             out.as_mut_slice()
                 .par_chunks_mut(chunk * rank)
                 .enumerate()

@@ -41,7 +41,13 @@ pub struct TuneOptions {
 impl TuneOptions {
     /// Sensible defaults for a given rank.
     pub fn new(rank: usize) -> Self {
-        TuneOptions { rank, reps: 3, max_blocks: 64, parallel: false, seed: 0x7e9b10c4 }
+        TuneOptions {
+            rank,
+            reps: 3,
+            max_blocks: 64,
+            parallel: false,
+            seed: 0x7e9b10c4,
+        }
     }
 }
 
@@ -67,6 +73,18 @@ pub struct TuneResult {
     pub best_secs: f64,
     /// Every candidate evaluated, in search order.
     pub history: Vec<TuneSample>,
+}
+
+impl TuneResult {
+    /// The selected configuration as a [`crate::KernelConfig`], ready to
+    /// hand to [`crate::build_kernel`] (callers choose `parallel`).
+    pub fn config(&self, parallel: bool) -> crate::KernelConfig {
+        crate::KernelConfig {
+            grid: self.grid,
+            strip_width: self.strip_width,
+            parallel,
+        }
+    }
 }
 
 /// Deterministic pseudo-random factor matrices for candidate timing.
@@ -99,8 +117,7 @@ fn time_config(
     out: &mut DenseMatrix,
     opts: &TuneOptions,
 ) -> f64 {
-    let kernel =
-        MbRankBKernel::new(coo, mode, grid, strip_width).with_parallel(opts.parallel);
+    let kernel = MbRankBKernel::new(coo, mode, grid, strip_width).with_parallel(opts.parallel);
     let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
     let mut best = f64::INFINITY;
     for _ in 0..opts.reps.max(1) {
@@ -134,7 +151,11 @@ pub fn tune(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResult {
 
     let mut eval = |grid: [usize; NMODES], strip: usize, history: &mut Vec<TuneSample>| {
         let secs = time_config(coo, mode, grid, strip, &factors, &mut out, opts);
-        history.push(TuneSample { grid, strip_width: strip, secs });
+        history.push(TuneSample {
+            grid,
+            strip_width: strip,
+            secs,
+        });
         secs
     };
 
@@ -182,7 +203,12 @@ pub fn tune(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResult {
         }
     }
 
-    TuneResult { grid, strip_width: best_strip, best_secs, history }
+    TuneResult {
+        grid,
+        strip_width: best_strip,
+        best_secs,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +220,13 @@ mod tests {
     fn tune_returns_valid_config() {
         let cfg = ClusteredConfig::new([300, 500, 200], 20_000);
         let x = clustered_tensor(&cfg, 99);
-        let opts = TuneOptions { rank: 32, reps: 1, max_blocks: 8, parallel: false, seed: 1 };
+        let opts = TuneOptions {
+            rank: 32,
+            reps: 1,
+            max_blocks: 8,
+            parallel: false,
+            seed: 1,
+        };
         let r = tune(&x, 0, &opts);
         assert!(r.strip_width >= 1 && r.strip_width <= 32);
         for ax in 0..3 {
@@ -210,7 +242,13 @@ mod tests {
     fn tiny_rank_skips_strip_search() {
         let cfg = ClusteredConfig::new([50, 50, 50], 2_000);
         let x = clustered_tensor(&cfg, 3);
-        let opts = TuneOptions { rank: 8, reps: 1, max_blocks: 4, parallel: false, seed: 2 };
+        let opts = TuneOptions {
+            rank: 8,
+            reps: 1,
+            max_blocks: 4,
+            parallel: false,
+            seed: 2,
+        };
         let r = tune(&x, 1, &opts);
         // rank 8 < REG_BLOCK: only the single-strip candidate exists
         assert_eq!(r.strip_width, 8);
@@ -220,7 +258,13 @@ mod tests {
     fn longest_axis_is_explored_first() {
         let cfg = ClusteredConfig::new([20, 400, 20], 5_000);
         let x = clustered_tensor(&cfg, 5);
-        let opts = TuneOptions { rank: 16, reps: 1, max_blocks: 4, parallel: false, seed: 3 };
+        let opts = TuneOptions {
+            rank: 16,
+            reps: 1,
+            max_blocks: 4,
+            parallel: false,
+            seed: 3,
+        };
         let r = tune(&x, 0, &opts);
         // The first MB candidate in history (after strip phase) must block
         // the j axis (axis 1), the longest.
@@ -229,6 +273,10 @@ mod tests {
             .iter()
             .find(|s| s.grid != [1, 1, 1])
             .expect("some MB candidate was tried");
-        assert!(first_mb.grid[1] > 1, "expected j-axis first, got {:?}", first_mb.grid);
+        assert!(
+            first_mb.grid[1] > 1,
+            "expected j-axis first, got {:?}",
+            first_mb.grid
+        );
     }
 }

@@ -92,7 +92,11 @@ impl CpAls {
         let kernels = (0..NMODES)
             .map(|m| build_kernel(opts.kernel, x, m, &opts.kernel_cfg))
             .collect();
-        CpAls { opts, kernels, dims: x.dims() }
+        CpAls {
+            opts,
+            kernels,
+            dims: x.dims(),
+        }
     }
 
     /// Random initial factors in `[0, 1)` (the usual ALS start for
@@ -102,8 +106,9 @@ impl CpAls {
         self.dims
             .iter()
             .map(|&d| {
-                let data: Vec<f64> =
-                    (0..d * self.opts.rank).map(|_| rng.random::<f64>()).collect();
+                let data: Vec<f64> = (0..d * self.opts.rank)
+                    .map(|_| rng.random::<f64>())
+                    .collect();
                 DenseMatrix::from_vec(d, self.opts.rank, data)
             })
             .collect()
@@ -111,7 +116,11 @@ impl CpAls {
 
     /// Runs ALS on `x` (the same tensor the kernels were built from).
     pub fn run(&self, x: &CooTensor) -> CpAlsResult {
-        assert_eq!(x.dims(), self.dims, "tensor shape changed since kernel construction");
+        assert_eq!(
+            x.dims(),
+            self.dims,
+            "tensor shape changed since kernel construction"
+        );
         let rank = self.opts.rank;
         let mut factors = self.init_factors();
         let mut lambda = vec![1.0; rank];
@@ -218,16 +227,16 @@ mod tests {
             opts.max_iters = 25;
             opts.tol = 0.0;
             opts.kernel = kind;
-            opts.kernel_cfg =
-                KernelConfig { grid: [2, 2, 2], strip_width: 16, parallel: false };
+            opts.kernel_cfg = KernelConfig {
+                grid: [2, 2, 2],
+                strip_width: 16,
+                parallel: false,
+            };
             let result = CpAls::new(&x, opts).run(&x);
             fits.push(*result.fit_history.last().unwrap());
         }
         for f in &fits[1..] {
-            assert!(
-                (f - fits[0]).abs() < 1e-6,
-                "kernel fits diverge: {fits:?}"
-            );
+            assert!((f - fits[0]).abs() < 1e-6, "kernel fits diverge: {fits:?}");
         }
     }
 

@@ -151,11 +151,7 @@ pub fn cp_apr(x: &CooTensor, opts: &CpAprOptions) -> CpAprResult {
             // X ⊘ M at the nonzeros (model uses the λ-folded factor, λ=1).
             let ones = vec![1.0; rank];
             let m_at = model_at_nonzeros(x, &ones, &factors);
-            for ((sv, e), &m) in scaled
-                .values_mut()
-                .zip(x.entries().iter())
-                .zip(m_at.iter())
-            {
+            for ((sv, e), &m) in scaled.values_mut().zip(x.entries().iter()).zip(m_at.iter()) {
                 *sv = e.val / m.max(opts.eps);
             }
 
@@ -288,7 +284,11 @@ mod tests {
         o1.tol = 0.0;
         let mut o2 = o1.clone();
         o2.kernel = KernelKind::MbRankB;
-        o2.kernel_cfg = KernelConfig { grid: [2, 3, 2], strip_width: 16, parallel: false };
+        o2.kernel_cfg = KernelConfig {
+            grid: [2, 3, 2],
+            strip_width: 16,
+            parallel: false,
+        };
         let r1 = cp_apr(&x, &o1);
         let r2 = cp_apr(&x, &o2);
         for (a, b) in r1.loglik_history.iter().zip(&r2.loglik_history) {

@@ -40,7 +40,13 @@ pub struct GcpOptions {
 impl GcpOptions {
     /// Defaults: 200 Adam steps at `lr = 0.05`.
     pub fn new(rank: usize) -> Self {
-        GcpOptions { rank, max_iters: 200, lr: 0.05, tol: 1e-9, seed: 0x6c9 }
+        GcpOptions {
+            rank,
+            max_iters: 200,
+            lr: 0.05,
+            tol: 1e-9,
+            seed: 0x6c9,
+        }
     }
 }
 
@@ -242,6 +248,9 @@ mod tests {
         }
         // Adam is not strictly monotone, but at a small lr increases should
         // be rare
-        assert!(increases < result.loss_history.len() / 4, "{increases} increases");
+        assert!(
+            increases < result.loss_history.len() / 4,
+            "{increases} increases"
+        );
     }
 }

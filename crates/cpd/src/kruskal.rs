@@ -68,10 +68,7 @@ impl KruskalTensor {
         assert_eq!(x.dims(), self.dims(), "tensor/model shape mismatch");
         x.entries()
             .iter()
-            .map(|e| {
-                e.val
-                    * self.value_at(e.idx[0] as usize, e.idx[1] as usize, e.idx[2] as usize)
-            })
+            .map(|e| e.val * self.value_at(e.idx[0] as usize, e.idx[1] as usize, e.idx[2] as usize))
             .sum()
     }
 
@@ -99,9 +96,7 @@ impl KruskalTensor {
                 for k in 0..dims[2] {
                     let v = self.value_at(i, j, k);
                     if v != 0.0 {
-                        entries.push(tenblock_tensor::Entry::new(
-                            i as u32, j as u32, k as u32, v,
-                        ));
+                        entries.push(tenblock_tensor::Entry::new(i as u32, j as u32, k as u32, v));
                     }
                 }
             }

@@ -56,11 +56,7 @@ pub fn init_factor(mode: usize, rows: usize, rank: usize, seed: u64) -> DenseMat
 }
 
 /// One ALS mode update given the (already reduced, global) MTTKRP result.
-fn als_update(
-    mttkrp: &DenseMatrix,
-    grams: &[DenseMatrix],
-    mode: usize,
-) -> (DenseMatrix, Vec<f64>) {
+fn als_update(mttkrp: &DenseMatrix, grams: &[DenseMatrix], mode: usize) -> (DenseMatrix, Vec<f64>) {
     use tenblock_cpd_linalg::{hadamard_assign, normalize_columns, solve_spd_rhs_rows};
     let others: Vec<usize> = (0..NMODES).filter(|&o| o != mode).collect();
     let mut v = grams[others[0]].clone();
@@ -238,8 +234,7 @@ pub fn distributed_als(
         let mut factors: Vec<DenseMatrix> = (0..NMODES)
             .map(|m| init_factor(m, dims[m], rank, opts.seed))
             .collect();
-        let mut grams: Vec<DenseMatrix> =
-            factors.iter().map(tenblock_cpd_linalg::gram).collect();
+        let mut grams: Vec<DenseMatrix> = factors.iter().map(tenblock_cpd_linalg::gram).collect();
         let mut lambda = vec![1.0; rank];
         let local = part.local(me);
         let kernels: Vec<Option<SplattKernel>> = (0..NMODES)
@@ -270,7 +265,12 @@ pub fn distributed_als(
     // the final state only; per-iteration fits would need per-iteration
     // snapshots — we recompute the final fit, which tests compare.
     let fit = model_fit(&rel, &lambda, &factors);
-    DistAlsResult { factors, lambda, fit_history: vec![fit], wire_bytes }
+    DistAlsResult {
+        factors,
+        lambda,
+        fit_history: vec![fit],
+        wire_bytes,
+    }
 }
 
 /// Sequential reference: the identical algorithm on a single rank. The
@@ -289,7 +289,11 @@ mod tests {
     #[test]
     fn distributed_als_matches_single_rank_run() {
         let x = uniform_tensor([15, 12, 10], 400, 6);
-        let opts = DistAlsOptions { rank: 4, iters: 6, seed: 11 };
+        let opts = DistAlsOptions {
+            rank: 4,
+            iters: 6,
+            seed: 11,
+        };
         // identical partition seed => identical relabeling => identical math
         let single = distributed_als(&x, [1, 1, 1], &opts);
         let multi = distributed_als(&x, [2, 2, 1], &opts);
@@ -311,8 +315,24 @@ mod tests {
     #[test]
     fn distributed_als_improves_fit() {
         let x = uniform_tensor([20, 20, 20], 800, 9);
-        let short = distributed_als(&x, [2, 1, 2], &DistAlsOptions { rank: 4, iters: 1, seed: 3 });
-        let long = distributed_als(&x, [2, 1, 2], &DistAlsOptions { rank: 4, iters: 10, seed: 3 });
+        let short = distributed_als(
+            &x,
+            [2, 1, 2],
+            &DistAlsOptions {
+                rank: 4,
+                iters: 1,
+                seed: 3,
+            },
+        );
+        let long = distributed_als(
+            &x,
+            [2, 1, 2],
+            &DistAlsOptions {
+                rank: 4,
+                iters: 10,
+                seed: 3,
+            },
+        );
         assert!(
             long.fit_history[0] >= short.fit_history[0] - 1e-9,
             "fit regressed: {} vs {}",
@@ -324,8 +344,24 @@ mod tests {
     #[test]
     fn wire_volume_scales_with_iterations() {
         let x = uniform_tensor([12, 12, 12], 300, 4);
-        let one = distributed_als(&x, [2, 2, 2], &DistAlsOptions { rank: 3, iters: 1, seed: 5 });
-        let three = distributed_als(&x, [2, 2, 2], &DistAlsOptions { rank: 3, iters: 3, seed: 5 });
+        let one = distributed_als(
+            &x,
+            [2, 2, 2],
+            &DistAlsOptions {
+                rank: 3,
+                iters: 1,
+                seed: 5,
+            },
+        );
+        let three = distributed_als(
+            &x,
+            [2, 2, 2],
+            &DistAlsOptions {
+                rank: 3,
+                iters: 3,
+                seed: 5,
+            },
+        );
         assert_eq!(three.wire_bytes, 3 * one.wire_bytes);
     }
 }

@@ -18,7 +18,10 @@ impl CommParams {
     /// A 2018-era InfiniBand EDR-class cluster like the paper's: ~1.5 µs
     /// latency, ~12 GB/s per-link bandwidth.
     pub fn cluster_2018() -> Self {
-        CommParams { alpha: 1.5e-6, beta: 1.0 / 12.0e9 }
+        CommParams {
+            alpha: 1.5e-6,
+            beta: 1.0 / 12.0e9,
+        }
     }
 
     /// Point-to-point message of `bytes`.
@@ -75,7 +78,10 @@ mod tests {
 
     #[test]
     fn ptp_affine() {
-        let c = CommParams { alpha: 1e-6, beta: 1e-9 };
+        let c = CommParams {
+            alpha: 1e-6,
+            beta: 1e-9,
+        };
         assert!((c.ptp(0.0) - 1e-6).abs() < 1e-18);
         assert!((c.ptp(1000.0) - (1e-6 + 1e-6)).abs() < 1e-12);
     }

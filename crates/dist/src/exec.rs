@@ -60,7 +60,10 @@ impl DistConfig {
     pub fn new(rank: usize) -> Self {
         DistConfig {
             rank,
-            local: LocalKernel::Blocked { grid: [1, 1, 1], strip: usize::MAX },
+            local: LocalKernel::Blocked {
+                grid: [1, 1, 1],
+                strip: usize::MAX,
+            },
             comm: CommParams::cluster_2018(),
             seed: 0x5eed,
             reps: 2,
@@ -109,7 +112,12 @@ fn time_local(local: &CooTensor, kernel: LocalKernel, width: usize, reps: usize)
         LocalKernel::Baseline => Box::new(SplattKernel::new(local, 0)),
         LocalKernel::Blocked { grid, strip } => {
             let clamped = std::array::from_fn(|ax| grid[ax].clamp(1, dims[ax].max(1)));
-            Box::new(MbRankBKernel::new(local, 0, clamped, strip.clamp(1, width.max(1))))
+            Box::new(MbRankBKernel::new(
+                local,
+                0,
+                clamped,
+                strip.clamp(1, width.max(1)),
+            ))
         }
     };
     let mut best = f64::INFINITY;
@@ -143,7 +151,12 @@ fn comm_3d(
 
 /// Ideal-balance communication score used by the grid search (no
 /// partitioning required): assumes chunk widths `dim/g`.
-fn comm_score(comm: &CommParams, dims: [usize; NMODES], grid: [usize; NMODES], width: usize) -> f64 {
+fn comm_score(
+    comm: &CommParams,
+    dims: [usize; NMODES],
+    grid: [usize; NMODES],
+    width: usize,
+) -> f64 {
     let chunks = std::array::from_fn(|m| dims[m].div_ceil(grid[m]));
     comm_3d(comm, grid, chunks, width)
 }

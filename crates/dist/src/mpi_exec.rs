@@ -122,8 +122,7 @@ pub fn execute_3d(
             let kernel: Box<dyn MttkrpKernel> = match local {
                 LocalKernel::Baseline => Box::new(SplattKernel::new(local_t, 0)),
                 LocalKernel::Blocked { grid: g, strip } => {
-                    let clamped =
-                        std::array::from_fn(|ax| g[ax].clamp(1, dims[ax].max(1)));
+                    let clamped = std::array::from_fn(|ax| g[ax].clamp(1, dims[ax].max(1)));
                     Box::new(MbRankBKernel::new(
                         local_t,
                         0,
@@ -164,10 +163,12 @@ pub fn execute_3d(
         }
     });
 
-    let output = results
-        .remove(0)
-        .expect("rank 0 assembles the output");
-    ExecOutcome { output, wire_bytes, n_ranks: p }
+    let output = results.remove(0).expect("rank 0 assembles the output");
+    ExecOutcome {
+        output,
+        wire_bytes,
+        n_ranks: p,
+    }
 }
 
 /// Executes a 4D (rank-split) distributed mode-1 MTTKRP for real: `t`
@@ -253,8 +254,7 @@ pub fn execute_4d(
             let kernel: Box<dyn MttkrpKernel> = match local {
                 LocalKernel::Baseline => Box::new(SplattKernel::new(local_t, 0)),
                 LocalKernel::Blocked { grid: gg, strip } => {
-                    let clamped =
-                        std::array::from_fn(|ax| gg[ax].clamp(1, dims[ax].max(1)));
+                    let clamped = std::array::from_fn(|ax| gg[ax].clamp(1, dims[ax].max(1)));
                     Box::new(MbRankBKernel::new(local_t, 0, clamped, strip.clamp(1, w)))
                 }
             };
@@ -298,7 +298,11 @@ pub fn execute_4d(
     });
 
     let output = results.remove(0).expect("rank 0 assembles the output");
-    ExecOutcome { output, wire_bytes, n_ranks: p }
+    ExecOutcome {
+        output,
+        wire_bytes,
+        n_ranks: p,
+    }
 }
 
 #[cfg(test)]
@@ -343,7 +347,10 @@ mod tests {
             &x,
             [2, 2, 1],
             8,
-            LocalKernel::Blocked { grid: [2, 2, 2], strip: 8 },
+            LocalKernel::Blocked {
+                grid: [2, 2, 2],
+                strip: 8,
+            },
             5,
         );
         let expect = sequential_reference(5, &x, [2, 2, 1], 8);
@@ -353,7 +360,12 @@ mod tests {
     #[test]
     fn executed_4d_matches_sequential() {
         let x = uniform_tensor([16, 15, 14], 450, 12);
-        for (grid3, t) in [([2, 1, 1], 2), ([1, 2, 1], 3), ([2, 2, 1], 2), ([1, 1, 1], 4)] {
+        for (grid3, t) in [
+            ([2, 1, 1], 2),
+            ([1, 2, 1], 3),
+            ([2, 2, 1], 2),
+            ([1, 1, 1], 4),
+        ] {
             let out = execute_4d(&x, grid3, t, 8, LocalKernel::Baseline, 21);
             let expect = sequential_reference(21, &x, grid3, 8);
             assert!(
@@ -373,7 +385,10 @@ mod tests {
             [2, 1, 2],
             2,
             12,
-            LocalKernel::Blocked { grid: [2, 2, 2], strip: 4 },
+            LocalKernel::Blocked {
+                grid: [2, 2, 2],
+                strip: 4,
+            },
             9,
         );
         let expect = sequential_reference(9, &x, [2, 1, 2], 12);
@@ -416,9 +431,7 @@ mod tests {
         // i-layer allreduce: per layer a, group g = r*s = 2 ranks each
         // send their chunk to g-1 = 1 peer
         let a_bytes: u64 = (0..2)
-            .map(|a| {
-                2 * (part.bounds(0)[a + 1] - part.bounds(0)[a]) as u64 * row
-            })
+            .map(|a| 2 * (part.bounds(0)[a + 1] - part.bounds(0)[a]) as u64 * row)
             .sum();
         // rank-0 gather: representative of layer a=1 ships its chunk
         let gather_bytes = (part.bounds(0)[2] - part.bounds(0)[1]) as u64 * row;

@@ -143,7 +143,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     });
     let total = bytes.load(Ordering::Relaxed);
     (results, total)
@@ -211,7 +214,11 @@ mod tests {
     #[test]
     fn subgroup_collectives_do_not_interfere() {
         let (results, _) = run_world(4, |ctx| {
-            let group: Vec<usize> = if ctx.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let group: Vec<usize> = if ctx.rank() < 2 {
+                vec![0, 1]
+            } else {
+                vec![2, 3]
+            };
             ctx.allreduce_sum(&group, 3, vec![ctx.rank() as f64])[0]
         });
         assert_eq!(results, vec![1.0, 1.0, 5.0, 5.0]);
@@ -219,9 +226,7 @@ mod tests {
 
     #[test]
     fn single_rank_world() {
-        let (results, bytes) = run_world(1, |ctx| {
-            ctx.allreduce_sum(&[0], 0, vec![42.0])[0]
-        });
+        let (results, bytes) = run_world(1, |ctx| ctx.allreduce_sum(&[0], 0, vec![42.0])[0]);
         assert_eq!(results, vec![42.0]);
         assert_eq!(bytes, 0);
     }

@@ -138,7 +138,14 @@ impl Partition3D {
             .map(|entries| CooTensor::from_entries(dims, entries))
             .collect();
 
-        Partition3D { grid, dims, bounds, perm_maps, locals, nnz: coo.nnz() }
+        Partition3D {
+            grid,
+            dims,
+            bounds,
+            perm_maps,
+            locals,
+            nnz: coo.nnz(),
+        }
     }
 
     /// The processor grid.

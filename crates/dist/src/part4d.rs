@@ -31,7 +31,11 @@ impl Partition4D {
         assert!(t > 0, "t must be positive");
         assert!(t <= rank, "cannot split rank {rank} into {t} strips");
         let col_bounds = (0..=t).map(|g| g * rank / t).collect();
-        Partition4D { part3: Partition3D::new(coo, grid3, seed), t, col_bounds }
+        Partition4D {
+            part3: Partition3D::new(coo, grid3, seed),
+            t,
+            col_bounds,
+        }
     }
 
     /// Number of rank-strips.
@@ -56,7 +60,10 @@ impl Partition4D {
 
     /// Width of the widest strip (per-group local rank).
     pub fn max_strip_width(&self) -> usize {
-        (0..self.t).map(|g| self.strip_cols(g).len()).max().unwrap_or(0)
+        (0..self.t)
+            .map(|g| self.strip_cols(g).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Memory overhead factor of tensor replication: `t` copies.

@@ -1,0 +1,255 @@
+//! Atomic service metrics: job counters by terminal state, queue depth,
+//! plan-cache hit/miss, and per-kernel MTTKRP latency histograms.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — counters
+//! tolerate torn reads across fields) so the hot path never blocks on a
+//! metrics mutex. [`Metrics::snapshot`] materializes a plain struct; the
+//! `metrics` protocol request serializes that.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket upper bounds in microseconds (the last bucket is
+/// unbounded). Chosen to straddle MTTKRP latencies from toy tensors (µs)
+/// to Amazon-scale modes (seconds).
+pub const LATENCY_BOUNDS_US: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    60_000_000,
+    600_000_000,
+];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+    total: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe(&self, seconds: f64) {
+        let us = (seconds * 1e6).max(0.0) as u64;
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-data view.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.counts.each_ref().map(|c| c.load(Ordering::Relaxed)),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            total: self.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Materialized histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations per bucket (last bucket is the overflow).
+    pub counts: [u64; LATENCY_BOUNDS_US.len() + 1],
+    /// Sum of all observations, microseconds.
+    pub sum_us: u64,
+    /// Number of observations.
+    pub total: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64 / 1e6
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "buckets_us",
+                Json::Arr(
+                    LATENCY_BOUNDS_US
+                        .iter()
+                        .map(|&b| Json::usize(b as usize))
+                        .collect(),
+                ),
+            ),
+            (
+                "counts",
+                Json::Arr(
+                    self.counts
+                        .iter()
+                        .map(|&c| Json::usize(c as usize))
+                        .collect(),
+                ),
+            ),
+            ("total", Json::usize(self.total as usize)),
+            ("mean_secs", Json::num(self.mean_secs())),
+        ])
+    }
+}
+
+/// All service counters. One instance lives for the life of the server.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Protocol requests handled (any command, ok or error).
+    pub requests: AtomicU64,
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs rejected because the queue was full.
+    pub jobs_rejected: AtomicU64,
+    /// Jobs that finished successfully.
+    pub jobs_done: AtomicU64,
+    /// Jobs that finished with an error (including missed deadlines).
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled before running.
+    pub jobs_cancelled: AtomicU64,
+    /// Tensors resident in the registry.
+    pub tensors_registered: AtomicU64,
+    /// Plan-cache hits (tune answered from cache).
+    pub plan_hits: AtomicU64,
+    /// Plan-cache misses (heuristic actually ran).
+    pub plan_misses: AtomicU64,
+    /// Latency of MTTKRP executions (the `mttkrp` job's kernel calls).
+    pub mttkrp_latency: LatencyHistogram,
+    /// Latency of whole jobs, queue wait included.
+    pub job_latency: LatencyHistogram,
+}
+
+/// Materialized view of [`Metrics`] plus instantaneous queue state.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests`].
+    pub requests: u64,
+    /// See [`Metrics::jobs_submitted`].
+    pub jobs_submitted: u64,
+    /// See [`Metrics::jobs_rejected`].
+    pub jobs_rejected: u64,
+    /// See [`Metrics::jobs_done`].
+    pub jobs_done: u64,
+    /// See [`Metrics::jobs_failed`].
+    pub jobs_failed: u64,
+    /// See [`Metrics::jobs_cancelled`].
+    pub jobs_cancelled: u64,
+    /// See [`Metrics::tensors_registered`].
+    pub tensors_registered: u64,
+    /// See [`Metrics::plan_hits`].
+    pub plan_hits: u64,
+    /// See [`Metrics::plan_misses`].
+    pub plan_misses: u64,
+    /// Jobs waiting in the bounded queue right now.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// MTTKRP kernel-call latency.
+    pub mttkrp_latency: HistogramSnapshot,
+    /// Whole-job latency (queue wait + run).
+    pub job_latency: HistogramSnapshot,
+}
+
+impl Metrics {
+    /// Materializes every counter. `queue_depth`/`queue_capacity` come from
+    /// the scheduler, which owns the queue.
+    pub fn snapshot(&self, queue_depth: usize, queue_capacity: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_done: self.jobs_done.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            tensors_registered: self.tensors_registered.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            queue_depth,
+            queue_capacity,
+            mttkrp_latency: self.mttkrp_latency.snapshot(),
+            job_latency: self.job_latency.snapshot(),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Serializes for the `metrics` protocol response.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::usize(self.requests as usize)),
+            (
+                "jobs",
+                Json::obj([
+                    ("submitted", Json::usize(self.jobs_submitted as usize)),
+                    ("rejected", Json::usize(self.jobs_rejected as usize)),
+                    ("done", Json::usize(self.jobs_done as usize)),
+                    ("failed", Json::usize(self.jobs_failed as usize)),
+                    ("cancelled", Json::usize(self.jobs_cancelled as usize)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj([
+                    ("depth", Json::usize(self.queue_depth)),
+                    ("capacity", Json::usize(self.queue_capacity)),
+                ]),
+            ),
+            (
+                "plan_cache",
+                Json::obj([
+                    ("hits", Json::usize(self.plan_hits as usize)),
+                    ("misses", Json::usize(self.plan_misses as usize)),
+                ]),
+            ),
+            ("tensors", Json::usize(self.tensors_registered as usize)),
+            ("mttkrp_latency", self.mttkrp_latency.to_json()),
+            ("job_latency", self.job_latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = LatencyHistogram::default();
+        h.observe(50e-6); // 50 us -> bucket 0
+        h.observe(5e-3); // 5 ms -> bucket 2
+        h.observe(2.0); // 2 s -> bucket 5
+        let s = h.snapshot();
+        assert_eq!(s.total, 3);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[2], 1);
+        assert_eq!(s.counts[5], 1);
+        let mean = s.mean_secs();
+        assert!(
+            (mean - (50e-6 + 5e-3 + 2.0) / 3.0).abs() < 1e-4,
+            "mean {mean}"
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let m = Metrics::default();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.plan_hits.fetch_add(1, Ordering::Relaxed);
+        m.mttkrp_latency.observe(0.001);
+        let s = m.snapshot(2, 8);
+        let j = s.to_json();
+        assert_eq!(j.get_usize("requests"), Some(3));
+        assert_eq!(j.get("queue").unwrap().get_usize("depth"), Some(2));
+        assert_eq!(j.get("plan_cache").unwrap().get_usize("hits"), Some(1));
+        assert_eq!(j.get("mttkrp_latency").unwrap().get_usize("total"), Some(1));
+    }
+}

@@ -1,0 +1,339 @@
+//! Tuned-plan cache: memoizes the Section V-C block-size heuristic.
+//!
+//! Tuning costs `O(log I_n)` timed MTTKRP runs per request — cheap next to
+//! a decomposition, but pure waste when repeated for the same tensor shape
+//! and rank. The cache key is the tensor's [`TensorStats::fingerprint`]
+//! (dims × nnz × fiber counts) crossed with the rank; the value is the
+//! selected `(grid, strip_width)` pair. Entries persist to a JSON file so
+//! plans survive restarts and are shared between `tenblock serve` and the
+//! `tune` / `decompose` subcommands (`--plan-cache`).
+//!
+//! Concurrent misses for the *same* key are coalesced by a compute lock:
+//! the second requester blocks, then reads the first requester's plan as a
+//! hit. The lock is global across keys — deliberate, because plan timing
+//! measures wall-clock MTTKRP runs, and concurrent tuning jobs would
+//! perturb each other's measurements.
+
+use crate::json::Json;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tenblock_tensor::{TensorStats, NMODES};
+
+/// Cache key: tensor shape fingerprint × decomposition rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`TensorStats::fingerprint`] of the tensor.
+    pub fingerprint: u64,
+    /// Rank the plan was tuned for.
+    pub rank: usize,
+}
+
+impl PlanKey {
+    /// Key for `stats` at `rank`.
+    pub fn of(stats: &TensorStats, rank: usize) -> PlanKey {
+        PlanKey {
+            fingerprint: stats.fingerprint(),
+            rank,
+        }
+    }
+}
+
+/// A memoized tuning decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedPlan {
+    /// Selected MB grid (kernel axes).
+    pub grid: [usize; NMODES],
+    /// Selected RankB strip width in columns.
+    pub strip_width: usize,
+    /// Best time observed when the plan was tuned, seconds per MTTKRP.
+    pub best_secs: f64,
+}
+
+impl TunedPlan {
+    fn to_json(&self, key: &PlanKey) -> Json {
+        Json::obj([
+            (
+                "fingerprint",
+                Json::str(format!("{:016x}", key.fingerprint)),
+            ),
+            ("rank", Json::usize(key.rank)),
+            (
+                "grid",
+                Json::Arr(self.grid.iter().map(|&g| Json::usize(g)).collect()),
+            ),
+            ("strip_width", Json::usize(self.strip_width)),
+            ("best_secs", Json::num(self.best_secs)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<(PlanKey, TunedPlan)> {
+        let fingerprint = u64::from_str_radix(v.get_str("fingerprint")?, 16).ok()?;
+        let rank = v.get_usize("rank")?;
+        let grid_arr = match v.get("grid") {
+            Some(Json::Arr(items)) if items.len() == NMODES => items,
+            _ => return None,
+        };
+        let mut grid = [0usize; NMODES];
+        for (g, item) in grid.iter_mut().zip(grid_arr) {
+            match item {
+                Json::Num(n) if *n >= 1.0 && n.fract() == 0.0 => *g = *n as usize,
+                _ => return None,
+            }
+        }
+        let strip_width = v.get_usize("strip_width").filter(|&w| w >= 1)?;
+        let best_secs = v.get_num("best_secs").unwrap_or(0.0);
+        Some((
+            PlanKey { fingerprint, rank },
+            TunedPlan {
+                grid,
+                strip_width,
+                best_secs,
+            },
+        ))
+    }
+}
+
+/// Thread-safe plan cache with optional JSON persistence.
+#[derive(Debug)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, TunedPlan>>,
+    /// Serializes plan computation (see module docs).
+    compute: Mutex<()>,
+    path: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// In-memory cache (no persistence).
+    pub fn in_memory() -> PlanCache {
+        PlanCache {
+            plans: Mutex::new(HashMap::new()),
+            compute: Mutex::new(()),
+            path: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache backed by `path`. A missing file starts empty; a present file
+    /// is parsed strictly (a corrupt cache is an error, not silent loss).
+    pub fn open(path: &Path) -> io::Result<PlanCache> {
+        let mut cache = PlanCache::in_memory();
+        cache.path = Some(path.to_path_buf());
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let doc = Json::parse(&text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let plans = match doc.get("plans") {
+                    Some(Json::Arr(items)) => items,
+                    _ => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "plan cache file lacks a \"plans\" array",
+                        ))
+                    }
+                };
+                let mut map = HashMap::new();
+                for item in plans {
+                    let (key, plan) = TunedPlan::from_json(item).ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "malformed plan entry")
+                    })?;
+                    map.insert(key, plan);
+                }
+                *cache.plans.lock().unwrap() = map;
+                Ok(cache)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(cache),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Raw lookup. Does not touch the hit/miss counters — use
+    /// [`PlanCache::get_or_compute`] on serving paths.
+    pub fn lookup(&self, key: PlanKey) -> Option<TunedPlan> {
+        self.plans.lock().unwrap().get(&key).cloned()
+    }
+
+    /// Inserts (or replaces) a plan and persists if file-backed.
+    pub fn insert(&self, key: PlanKey, plan: TunedPlan) -> io::Result<()> {
+        self.plans.lock().unwrap().insert(key, plan);
+        self.save()
+    }
+
+    /// Returns the cached plan for `key`, or computes, stores, and persists
+    /// one with `compute`. The bool is `true` on a cache hit. Concurrent
+    /// calls for the same key run `compute` once.
+    pub fn get_or_compute<F: FnOnce() -> TunedPlan>(
+        &self,
+        key: PlanKey,
+        compute: F,
+    ) -> io::Result<(TunedPlan, bool)> {
+        if let Some(plan) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan, true));
+        }
+        let _guard = self.compute.lock().unwrap();
+        // Double-check: another thread may have tuned this key while we
+        // waited on the compute lock.
+        if let Some(plan) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((plan, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = compute();
+        self.insert(key, plan.clone())?;
+        Ok((plan, false))
+    }
+
+    /// (hits, misses) since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the cache to its backing file (no-op when in-memory).
+    /// Write-then-rename so a crash never leaves a half-written cache.
+    pub fn save(&self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let doc = {
+            let plans = self.plans.lock().unwrap();
+            // BTreeMap keys sort, so sort entries for stable file output.
+            let mut entries: Vec<_> = plans.iter().collect();
+            entries.sort_by_key(|(k, _)| (k.fingerprint, k.rank));
+            Json::obj([
+                ("version", Json::usize(1)),
+                (
+                    "plans",
+                    Json::Arr(entries.into_iter().map(|(k, p)| p.to_json(k)).collect()),
+                ),
+            ])
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, doc.to_string_compact() + "\n")?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tenblock_plan_cache_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn plan(g: usize) -> TunedPlan {
+        TunedPlan {
+            grid: [g, 2, 1],
+            strip_width: 16,
+            best_secs: 0.25,
+        }
+    }
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache = PlanCache::in_memory();
+        let key = PlanKey {
+            fingerprint: 0xabc,
+            rank: 16,
+        };
+        let mut computed = 0;
+        let (p1, hit1) = cache
+            .get_or_compute(key, || {
+                computed += 1;
+                plan(4)
+            })
+            .unwrap();
+        let (p2, hit2) = cache
+            .get_or_compute(key, || {
+                computed += 1;
+                plan(8)
+            })
+            .unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(computed, 1);
+        assert_eq!(p1, p2);
+        assert_eq!(cache.counters(), (1, 1));
+    }
+
+    #[test]
+    fn persists_and_reloads() {
+        let path = tmpdir().join("plans_roundtrip.json");
+        let _ = std::fs::remove_file(&path);
+        let cache = PlanCache::open(&path).unwrap();
+        cache
+            .insert(
+                PlanKey {
+                    fingerprint: u64::MAX,
+                    rank: 32,
+                },
+                plan(2),
+            )
+            .unwrap();
+        cache
+            .insert(
+                PlanKey {
+                    fingerprint: 7,
+                    rank: 8,
+                },
+                plan(16),
+            )
+            .unwrap();
+
+        let reloaded = PlanCache::open(&path).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(
+            reloaded.lookup(PlanKey {
+                fingerprint: u64::MAX,
+                rank: 32
+            }),
+            Some(plan(2)),
+            "u64::MAX fingerprint survives the hex round-trip"
+        );
+        assert_eq!(
+            reloaded.lookup(PlanKey {
+                fingerprint: 7,
+                rank: 8
+            }),
+            Some(plan(16))
+        );
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let path = tmpdir().join("plans_corrupt.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(PlanCache::open(&path).is_err());
+        std::fs::write(&path, r#"{"version":1}"#).unwrap();
+        assert!(PlanCache::open(&path).is_err(), "missing plans array");
+    }
+
+    #[test]
+    fn missing_file_starts_empty() {
+        let path = tmpdir().join("plans_missing_never_created.json");
+        let _ = std::fs::remove_file(&path);
+        let cache = PlanCache::open(&path).unwrap();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,721 @@
+//! Wire protocol: request parsing, dispatch, and response shaping.
+//!
+//! Transport-independent on purpose: [`Service::handle`] maps one request
+//! [`Json`] value to one response [`Json`] value, so the whole protocol is
+//! testable without a socket. `server.rs` wraps this in line-delimited
+//! JSON over TCP.
+//!
+//! Every response carries `"ok"`. Errors add `"error"` (human-readable)
+//! and `"code"` (machine-readable: `bad-request`, `unknown-cmd`,
+//! `not-found`, `queue-full`, `internal`). Long-running commands (`tune`,
+//! `mttkrp`, `decompose`) submit a job and return its id; pass
+//! `"wait": true` to block for the result inline.
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::plan_cache::{PlanCache, PlanKey, TunedPlan};
+use crate::registry::{Registry, RegistryError};
+use crate::scheduler::{CancelError, JobId, JobState, Scheduler, SubmitError};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tenblock_core::{build_kernel, tune, KernelConfig, KernelKind, TuneOptions};
+use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAprOptions};
+use tenblock_tensor::{DenseMatrix, NMODES};
+
+/// Default block time for `"wait": true` requests.
+const DEFAULT_WAIT: Duration = Duration::from_secs(600);
+
+/// Work accepted into the job queue.
+#[derive(Debug, Clone)]
+pub enum JobPayload {
+    /// Run the Section V-C heuristic (through the plan cache).
+    Tune {
+        tensor: String,
+        rank: usize,
+        reps: usize,
+        max_blocks: usize,
+    },
+    /// Time one mode's MTTKRP with a chosen kernel.
+    Mttkrp {
+        tensor: String,
+        mode: usize,
+        kernel: KernelKind,
+        rank: usize,
+        reps: usize,
+    },
+    /// Run CP-ALS or CP-APR.
+    Decompose {
+        tensor: String,
+        method: Method,
+        rank: usize,
+        iters: usize,
+        kernel: KernelKind,
+    },
+}
+
+/// Decomposition algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Alternating least squares.
+    Als,
+    /// Poisson alternating regression (KL loss).
+    Apr,
+}
+
+/// Shared read-mostly state: everything the job runner and the protocol
+/// handler both touch.
+pub struct ServiceCore {
+    /// Resident tensors.
+    pub registry: Registry,
+    /// Memoized tuning plans.
+    pub plans: PlanCache,
+    /// Service counters.
+    pub metrics: Arc<Metrics>,
+}
+
+/// The in-process service: core state plus the job scheduler.
+pub struct Service {
+    core: Arc<ServiceCore>,
+    scheduler: Scheduler<JobPayload, Json>,
+}
+
+/// Resolves a kernel name (the same vocabulary as the CLI `--kernel` flag).
+fn kernel_by_name(name: &str) -> Option<KernelKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "coo" => Some(KernelKind::Coo),
+        "splatt" => Some(KernelKind::Splatt),
+        "mb" => Some(KernelKind::Mb),
+        "rankb" => Some(KernelKind::RankB),
+        "mbrankb" | "mb+rankb" => Some(KernelKind::MbRankB),
+        "csf" => Some(KernelKind::Csf),
+        _ => None,
+    }
+}
+
+fn err(code: &str, msg: impl Into<String>) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("code", Json::str(code)),
+        ("error", Json::str(msg.into())),
+    ])
+}
+
+fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut o = Json::obj([("ok", Json::Bool(true))]);
+    if let Json::Obj(map) = &mut o {
+        for (k, v) in fields {
+            map.insert(k.to_string(), v);
+        }
+    }
+    o
+}
+
+fn registry_err(e: RegistryError) -> Json {
+    match e {
+        RegistryError::NotFound(_) => err("not-found", e.to_string()),
+        RegistryError::Exists(_) | RegistryError::Load(_) => err("bad-request", e.to_string()),
+    }
+}
+
+/// Executes one job payload against the shared core. Runs on a worker
+/// thread; the returned JSON becomes the job's `Done` result.
+fn run_job(core: &ServiceCore, payload: JobPayload) -> Result<Json, String> {
+    match payload {
+        JobPayload::Tune {
+            tensor,
+            rank,
+            reps,
+            max_blocks,
+        } => {
+            let entry = core.registry.get(&tensor).map_err(|e| e.to_string())?;
+            let key = PlanKey {
+                fingerprint: entry.fingerprint,
+                rank,
+            };
+            let (plan, cached) = core
+                .plans
+                .get_or_compute(key, || {
+                    let mut opts = TuneOptions::new(rank);
+                    opts.reps = reps;
+                    opts.max_blocks = max_blocks;
+                    let r = tune(&entry.coo, 0, &opts);
+                    TunedPlan {
+                        grid: r.grid,
+                        strip_width: r.strip_width,
+                        best_secs: r.best_secs,
+                    }
+                })
+                .map_err(|e| format!("plan cache write failed: {e}"))?;
+            if cached {
+                core.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                core.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Json::obj([
+                ("tensor", Json::str(tensor)),
+                ("rank", Json::usize(rank)),
+                (
+                    "grid",
+                    Json::Arr(plan.grid.iter().map(|&g| Json::usize(g)).collect()),
+                ),
+                ("strip_width", Json::usize(plan.strip_width)),
+                ("best_secs", Json::num(plan.best_secs)),
+                ("cached", Json::Bool(cached)),
+            ]))
+        }
+        JobPayload::Mttkrp {
+            tensor,
+            mode,
+            kernel,
+            rank,
+            reps,
+        } => {
+            let entry = core.registry.get(&tensor).map_err(|e| e.to_string())?;
+            if mode >= NMODES {
+                return Err(format!("mode {mode} out of range (0..{NMODES})"));
+            }
+            // Use the tuned plan when one is cached for this shape+rank;
+            // otherwise the kernel defaults.
+            let cfg = core
+                .plans
+                .lookup(PlanKey {
+                    fingerprint: entry.fingerprint,
+                    rank,
+                })
+                .map(|p| KernelConfig {
+                    grid: p.grid,
+                    strip_width: p.strip_width,
+                    parallel: false,
+                })
+                .unwrap_or_default();
+            let k = build_kernel(kernel, &entry.coo, mode, &cfg);
+            let dims = entry.coo.dims();
+            let factors: Vec<DenseMatrix> = dims
+                .iter()
+                .map(|&d| DenseMatrix::from_fn(d, rank, |r, c| ((r * 7 + c) % 11) as f64 * 0.1))
+                .collect();
+            let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+            let mut out = DenseMatrix::zeros(dims[mode], rank);
+            let mut best = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                k.mttkrp(&fs, &mut out);
+                let secs = t0.elapsed().as_secs_f64();
+                core.metrics.mttkrp_latency.observe(secs);
+                best = best.min(secs);
+            }
+            Ok(Json::obj([
+                ("tensor", Json::str(tensor)),
+                ("mode", Json::usize(mode)),
+                ("kernel", Json::str(k.name())),
+                ("rank", Json::usize(rank)),
+                ("best_secs", Json::num(best)),
+            ]))
+        }
+        JobPayload::Decompose {
+            tensor,
+            method,
+            rank,
+            iters,
+            kernel,
+        } => {
+            let entry = core.registry.get(&tensor).map_err(|e| e.to_string())?;
+            let cfg = core
+                .plans
+                .lookup(PlanKey {
+                    fingerprint: entry.fingerprint,
+                    rank,
+                })
+                .map(|p| KernelConfig {
+                    grid: p.grid,
+                    strip_width: p.strip_width,
+                    parallel: true,
+                })
+                .unwrap_or(KernelConfig {
+                    grid: [4, 2, 2],
+                    strip_width: 16,
+                    parallel: true,
+                });
+            match method {
+                Method::Als => {
+                    let mut opts = CpAlsOptions::new(rank);
+                    opts.max_iters = iters;
+                    opts.kernel = kernel;
+                    opts.kernel_cfg = cfg;
+                    let r = CpAls::new(&entry.coo, opts).run(&entry.coo);
+                    Ok(Json::obj([
+                        ("tensor", Json::str(tensor)),
+                        ("method", Json::str("als")),
+                        ("rank", Json::usize(rank)),
+                        ("fit", Json::num(*r.fit_history.last().unwrap_or(&0.0))),
+                        ("iterations", Json::usize(r.iterations)),
+                        ("converged", Json::Bool(r.converged)),
+                    ]))
+                }
+                Method::Apr => {
+                    let mut opts = CpAprOptions::new(rank);
+                    opts.max_iters = iters;
+                    opts.kernel = kernel;
+                    opts.kernel_cfg = cfg;
+                    let r = cp_apr(&entry.coo, &opts);
+                    Ok(Json::obj([
+                        ("tensor", Json::str(tensor)),
+                        ("method", Json::str("apr")),
+                        ("rank", Json::usize(rank)),
+                        (
+                            "loglik",
+                            Json::num(*r.loglik_history.last().unwrap_or(&f64::NEG_INFINITY)),
+                        ),
+                        ("iterations", Json::usize(r.iterations)),
+                        ("converged", Json::Bool(r.converged)),
+                    ]))
+                }
+            }
+        }
+    }
+}
+
+impl Service {
+    /// Builds a service: `workers` job threads behind a queue of
+    /// `queue_capacity` slots, with `plans` as the tuned-plan cache.
+    pub fn new(workers: usize, queue_capacity: usize, plans: PlanCache) -> Service {
+        let metrics = Arc::new(Metrics::default());
+        let core = Arc::new(ServiceCore {
+            registry: Registry::new(),
+            plans,
+            metrics: Arc::clone(&metrics),
+        });
+        let runner_core = Arc::clone(&core);
+        let scheduler = Scheduler::start(workers, queue_capacity, metrics, move |payload| {
+            run_job(&runner_core, payload)
+        });
+        Service { core, scheduler }
+    }
+
+    /// The shared core (registry, plans, metrics).
+    pub fn core(&self) -> &ServiceCore {
+        &self.core
+    }
+
+    /// Handles one request; never panics on malformed input.
+    pub fn handle(&self, req: &Json) -> Json {
+        self.core.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let Some(cmd) = req.get_str("cmd") else {
+            return err("bad-request", "missing \"cmd\"");
+        };
+        match cmd {
+            "load" => self.cmd_load(req),
+            "gen" => self.cmd_gen(req),
+            "stats" => self.cmd_stats(req),
+            "list" => ok([(
+                "tensors",
+                Json::Arr(
+                    self.core
+                        .registry
+                        .names()
+                        .into_iter()
+                        .map(Json::Str)
+                        .collect(),
+                ),
+            )]),
+            "tune" => self.submit_cmd(req, Self::parse_tune),
+            "mttkrp" => self.submit_cmd(req, Self::parse_mttkrp),
+            "decompose" => self.submit_cmd(req, Self::parse_decompose),
+            "job-status" => self.cmd_job_status(req),
+            "cancel" => self.cmd_cancel(req),
+            "metrics" => ok([(
+                "metrics",
+                self.core
+                    .metrics
+                    .snapshot(self.scheduler.queue_depth(), self.scheduler.capacity())
+                    .to_json(),
+            )]),
+            other => err("unknown-cmd", format!("unknown command {other:?}")),
+        }
+    }
+
+    fn cmd_load(&self, req: &Json) -> Json {
+        let Some(name) = req.get_str("name") else {
+            return err("bad-request", "load: missing \"name\"");
+        };
+        let Some(path) = req.get_str("path") else {
+            return err("bad-request", "load: missing \"path\"");
+        };
+        match self.core.registry.load(name, path) {
+            Ok(entry) => {
+                self.core
+                    .metrics
+                    .tensors_registered
+                    .fetch_add(1, Ordering::Relaxed);
+                ok([
+                    ("name", Json::str(name)),
+                    ("nnz", Json::usize(entry.stats.nnz)),
+                    (
+                        "fingerprint",
+                        Json::str(format!("{:016x}", entry.fingerprint)),
+                    ),
+                ])
+            }
+            Err(e) => registry_err(e),
+        }
+    }
+
+    fn cmd_gen(&self, req: &Json) -> Json {
+        let Some(name) = req.get_str("name") else {
+            return err("bad-request", "gen: missing \"name\"");
+        };
+        let Some(dataset) = req.get_str("dataset") else {
+            return err("bad-request", "gen: missing \"dataset\"");
+        };
+        let nnz = req.get_usize("nnz");
+        let seed = req.get_u64("seed").unwrap_or(42);
+        match self.core.registry.generate(name, dataset, nnz, seed) {
+            Ok(entry) => {
+                self.core
+                    .metrics
+                    .tensors_registered
+                    .fetch_add(1, Ordering::Relaxed);
+                ok([
+                    ("name", Json::str(name)),
+                    (
+                        "dims",
+                        Json::Arr(entry.stats.dims.iter().map(|&d| Json::usize(d)).collect()),
+                    ),
+                    ("nnz", Json::usize(entry.stats.nnz)),
+                    (
+                        "fingerprint",
+                        Json::str(format!("{:016x}", entry.fingerprint)),
+                    ),
+                ])
+            }
+            Err(e) => registry_err(e),
+        }
+    }
+
+    fn cmd_stats(&self, req: &Json) -> Json {
+        let Some(name) = req.get_str("tensor") else {
+            return err("bad-request", "stats: missing \"tensor\"");
+        };
+        match self.core.registry.get(name) {
+            Ok(entry) => {
+                let s = &entry.stats;
+                ok([
+                    ("name", Json::str(name)),
+                    (
+                        "dims",
+                        Json::Arr(s.dims.iter().map(|&d| Json::usize(d)).collect()),
+                    ),
+                    ("nnz", Json::usize(s.nnz)),
+                    ("sparsity", Json::num(s.sparsity)),
+                    (
+                        "fibers",
+                        Json::Arr(s.fibers.iter().map(|&f| Json::usize(f)).collect()),
+                    ),
+                    (
+                        "nnz_per_fiber",
+                        Json::Arr(s.nnz_per_fiber.iter().map(|&f| Json::num(f)).collect()),
+                    ),
+                    (
+                        "fingerprint",
+                        Json::str(format!("{:016x}", entry.fingerprint)),
+                    ),
+                ])
+            }
+            Err(e) => registry_err(e),
+        }
+    }
+
+    fn parse_tune(req: &Json) -> Result<JobPayload, Json> {
+        let tensor = req
+            .get_str("tensor")
+            .ok_or_else(|| err("bad-request", "tune: missing \"tensor\""))?;
+        let rank = req.get_usize("rank").unwrap_or(16);
+        let reps = req.get_usize("reps").unwrap_or(2);
+        let max_blocks = req.get_usize("max_blocks").unwrap_or(64);
+        Ok(JobPayload::Tune {
+            tensor: tensor.to_string(),
+            rank,
+            reps,
+            max_blocks,
+        })
+    }
+
+    fn parse_mttkrp(req: &Json) -> Result<JobPayload, Json> {
+        let tensor = req
+            .get_str("tensor")
+            .ok_or_else(|| err("bad-request", "mttkrp: missing \"tensor\""))?;
+        let mode = req.get_usize("mode").unwrap_or(0);
+        let kernel = kernel_by_name(req.get_str("kernel").unwrap_or("mbrankb"))
+            .ok_or_else(|| err("bad-request", "mttkrp: unknown kernel name"))?;
+        let rank = req.get_usize("rank").unwrap_or(16);
+        let reps = req.get_usize("reps").unwrap_or(3);
+        Ok(JobPayload::Mttkrp {
+            tensor: tensor.to_string(),
+            mode,
+            kernel,
+            rank,
+            reps,
+        })
+    }
+
+    fn parse_decompose(req: &Json) -> Result<JobPayload, Json> {
+        let tensor = req
+            .get_str("tensor")
+            .ok_or_else(|| err("bad-request", "decompose: missing \"tensor\""))?;
+        let method = match req.get_str("method").unwrap_or("als") {
+            "als" => Method::Als,
+            "apr" => Method::Apr,
+            other => {
+                return Err(err(
+                    "bad-request",
+                    format!("unknown method {other:?} (als|apr)"),
+                ))
+            }
+        };
+        let rank = req.get_usize("rank").unwrap_or(16);
+        let iters = req.get_usize("iters").unwrap_or(20);
+        let kernel = kernel_by_name(req.get_str("kernel").unwrap_or("mbrankb"))
+            .ok_or_else(|| err("bad-request", "decompose: unknown kernel name"))?;
+        Ok(JobPayload::Decompose {
+            tensor: tensor.to_string(),
+            method,
+            rank,
+            iters,
+            kernel,
+        })
+    }
+
+    /// Common path for job-submitting commands: parse → submit → either
+    /// return the job id or (with `"wait": true`) block for the result.
+    fn submit_cmd(&self, req: &Json, parse: fn(&Json) -> Result<JobPayload, Json>) -> Json {
+        let payload = match parse(req) {
+            Ok(p) => p,
+            Err(resp) => return resp,
+        };
+        // Fail fast on unknown tensors: better a not-found now than a
+        // failed job later (the job re-checks; the registry never shrinks,
+        // so this can't race to a false failure).
+        let tensor = match &payload {
+            JobPayload::Tune { tensor, .. }
+            | JobPayload::Mttkrp { tensor, .. }
+            | JobPayload::Decompose { tensor, .. } => tensor,
+        };
+        if !self.core.registry.contains(tensor) {
+            return err("not-found", format!("no tensor registered as {tensor:?}"));
+        }
+        let deadline = req.get_u64("deadline_ms").map(Duration::from_millis);
+        let id = match self.scheduler.submit(payload, deadline) {
+            Ok(id) => id,
+            Err(SubmitError::QueueFull) => return err("queue-full", "job queue is full"),
+            Err(SubmitError::Shutdown) => return err("internal", "scheduler is shut down"),
+        };
+        if req.get_bool("wait").unwrap_or(false) {
+            let timeout = deadline.unwrap_or(DEFAULT_WAIT);
+            return match self.scheduler.wait(id, timeout) {
+                Some(state) => self.job_response(id, state),
+                // Timed out waiting: report the job's actual state (it may
+                // still be queued, not running).
+                None => {
+                    let name = self.scheduler.status(id).map_or("running", |s| s.name());
+                    ok([
+                        ("job", Json::str(id.to_string())),
+                        ("state", Json::str(name)),
+                        ("timed_out", Json::Bool(true)),
+                    ])
+                }
+            };
+        }
+        ok([
+            ("job", Json::str(id.to_string())),
+            ("state", Json::str("queued")),
+        ])
+    }
+
+    fn job_response(&self, id: JobId, state: JobState<Json>) -> Json {
+        let mut fields = vec![
+            ("job", Json::str(id.to_string())),
+            ("state", Json::str(state.name())),
+        ];
+        match state {
+            JobState::Done(result) => fields.push(("result", result)),
+            JobState::Failed(e) => fields.push(("error", Json::str(e))),
+            _ => {}
+        }
+        ok(fields)
+    }
+
+    fn cmd_job_status(&self, req: &Json) -> Json {
+        let Some(id) = req.get_str("job").and_then(JobId::parse) else {
+            return err("bad-request", "job-status: missing or malformed \"job\"");
+        };
+        match self.scheduler.status(id) {
+            Some(state) => self.job_response(id, state),
+            None => err("not-found", format!("no such job {id}")),
+        }
+    }
+
+    fn cmd_cancel(&self, req: &Json) -> Json {
+        let Some(id) = req.get_str("job").and_then(JobId::parse) else {
+            return err("bad-request", "cancel: missing or malformed \"job\"");
+        };
+        match self.scheduler.cancel(id) {
+            Ok(()) => ok([
+                ("job", Json::str(id.to_string())),
+                ("state", Json::str("cancelled")),
+            ]),
+            Err(CancelError::NotFound) => err("not-found", format!("no such job {id}")),
+            Err(e) => err("bad-request", e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn svc() -> Service {
+        Service::new(2, 8, PlanCache::in_memory())
+    }
+
+    fn req(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    fn gen_small(s: &Service, name: &str) {
+        let r = s.handle(&req(&format!(
+            r#"{{"cmd":"gen","name":"{name}","dataset":"poisson1","nnz":2000,"seed":7}}"#
+        )));
+        assert_eq!(r.get_bool("ok"), Some(true), "{r:?}");
+    }
+
+    #[test]
+    fn gen_stats_list_roundtrip() {
+        let s = svc();
+        gen_small(&s, "t");
+        let stats = s.handle(&req(r#"{"cmd":"stats","tensor":"t"}"#));
+        assert_eq!(stats.get_bool("ok"), Some(true));
+        assert!(stats.get_usize("nnz").unwrap() > 0);
+        assert_eq!(stats.get_str("fingerprint").unwrap().len(), 16);
+        let list = s.handle(&req(r#"{"cmd":"list"}"#));
+        assert_eq!(list.get("tensors"), Some(&Json::Arr(vec![Json::str("t")])));
+        // duplicate handle
+        let dup = s.handle(&req(
+            r#"{"cmd":"gen","name":"t","dataset":"poisson1","nnz":100}"#,
+        ));
+        assert_eq!(dup.get_str("code"), Some("bad-request"));
+    }
+
+    #[test]
+    fn tune_waits_and_second_call_hits_cache() {
+        let s = svc();
+        gen_small(&s, "t");
+        let q = r#"{"cmd":"tune","tensor":"t","rank":8,"reps":1,"max_blocks":2,"wait":true}"#;
+        let first = s.handle(&req(q));
+        assert_eq!(first.get_str("state"), Some("done"), "{first:?}");
+        assert_eq!(first.get("result").unwrap().get_bool("cached"), Some(false));
+        let second = s.handle(&req(q));
+        assert_eq!(second.get("result").unwrap().get_bool("cached"), Some(true));
+        let m = s.handle(&req(r#"{"cmd":"metrics"}"#));
+        let pc = m.get("metrics").unwrap().get("plan_cache").unwrap();
+        assert_eq!(pc.get_usize("hits"), Some(1));
+        assert_eq!(pc.get_usize("misses"), Some(1));
+    }
+
+    #[test]
+    fn mttkrp_and_decompose_run() {
+        let s = svc();
+        gen_small(&s, "t");
+        let r = s.handle(&req(
+            r#"{"cmd":"mttkrp","tensor":"t","mode":1,"kernel":"splatt","rank":8,"reps":1,"wait":true}"#,
+        ));
+        assert_eq!(r.get_str("state"), Some("done"), "{r:?}");
+        assert!(r.get("result").unwrap().get_num("best_secs").unwrap() >= 0.0);
+
+        let d = s.handle(&req(
+            r#"{"cmd":"decompose","tensor":"t","method":"als","rank":4,"iters":2,"wait":true}"#,
+        ));
+        assert_eq!(d.get_str("state"), Some("done"), "{d:?}");
+        assert!(d.get("result").unwrap().get_usize("iterations").unwrap() >= 1);
+    }
+
+    #[test]
+    fn job_status_lifecycle_without_wait() {
+        let s = svc();
+        gen_small(&s, "t");
+        let sub = s.handle(&req(
+            r#"{"cmd":"tune","tensor":"t","rank":8,"reps":1,"max_blocks":2}"#,
+        ));
+        assert_eq!(sub.get_bool("ok"), Some(true));
+        let job = sub.get_str("job").unwrap().to_string();
+        // Poll until terminal.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let st = s.handle(&req(&format!(r#"{{"cmd":"job-status","job":"{job}"}}"#)));
+            match st.get_str("state") {
+                Some("done") => break,
+                Some("failed") => panic!("job failed: {st:?}"),
+                _ if Instant::now() > deadline => panic!("job never finished"),
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_inputs_get_typed_errors() {
+        let s = svc();
+        assert_eq!(
+            s.handle(&req(r#"{"cmd":"frobnicate"}"#)).get_str("code"),
+            Some("unknown-cmd")
+        );
+        assert_eq!(
+            s.handle(&req(r#"{"nope":1}"#)).get_str("code"),
+            Some("bad-request")
+        );
+        assert_eq!(
+            s.handle(&req(r#"{"cmd":"tune","tensor":"ghost"}"#))
+                .get_str("code"),
+            Some("not-found")
+        );
+        assert_eq!(
+            s.handle(&req(r#"{"cmd":"job-status","job":"j-999"}"#))
+                .get_str("code"),
+            Some("not-found")
+        );
+        assert_eq!(
+            s.handle(&req(r#"{"cmd":"mttkrp","tensor":"ghost","kernel":"warp"}"#))
+                .get_str("code"),
+            Some("bad-request")
+        );
+    }
+
+    #[test]
+    fn queue_full_is_typed() {
+        // 1 worker, capacity-1 queue. Back-to-back submissions outpace the
+        // worker (each decompose runs many ALS iterations), so among a
+        // handful of rapid submits one must hit the full queue.
+        let s = Service::new(1, 1, PlanCache::in_memory());
+        gen_small(&s, "t");
+        let slow = r#"{"cmd":"decompose","tensor":"t","method":"als","rank":8,"iters":500}"#;
+        let mut queued = Vec::new();
+        let mut rejected = None;
+        for _ in 0..6 {
+            let r = s.handle(&req(slow));
+            if r.get_bool("ok") == Some(true) {
+                queued.push(r.get_str("job").unwrap().to_string());
+            } else {
+                rejected = Some(r);
+                break;
+            }
+        }
+        let rejection = rejected.expect("a submission should have been rejected");
+        assert_eq!(rejection.get_str("code"), Some("queue-full"));
+        assert_eq!(rejection.get_str("error"), Some("job queue is full"));
+        // Cancel whatever is still queued so the test doesn't wait out the
+        // backlog (the running job cannot be cancelled; ignore errors).
+        for job in queued {
+            s.handle(&req(&format!(r#"{{"cmd":"cancel","job":"{job}"}}"#)));
+        }
+    }
+}

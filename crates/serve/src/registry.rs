@@ -1,0 +1,234 @@
+//! Tensor registry: named, shared, immutable tensor residency.
+//!
+//! A decomposition service repeats three expensive steps per request if it
+//! is naive: parse the tensor file, compute statistics, and build the
+//! fiber-compressed SPLATT views. The registry does each exactly once per
+//! tensor and hands out `Arc<TensorEntry>` clones, so concurrent jobs share
+//! one resident copy. Entries are keyed by a caller-chosen string handle;
+//! registration is first-wins (re-registering an existing handle is an
+//! error rather than a silent replace, so a handle never changes meaning
+//! mid-session).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+use tenblock_tensor::gen::ALL_DATASETS;
+use tenblock_tensor::{io, io_bin, CooTensor, SplattTensor, TensorStats, NMODES};
+
+/// One resident tensor with everything derived from it.
+#[derive(Debug)]
+pub struct TensorEntry {
+    /// Registry handle.
+    pub name: String,
+    /// The coordinate-format tensor (kernels are built from this).
+    pub coo: CooTensor,
+    /// Precomputed statistics (also the plan-cache fingerprint source).
+    pub stats: TensorStats,
+    /// Shape fingerprint, cached from `stats`.
+    pub fingerprint: u64,
+    /// Per-mode SPLATT builds, shared by `stats`-style queries and the
+    /// baseline kernels. Built eagerly at registration: the cost is paid
+    /// once, off the job workers' critical path.
+    pub splatt: [SplattTensor; NMODES],
+}
+
+impl TensorEntry {
+    fn build(name: &str, coo: CooTensor) -> TensorEntry {
+        let stats = TensorStats::of(&coo);
+        let fingerprint = stats.fingerprint();
+        let splatt = [
+            SplattTensor::for_mode(&coo, 0),
+            SplattTensor::for_mode(&coo, 1),
+            SplattTensor::for_mode(&coo, 2),
+        ];
+        TensorEntry {
+            name: name.to_string(),
+            coo,
+            stats,
+            fingerprint,
+            splatt,
+        }
+    }
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The handle is already registered (first-wins policy).
+    Exists(String),
+    /// No tensor under that handle.
+    NotFound(String),
+    /// Loading or generating the tensor failed.
+    Load(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Exists(n) => write!(f, "tensor {n:?} is already registered"),
+            RegistryError::NotFound(n) => write!(f, "no tensor registered as {n:?}"),
+            RegistryError::Load(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Thread-safe name → tensor map.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: RwLock<HashMap<String, Arc<TensorEntry>>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers an in-memory tensor under `name`.
+    pub fn register(&self, name: &str, coo: CooTensor) -> Result<Arc<TensorEntry>, RegistryError> {
+        // Build outside the lock: SPLATT construction is O(nnz log nnz) and
+        // must not block readers. The handle check is repeated under the
+        // write lock (first insert wins).
+        let entry = Arc::new(TensorEntry::build(name, coo));
+        let mut map = self.entries.write().unwrap();
+        if map.contains_key(name) {
+            return Err(RegistryError::Exists(name.to_string()));
+        }
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Loads a tensor file (`.tns` text or `.tnsb` binary) and registers it.
+    pub fn load(&self, name: &str, path: &str) -> Result<Arc<TensorEntry>, RegistryError> {
+        if self.contains(name) {
+            return Err(RegistryError::Exists(name.to_string()));
+        }
+        let p = Path::new(path);
+        let coo = match p.extension().and_then(|e| e.to_str()) {
+            Some("tns") => io::read_tns_file(p).map_err(|e| RegistryError::Load(e.to_string()))?,
+            Some("tnsb") => {
+                io_bin::read_bin_file(p).map_err(|e| RegistryError::Load(e.to_string()))?
+            }
+            other => {
+                return Err(RegistryError::Load(format!(
+                    "unknown tensor extension {other:?} (expected .tns or .tnsb)"
+                )))
+            }
+        };
+        self.register(name, coo)
+    }
+
+    /// Generates a Table II data-set analogue and registers it.
+    pub fn generate(
+        &self,
+        name: &str,
+        dataset: &str,
+        nnz: Option<usize>,
+        seed: u64,
+    ) -> Result<Arc<TensorEntry>, RegistryError> {
+        if self.contains(name) {
+            return Err(RegistryError::Exists(name.to_string()));
+        }
+        let ds = ALL_DATASETS
+            .into_iter()
+            .find(|d| d.spec().name.eq_ignore_ascii_case(dataset))
+            .ok_or_else(|| RegistryError::Load(format!("unknown data set {dataset:?}")))?;
+        let spec = ds.spec();
+        let coo = ds.generate_with(spec.default_dims, nnz.unwrap_or(spec.default_nnz), seed);
+        self.register(name, coo)
+    }
+
+    /// Looks up a tensor by handle.
+    pub fn get(&self, name: &str) -> Result<Arc<TensorEntry>, RegistryError> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.read().unwrap().contains_key(name)
+    }
+
+    /// Registered handles, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.entries.read().unwrap().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of resident tensors.
+    pub fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenblock_tensor::gen::uniform_tensor;
+
+    #[test]
+    fn register_get_and_first_wins() {
+        let reg = Registry::new();
+        let t = uniform_tensor([20, 30, 10], 500, 7);
+        let e = reg.register("a", t.clone()).unwrap();
+        assert_eq!(e.stats.nnz, e.coo.nnz());
+        assert_eq!(e.fingerprint, e.stats.fingerprint());
+        assert_eq!(e.splatt[1].dims(), [20, 30, 10]);
+
+        let again = reg.register("a", t);
+        assert_eq!(again.unwrap_err(), RegistryError::Exists("a".into()));
+        assert_eq!(reg.get("a").unwrap().name, "a");
+        assert!(matches!(reg.get("b"), Err(RegistryError::NotFound(_))));
+        assert_eq!(reg.names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn generate_registers_dataset_analogue() {
+        let reg = Registry::new();
+        let e = reg.generate("p1", "poisson1", Some(2_000), 42).unwrap();
+        assert!(e.stats.nnz > 0 && e.stats.nnz <= 2_000);
+        assert!(matches!(
+            reg.generate("p2", "nosuch", None, 0),
+            Err(RegistryError::Load(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_unknown_extension() {
+        let reg = Registry::new();
+        assert!(matches!(
+            reg.load("x", "/tmp/whatever.csv"),
+            Err(RegistryError::Load(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_register_same_name_single_winner() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let t = uniform_tensor([10, 10, 10], 200, 1);
+        let wins: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let reg = std::sync::Arc::clone(&reg);
+                    let t = t.clone();
+                    s.spawn(move || reg.register("shared", t).is_ok() as usize)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(wins, 1);
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -19,7 +19,10 @@ pub struct Entry {
 impl Entry {
     /// Creates an entry from coordinates and a value.
     pub fn new(i: Idx, j: Idx, k: Idx, val: f64) -> Self {
-        Entry { idx: [i, j, k], val }
+        Entry {
+            idx: [i, j, k],
+            val,
+        }
     }
 }
 
@@ -103,7 +106,10 @@ impl CooTensor {
 
     /// An empty tensor of the given shape.
     pub fn empty(dims: [usize; NMODES]) -> Self {
-        CooTensor { dims, entries: Vec::new() }
+        CooTensor {
+            dims,
+            entries: Vec::new(),
+        }
     }
 
     /// Mode lengths `(I, J, K)`.
@@ -154,7 +160,11 @@ impl CooTensor {
 
     /// The Frobenius norm `sqrt(sum of squared values)`.
     pub fn frob_norm(&self) -> f64 {
-        self.entries.iter().map(|e| e.val * e.val).sum::<f64>().sqrt()
+        self.entries
+            .iter()
+            .map(|e| e.val * e.val)
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Sum of squared values (`||X||_F^2`), used by CPD fit computation.

@@ -88,8 +88,7 @@ impl CsfTensor {
                 }
                 if l > 0 {
                     // extend the parent's (already pushed) end boundary
-                    *ptrs[l - 1].last_mut().expect("parent boundary exists") =
-                        fids[l].len();
+                    *ptrs[l - 1].last_mut().expect("parent boundary exists") = fids[l].len();
                 }
             }
             vals.push(sorted.value(n));
@@ -100,7 +99,13 @@ impl CsfTensor {
             debug_assert_eq!(*ptrs[l].last().unwrap(), fids[l + 1].len());
         }
 
-        CsfTensor { dims: t.dims().to_vec(), perm: perm.to_vec(), fids, ptrs, vals }
+        CsfTensor {
+            dims: t.dims().to_vec(),
+            perm: perm.to_vec(),
+            fids,
+            ptrs,
+            vals,
+        }
     }
 
     /// CSF rooted at mode `m` with the cyclic mode order `m, m+1, …`.

@@ -19,7 +19,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// A zero-filled `rows x cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from row-major data.
@@ -118,7 +122,11 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -192,7 +200,13 @@ impl StripMatrix {
             }
         }
         strip_off.push(data.len());
-        StripMatrix { rows, cols, strip_width, strip_off, data }
+        StripMatrix {
+            rows,
+            cols,
+            strip_width,
+            strip_off,
+            data,
+        }
     }
 
     /// Number of logical rows.

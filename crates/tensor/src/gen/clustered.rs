@@ -32,7 +32,13 @@ impl ClusteredConfig {
     /// Defaults matching the "real data" regime: 64 clusters holding 80% of
     /// the nonzeros in boxes spanning 2% of each mode.
     pub fn new(dims: [usize; NMODES], nnz: usize) -> Self {
-        ClusteredConfig { dims, nnz, n_clusters: 64, cluster_frac: 0.8, box_frac: 0.02 }
+        ClusteredConfig {
+            dims,
+            nnz,
+            n_clusters: 64,
+            cluster_frac: 0.8,
+            box_frac: 0.02,
+        }
     }
 }
 
@@ -40,8 +46,14 @@ impl ClusteredConfig {
 /// Values are positive counts (1 + extra hits), like rating/count data.
 pub fn clustered_tensor(cfg: &ClusteredConfig, seed: u64) -> CooTensor {
     assert!(cfg.n_clusters > 0, "need at least one cluster");
-    assert!((0.0..=1.0).contains(&cfg.cluster_frac), "cluster_frac in [0,1]");
-    assert!(cfg.box_frac > 0.0 && cfg.box_frac <= 1.0, "box_frac in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&cfg.cluster_frac),
+        "cluster_frac in [0,1]"
+    );
+    assert!(
+        cfg.box_frac > 0.0 && cfg.box_frac <= 1.0,
+        "box_frac in (0,1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Plant cluster boxes: per mode, an origin and a side length.
@@ -54,8 +66,8 @@ pub fn clustered_tensor(cfg: &ClusteredConfig, seed: u64) -> CooTensor {
             let mut lo = [0; NMODES];
             let mut side = [0; NMODES];
             for m in 0..NMODES {
-                side[m] = ((cfg.dims[m] as f64 * cfg.box_frac).ceil() as usize)
-                    .clamp(1, cfg.dims[m]);
+                side[m] =
+                    ((cfg.dims[m] as f64 * cfg.box_frac).ceil() as usize).clamp(1, cfg.dims[m]);
                 lo[m] = rng.random_range(0..=(cfg.dims[m] - side[m]));
             }
             ClusterBox { lo, side }
@@ -88,7 +100,10 @@ pub fn clustered_tensor(cfg: &ClusteredConfig, seed: u64) -> CooTensor {
         while j < coords.len() && coords[j] == coords[i] {
             j += 1;
         }
-        entries.push(Entry { idx: coords[i], val: (j - i) as f64 });
+        entries.push(Entry {
+            idx: coords[i],
+            val: (j - i) as f64,
+        });
         i = j;
     }
     CooTensor::from_entries(cfg.dims, entries)
@@ -138,7 +153,11 @@ mod tests {
         let mut rows: Vec<u32> = t.entries().iter().map(|e| e.idx[0]).collect();
         rows.sort_unstable();
         rows.dedup();
-        assert!(rows.len() > 1000, "background should be spread: {}", rows.len());
+        assert!(
+            rows.len() > 1000,
+            "background should be spread: {}",
+            rows.len()
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl PoissonConfig {
 
     /// The support fraction effective for mode `m`.
     pub fn support_for_mode(&self, m: usize) -> f64 {
-        self.support_frac_per_mode.map(|s| s[m]).unwrap_or(self.support_frac)
+        self.support_frac_per_mode
+            .map(|s| s[m])
+            .unwrap_or(self.support_frac)
     }
 }
 
@@ -61,7 +63,10 @@ pub fn poisson_tensor(cfg: &PoissonConfig, seed: u64) -> CooTensor {
     assert!(cfg.gen_rank > 0, "generator rank must be positive");
     for m in 0..NMODES {
         let f = cfg.support_for_mode(m);
-        assert!((0.0..=1.0).contains(&f) && f > 0.0, "support fraction must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&f) && f > 0.0,
+            "support fraction must be in (0, 1]"
+        );
     }
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -78,9 +83,8 @@ pub fn poisson_tensor(cfg: &PoissonConfig, seed: u64) -> CooTensor {
         .map(|m| {
             (0..cfg.gen_rank)
                 .map(|_| {
-                    let support = ((cfg.dims[m] as f64 * cfg.support_for_mode(m)).ceil()
-                        as usize)
-                        .max(1);
+                    let support =
+                        ((cfg.dims[m] as f64 * cfg.support_for_mode(m)).ceil() as usize).max(1);
                     SparseDist::random(&mut rng, cfg.dims[m], support)
                 })
                 .collect()
@@ -92,7 +96,9 @@ pub fn poisson_tensor(cfg: &PoissonConfig, seed: u64) -> CooTensor {
     let mut coords: Vec<[crate::Idx; NMODES]> = Vec::with_capacity(cfg.total_events);
     for _ in 0..cfg.total_events {
         let x = rng.random::<f64>() * total;
-        let r = lambda_cum.partition_point(|&c| c <= x).min(cfg.gen_rank - 1);
+        let r = lambda_cum
+            .partition_point(|&c| c <= x)
+            .min(cfg.gen_rank - 1);
         let mut idx = [0; NMODES];
         for m in 0..NMODES {
             idx[m] = dists[m][r].sample(&mut rng);
@@ -107,7 +113,10 @@ pub fn poisson_tensor(cfg: &PoissonConfig, seed: u64) -> CooTensor {
         while j < coords.len() && coords[j] == coords[i] {
             j += 1;
         }
-        entries.push(Entry { idx: coords[i], val: (j - i) as f64 });
+        entries.push(Entry {
+            idx: coords[i],
+            val: (j - i) as f64,
+        });
         i = j;
     }
     CooTensor::from_entries(cfg.dims, entries)

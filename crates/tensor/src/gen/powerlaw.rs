@@ -26,7 +26,11 @@ pub struct PowerLawConfig {
 impl PowerLawConfig {
     /// Recommender-style defaults: skewed users/items, mild time skew.
     pub fn new(dims: [usize; NMODES], nnz: usize) -> Self {
-        PowerLawConfig { dims, nnz, exponent: [0.9, 0.9, 0.4] }
+        PowerLawConfig {
+            dims,
+            nnz,
+            exponent: [0.9, 0.9, 0.4],
+        }
     }
 }
 
@@ -77,7 +81,10 @@ pub fn powerlaw_tensor(cfg: &PowerLawConfig, seed: u64) -> CooTensor {
         while j < coords.len() && coords[j] == coords[i] {
             j += 1;
         }
-        entries.push(Entry { idx: coords[i], val: (j - i) as f64 });
+        entries.push(Entry {
+            idx: coords[i],
+            val: (j - i) as f64,
+        });
         i = j;
     }
     CooTensor::from_entries(cfg.dims, entries)
@@ -132,6 +139,10 @@ mod tests {
         per_slice.sort_by(|a, b| b.total_cmp(a));
         let top10: f64 = per_slice[..10].iter().sum();
         let total: f64 = per_slice.iter().sum();
-        assert!(top10 / total < 0.06, "uniform top-10 share {}", top10 / total);
+        assert!(
+            top10 / total < 0.06,
+            "uniform top-10 share {}",
+            top10 / total
+        );
     }
 }

@@ -46,7 +46,10 @@ pub fn uniform_tensor(dims: [usize; NMODES], nnz: usize, seed: u64) -> CooTensor
             let u1: f64 = rng.random::<f64>().max(1e-12);
             let u2: f64 = rng.random::<f64>();
             let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-            Entry { idx, val: n.abs() + 0.1 }
+            Entry {
+                idx,
+                val: n.abs() + 0.1,
+            }
         })
         .collect();
     CooTensor::from_entries(dims, entries)

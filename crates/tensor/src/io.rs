@@ -58,7 +58,10 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
         for (m, slot) in idx.iter_mut().enumerate() {
             let tok = it.next().ok_or_else(|| TnsError::Parse {
                 line: line_no,
-                msg: format!("expected {} coordinates + value, found fewer fields", NMODES),
+                msg: format!(
+                    "expected {} coordinates + value, found fewer fields",
+                    NMODES
+                ),
             })?;
             let c: u64 = tok.parse().map_err(|_| TnsError::Parse {
                 line: line_no,

@@ -29,7 +29,11 @@ impl NdCooTensor {
     pub fn from_flat(dims: Vec<usize>, coords: Vec<Idx>, vals: Vec<f64>) -> Self {
         let order = dims.len();
         assert!(order > 0, "tensor order must be positive");
-        assert_eq!(coords.len(), vals.len() * order, "coordinate/value length mismatch");
+        assert_eq!(
+            coords.len(),
+            vals.len() * order,
+            "coordinate/value length mismatch"
+        );
         for (n, chunk) in coords.chunks_exact(order).enumerate() {
             for (m, &c) in chunk.iter().enumerate() {
                 assert!(
@@ -47,7 +51,11 @@ impl NdCooTensor {
     /// An empty tensor.
     pub fn empty(dims: Vec<usize>) -> Self {
         assert!(!dims.is_empty(), "tensor order must be positive");
-        NdCooTensor { dims, coords: Vec::new(), vals: Vec::new() }
+        NdCooTensor {
+            dims,
+            coords: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Converts a 3-mode [`crate::CooTensor`].
@@ -58,7 +66,11 @@ impl NdCooTensor {
             coords.extend_from_slice(&e.idx);
             vals.push(e.val);
         }
-        NdCooTensor { dims: t.dims().to_vec(), coords, vals }
+        NdCooTensor {
+            dims: t.dims().to_vec(),
+            coords,
+            vals,
+        }
     }
 
     /// Number of modes.
@@ -149,7 +161,10 @@ pub fn uniform_nd(dims: &[usize], nnz: usize, seed: u64) -> NdCooTensor {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen: std::collections::BTreeSet<Vec<Idx>> = std::collections::BTreeSet::new();
     while seen.len() < nnz {
-        let c: Vec<Idx> = dims.iter().map(|&d| rng.random_range(0..d as Idx)).collect();
+        let c: Vec<Idx> = dims
+            .iter()
+            .map(|&d| rng.random_range(0..d as Idx))
+            .collect();
         seen.insert(c);
     }
     let mut coords = Vec::with_capacity(nnz * order);
@@ -180,11 +195,7 @@ mod tests {
 
     #[test]
     fn duplicates_merge() {
-        let t = NdCooTensor::from_flat(
-            vec![2, 2],
-            vec![1, 1, 1, 1, 0, 1],
-            vec![2.0, 3.0, 1.0],
-        );
+        let t = NdCooTensor::from_flat(vec![2, 2], vec![1, 1, 1, 1, 0, 1], vec![2.0, 3.0, 1.0]);
         assert_eq!(t.nnz(), 2);
         let heavy = (0..t.nnz()).find(|&n| t.coord(n) == [1, 1]).unwrap();
         assert_eq!(t.value(heavy), 5.0);
@@ -192,11 +203,7 @@ mod tests {
 
     #[test]
     fn sort_by_permutation() {
-        let mut t = NdCooTensor::from_flat(
-            vec![3, 3],
-            vec![2, 0, 0, 2, 1, 1],
-            vec![1.0, 2.0, 3.0],
-        );
+        let mut t = NdCooTensor::from_flat(vec![3, 3], vec![2, 0, 0, 2, 1, 1], vec![1.0, 2.0, 3.0]);
         t.sort_and_merge(&[1, 0]); // sort by mode 1 first
         let firsts: Vec<u32> = (0..3).map(|n| t.coord(n)[1]).collect();
         assert!(firsts.windows(2).all(|w| w[0] <= w[1]));
@@ -204,13 +211,7 @@ mod tests {
 
     #[test]
     fn from_coo3_matches() {
-        let c3 = crate::CooTensor::from_triples(
-            [3, 3, 3],
-            &[0, 1],
-            &[1, 2],
-            &[2, 0],
-            &[4.0, 5.0],
-        );
+        let c3 = crate::CooTensor::from_triples([3, 3, 3], &[0, 1], &[1, 2], &[2, 0], &[4.0, 5.0]);
         let nd = NdCooTensor::from_coo3(&c3);
         assert_eq!(nd.order(), 3);
         assert_eq!(nd.nnz(), 2);

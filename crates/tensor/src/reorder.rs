@@ -21,7 +21,9 @@ pub struct Reordering {
 impl Reordering {
     /// The identity reordering.
     pub fn identity(dims: [usize; NMODES]) -> Self {
-        Reordering { maps: std::array::from_fn(|m| (0..dims[m] as Idx).collect()) }
+        Reordering {
+            maps: std::array::from_fn(|m| (0..dims[m] as Idx).collect()),
+        }
     }
 
     /// Sorts each mode's indices by decreasing nonzero count (degree), so

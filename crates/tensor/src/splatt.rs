@@ -279,7 +279,13 @@ impl SplattTensor {
     /// j_idx, vals)`.
     #[allow(clippy::type_complexity)]
     pub fn raw(&self) -> (&[usize], &[Idx], &[usize], &[Idx], &[f64]) {
-        (&self.i_ptr, &self.fiber_kid, &self.fiber_ptr, &self.j_idx, &self.vals)
+        (
+            &self.i_ptr,
+            &self.fiber_kid,
+            &self.fiber_ptr,
+            &self.j_idx,
+            &self.vals,
+        )
     }
 
     /// Reconstructs the entries in **original** mode order. Used by tests
@@ -295,7 +301,10 @@ impl SplattTensor {
                     idx[self.perm[0]] = gi as Idx;
                     idx[self.perm[1]] = self.j_idx[n];
                     idx[self.perm[2]] = kid;
-                    out.push(Entry { idx, val: self.vals[n] });
+                    out.push(Entry {
+                        idx,
+                        val: self.vals[n],
+                    });
                 }
             }
         }
@@ -415,11 +424,8 @@ mod tests {
             &[1, 1, 0, 2],
             &[1.0, 2.0, 3.0, 4.0],
         );
-        let t = SplattTensor::from_entries_compressed(
-            coo.dims(),
-            MODE1_PERM,
-            coo.entries().to_vec(),
-        );
+        let t =
+            SplattTensor::from_entries_compressed(coo.dims(), MODE1_PERM, coo.entries().to_vec());
         assert!(t.is_slice_compressed());
         assert_eq!(t.n_slices(), 3); // slices 3, 50, 97 only
         assert_eq!(t.slice_global(0), 3);
@@ -442,11 +448,8 @@ mod tests {
     fn compressed_equals_ranged_semantics() {
         let coo = fig1_tensor();
         let dense = SplattTensor::from_coo(&coo, MODE1_PERM);
-        let comp = SplattTensor::from_entries_compressed(
-            coo.dims(),
-            MODE1_PERM,
-            coo.entries().to_vec(),
-        );
+        let comp =
+            SplattTensor::from_entries_compressed(coo.dims(), MODE1_PERM, coo.entries().to_vec());
         let mut a = dense.to_entries();
         let mut b = comp.to_entries();
         a.sort_unstable_by_key(|e| e.idx);

@@ -29,12 +29,20 @@ impl TensorStats {
         let mut nnz_per_fiber = [0.0; NMODES];
         for m in 0..NMODES {
             fibers[m] = t.count_fibers(perm_for_mode(m));
-            nnz_per_fiber[m] = if fibers[m] == 0 { 0.0 } else { nnz as f64 / fibers[m] as f64 };
+            nnz_per_fiber[m] = if fibers[m] == 0 {
+                0.0
+            } else {
+                nnz as f64 / fibers[m] as f64
+            };
         }
         TensorStats {
             dims,
             nnz,
-            sparsity: if cells == 0.0 { 0.0 } else { nnz as f64 / cells },
+            sparsity: if cells == 0.0 {
+                0.0
+            } else {
+                nnz as f64 / cells
+            },
             fibers,
             nnz_per_fiber,
         }
@@ -46,6 +54,29 @@ impl TensorStats {
             "{:<10} {:>9}x{:<9}x{:<9} {:>12} {:>10.1e}",
             name, self.dims[0], self.dims[1], self.dims[2], self.nnz, self.sparsity
         )
+    }
+
+    /// A stable 64-bit fingerprint of the tensor's tuning-relevant shape:
+    /// dimensions, nonzero count, and per-mode fiber counts — the inputs the
+    /// Section V-C heuristic is sensitive to. Two tensors with equal
+    /// fingerprints get the same tuned plan (used as the plan-cache key);
+    /// nonzero *values* are deliberately excluded, since MTTKRP cost does
+    /// not depend on them.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x100_0000_01b3); // FNV prime
+            h ^= h >> 29;
+        };
+        for &d in &self.dims {
+            mix(d as u64);
+        }
+        mix(self.nnz as u64);
+        for &f in &self.fibers {
+            mix(f as u64);
+        }
+        h
     }
 }
 

@@ -33,7 +33,11 @@ pub fn check_splatt(t: &SplattTensor) -> Vec<String> {
         ));
     }
     if j_idx.len() != vals.len() {
-        errs.push(format!("j_idx length {} != vals length {}", j_idx.len(), vals.len()));
+        errs.push(format!(
+            "j_idx length {} != vals length {}",
+            j_idx.len(),
+            vals.len()
+        ));
     }
     if i_ptr.windows(2).any(|w| w[0] > w[1]) {
         errs.push("i_ptr is not monotone".into());
@@ -43,7 +47,10 @@ pub fn check_splatt(t: &SplattTensor) -> Vec<String> {
     }
     if let (Some(&last_i), Some(&last_f)) = (i_ptr.last(), fiber_ptr.last()) {
         if last_i != fiber_kid.len() {
-            errs.push(format!("i_ptr end {last_i} != fiber count {}", fiber_kid.len()));
+            errs.push(format!(
+                "i_ptr end {last_i} != fiber count {}",
+                fiber_kid.len()
+            ));
         }
         if last_f != vals.len() {
             errs.push(format!("fiber_ptr end {last_f} != nnz {}", vals.len()));
@@ -51,7 +58,10 @@ pub fn check_splatt(t: &SplattTensor) -> Vec<String> {
     }
     for s in 0..t.n_slices() {
         if t.slice_global(s) >= dims[perm[0]] {
-            errs.push(format!("slice {s} maps to out-of-range global {}", t.slice_global(s)));
+            errs.push(format!(
+                "slice {s} maps to out-of-range global {}",
+                t.slice_global(s)
+            ));
         }
         // fibers within a slice must have strictly increasing kids
         let fibers: Vec<u32> = t.slice_fibers(s).map(|f| fiber_kid[f]).collect();
@@ -130,11 +140,8 @@ mod tests {
             let t = SplattTensor::for_mode(&x, mode);
             assert!(check_splatt(&t).is_empty(), "{:?}", check_splatt(&t));
         }
-        let compressed = SplattTensor::from_entries_compressed(
-            x.dims(),
-            MODE1_PERM,
-            x.entries().to_vec(),
-        );
+        let compressed =
+            SplattTensor::from_entries_compressed(x.dims(), MODE1_PERM, x.entries().to_vec());
         assert!(check_splatt(&compressed).is_empty());
     }
 

@@ -6,8 +6,8 @@
 //!
 //! Run: `cargo run --release --example anomaly_detection`
 
-use tenblock::cpd::{cp_apr, CpAprOptions};
 use tenblock::core::{KernelConfig, KernelKind};
+use tenblock::cpd::{cp_apr, CpAprOptions};
 use tenblock::tensor::gen::{poisson_tensor, PoissonConfig};
 use tenblock::tensor::{CooTensor, Entry};
 
@@ -42,7 +42,11 @@ fn main() {
     let mut opts = CpAprOptions::new(8);
     opts.max_iters = 25;
     opts.kernel = KernelKind::MbRankB;
-    opts.kernel_cfg = KernelConfig { grid: [2, 2, 1], strip_width: 16, parallel: false };
+    opts.kernel_cfg = KernelConfig {
+        grid: [2, 2, 1],
+        strip_width: 16,
+        parallel: false,
+    };
     let result = cp_apr(&x, &opts);
     println!(
         "CP-APR: {} iterations, log-likelihood {:.1}",
@@ -84,6 +88,12 @@ fn main() {
         );
     }
     let recall = hits as f64 / n_anomalies as f64;
-    println!("\nrecall@{top_n} on the injected anomalies: {:.0}%", recall * 100.0);
-    assert!(recall >= 0.6, "detector should surface the injected anomalies");
+    println!(
+        "\nrecall@{top_n} on the injected anomalies: {:.0}%",
+        recall * 100.0
+    );
+    assert!(
+        recall >= 0.6,
+        "detector should surface the injected anomalies"
+    );
 }

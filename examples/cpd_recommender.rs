@@ -4,8 +4,8 @@
 //!
 //! Run: `cargo run --release --example cpd_recommender`
 
-use tenblock::cpd::{CpAls, CpAlsOptions};
 use tenblock::core::{KernelConfig, KernelKind};
+use tenblock::cpd::{CpAls, CpAlsOptions};
 use tenblock::tensor::gen::Dataset;
 
 fn main() {
@@ -23,7 +23,11 @@ fn main() {
     opts.max_iters = 15;
     opts.tol = 1e-4;
     opts.kernel = KernelKind::MbRankB;
-    opts.kernel_cfg = KernelConfig { grid: [4, 2, 1], strip_width: 16, parallel: true };
+    opts.kernel_cfg = KernelConfig {
+        grid: [4, 2, 1],
+        strip_width: 16,
+        parallel: true,
+    };
 
     let t0 = std::time::Instant::now();
     let als = CpAls::new(&x, opts);
@@ -43,13 +47,7 @@ fn main() {
 
     // The dominant components by weight — in a recommender, these are the
     // strongest (user-group, item-group, time-pattern) co-clusters.
-    let mut weights: Vec<(usize, f64)> = result
-        .model
-        .lambda
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut weights: Vec<(usize, f64)> = result.model.lambda.iter().copied().enumerate().collect();
     weights.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top components by weight:");
     for (r, w) in weights.iter().take(5) {

@@ -28,7 +28,10 @@ fn main() {
             nodes,
             format!("{}x{}x{}", r3.grid[0], r3.grid[1], r3.grid[2]),
             r3.total_secs,
-            format!("{}x{}x{}x{}", r4.grid[0], r4.grid[1], r4.grid[2], r4.grid[3]),
+            format!(
+                "{}x{}x{}x{}",
+                r4.grid[0], r4.grid[1], r4.grid[2], r4.grid[3]
+            ),
             r4.total_secs,
             r4.comm_secs
         );

@@ -16,11 +16,7 @@ fn main() {
     let dims = vec![2_000usize, 40, 1_500, 365];
     let x = uniform_nd(&dims, 200_000, 23);
     let rank = 32;
-    println!(
-        "4-mode tensor {:?}, {} nnz, rank {rank}",
-        x.dims(),
-        x.nnz()
-    );
+    println!("4-mode tensor {:?}, {} nnz, rank {rank}", x.dims(), x.nnz());
 
     let factors: Vec<DenseMatrix> = dims
         .iter()

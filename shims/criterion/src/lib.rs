@@ -1,0 +1,187 @@
+//! Offline shim for the `criterion` crate: enough API for this
+//! workspace's benches (`benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros).
+//!
+//! Statistics are deliberately simple: each benchmark runs
+//! `sample_size` timed iterations after one warm-up and reports
+//! min / median / mean to stdout. No outlier analysis, plots, or
+//! saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup {
+        println!("\n== {} ==", name.as_ref());
+        BenchmarkGroup { sample_size: 10 }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id made of a function name and a parameter value.
+    pub fn new<D: Display>(name: &str, parameter: D) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id made of the parameter value alone.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark. `id` may be a [`BenchmarkId`] or a plain name
+    /// (`&str`), as in upstream criterion.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("  {:<24} (no samples)", id.label);
+            return self;
+        }
+        s.sort_unstable();
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "  {:<24} min {:>12.6?}  median {:>12.6?}  mean {:>12.6?}  ({} samples)",
+            id.label,
+            min,
+            median,
+            mean,
+            s.len()
+        );
+        self
+    }
+
+    /// Ends the group (prints nothing; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Declares a group function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // one warm-up + three samples
+        assert_eq!(calls, 4);
+    }
+
+    criterion_group!(demo_group, demo_target);
+
+    fn demo_target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(1);
+        g.bench_function(BenchmarkId::new("noop", 1), |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}

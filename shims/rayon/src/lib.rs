@@ -1,0 +1,148 @@
+//! Offline shim for the `rayon` crate, covering the API subset this
+//! workspace uses: `into_par_iter().for_each`, `.enumerate().for_each`,
+//! `par_chunks_mut`, and [`current_num_threads`].
+//!
+//! Unlike a sequential stub, this shim delivers real parallelism: items are
+//! pulled from a shared queue by `std::thread::scope` workers. The kernels
+//! in `tenblock-core` already chunk their work coarsely (a few items per
+//! hardware thread), so a simple shared-queue pull loop — no work stealing —
+//! recovers nearly all of rayon's benefit for these workloads.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on up to [`current_num_threads`] scoped threads.
+/// Panics in workers propagate to the caller when the scope joins.
+fn drive<T: Send, F: Fn(usize, T) + Sync>(items: Vec<T>, f: F) {
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap().pop_front();
+                match next {
+                    Some((i, item)) => f(i, item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Parallel iterator over an owned list of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Consumes every item, in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        drive(self.items, |_, item| f(item));
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParEnumerate<T> {
+        ParEnumerate { items: self.items }
+    }
+}
+
+/// Index-carrying parallel iterator (result of [`ParIter::enumerate`]).
+pub struct ParEnumerate<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParEnumerate<T> {
+    /// Consumes every `(index, item)` pair, in parallel.
+    pub fn for_each<F: Fn((usize, T)) + Sync>(self, f: F) {
+        drive(self.items, |i, item| f((i, item)));
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel mutable-chunk splitting for slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Like `chunks_mut`, but the chunks are processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_everything() {
+        let seen = AtomicUsize::new(0);
+        (0..100usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|i| {
+                seen.fetch_add(i, Ordering::Relaxed);
+            });
+        assert_eq!(seen.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn enumerate_indices_match_order() {
+        let vals: Vec<u32> = (0..64).map(|i| i * 3).collect();
+        let hits = AtomicUsize::new(0);
+        vals.into_par_iter().enumerate().for_each(|(i, v)| {
+            assert_eq!(v, i as u32 * 3);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_disjointly() {
+        let mut data = vec![0u64; 1000];
+        data.par_chunks_mut(64).enumerate().for_each(|(ci, rows)| {
+            for r in rows {
+                *r += ci as u64 + 1;
+            }
+        });
+        // every element written exactly once, by its own chunk
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 64) as u64 + 1);
+        }
+    }
+}

@@ -8,11 +8,16 @@
 //! * `gen <dataset> <out>` — generate a Table II analogue,
 //! * `bench <file>` — time every MTTKRP kernel on a tensor,
 //! * `tune <file>` — run the Section V-C block-size heuristic,
-//! * `decompose <file>` — CP-ALS or CP-APR with a chosen kernel.
+//! * `decompose <file>` — CP-ALS or CP-APR with a chosen kernel,
+//! * `serve` — start the in-process decomposition service (TCP).
+//!
+//! `tune` and `decompose` accept `--plan-cache <path>` to share tuned
+//! block-size plans with each other and with a running `serve` instance.
 
 use std::path::Path;
 use tenblock_core::{build_kernel, tune, KernelConfig, KernelKind, TuneOptions};
 use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAprOptions};
+use tenblock_serve::{PlanCache, PlanKey, Server, ServerConfig, TunedPlan};
 use tenblock_tensor::gen::{Dataset, ALL_DATASETS};
 use tenblock_tensor::{io, io_bin, CooTensor, DenseMatrix, TensorStats};
 
@@ -32,7 +37,13 @@ impl Args {
         let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it.next().cloned().unwrap_or_default();
+                // Only consume the next token as this flag's value when it
+                // isn't itself a flag, so valueless flags (`--parallel
+                // --rank 8`) don't swallow their neighbor.
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().cloned().unwrap(),
+                    _ => String::new(),
+                };
                 args.flags.push((key.to_string(), value));
             } else {
                 args.positional.push(a.clone());
@@ -52,7 +63,9 @@ impl Args {
 
     /// Parses a flag into `T`, with a default.
     pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.flag(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.flag(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -101,19 +114,24 @@ pub fn kernel_by_name(name: &str) -> Option<KernelKind> {
 }
 
 /// Usage text.
-pub const USAGE: &str = "tenblock — blocking-optimized sparse tensor kernels (IPDPS'18 reproduction)
+pub const USAGE: &str =
+    "tenblock — blocking-optimized sparse tensor kernels (IPDPS'18 reproduction)
 
 USAGE:
   tenblock stats <file>
   tenblock convert <in> <out>
   tenblock gen <dataset> <out> [--nnz N] [--seed S]
   tenblock bench <file> [--rank R] [--reps N]
-  tenblock tune <file> [--rank R]
+  tenblock tune <file> [--rank R] [--plan-cache <path>]
   tenblock decompose <file> [--rank R] [--iters N] [--method als|apr]
                             [--kernel splatt|mb|rankb|mbrankb]
+                            [--plan-cache <path>]
+  tenblock serve --addr <host:port> [--workers N] [--queue N]
+                 [--plan-cache <path>]
 
 Files: .tns (FROSTT text) or .tnsb (tenblock binary).
-Datasets: Poisson1-3, NELL2, Netflix, Reddit, Amazon (scaled analogues).";
+Datasets: Poisson1-3, NELL2, Netflix, Reddit, Amazon (scaled analogues).
+The serve protocol is line-delimited JSON; see crates/serve/README.md.";
 
 /// Runs one subcommand; returns the text to print or an error message.
 pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
@@ -140,8 +158,7 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
         "gen" => {
             let name = args.positional.first().ok_or("gen: missing <dataset>")?;
             let dst = args.positional.get(1).ok_or("gen: missing <out>")?;
-            let ds = dataset_by_name(name)
-                .ok_or_else(|| format!("unknown dataset `{name}`"))?;
+            let ds = dataset_by_name(name).ok_or_else(|| format!("unknown dataset `{name}`"))?;
             let spec = ds.spec();
             let nnz = args.flag_or("nnz", spec.default_nnz);
             let seed = args.flag_or("seed", 42u64);
@@ -162,13 +179,15 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let factors: Vec<DenseMatrix> = t
                 .dims()
                 .iter()
-                .map(|&d| {
-                    DenseMatrix::from_fn(d, rank, |r, c| ((r * 7 + c) % 11) as f64 * 0.1)
-                })
+                .map(|&d| DenseMatrix::from_fn(d, rank, |r, c| ((r * 7 + c) % 11) as f64 * 0.1))
                 .collect();
             let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
             let mut out = DenseMatrix::zeros(t.dims()[0], rank);
-            let cfg = KernelConfig { grid: [4, 4, 2], strip_width: 16, parallel: false };
+            let cfg = KernelConfig {
+                grid: [4, 4, 2],
+                strip_width: 16,
+                parallel: false,
+            };
             let mut lines = vec![format!(
                 "mode-1 MTTKRP on {path}: nnz {}, rank {rank} (best of {reps})",
                 t.nnz()
@@ -189,9 +208,27 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let path = args.positional.first().ok_or("tune: missing <file>")?;
             let rank: usize = args.flag_or("rank", 64);
             let t = load_tensor(path)?;
+            let cache = open_plan_cache(args)?;
+            let key = PlanKey::of(&TensorStats::of(&t), rank);
+            if let Some(plan) = cache.as_ref().and_then(|c| c.lookup(key)) {
+                return Ok(format!(
+                    "plan cache hit: grid {}x{}x{}, strip width {} ({:.4} s/MTTKRP when tuned)",
+                    plan.grid[0], plan.grid[1], plan.grid[2], plan.strip_width, plan.best_secs
+                ));
+            }
             let mut opts = TuneOptions::new(rank);
             opts.reps = 2;
             let r = tune(&t, 0, &opts);
+            if let Some(cache) = &cache {
+                let plan = TunedPlan {
+                    grid: r.grid,
+                    strip_width: r.strip_width,
+                    best_secs: r.best_secs,
+                };
+                cache
+                    .insert(key, plan)
+                    .map_err(|e| format!("plan cache write failed: {e}"))?;
+            }
             Ok(format!(
                 "selected grid {}x{}x{}, strip width {} ({:.4} s/MTTKRP, {} candidates tried)",
                 r.grid[0],
@@ -210,7 +247,21 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let kernel = kernel_by_name(args.flag("kernel").unwrap_or("mbrankb"))
                 .ok_or("unknown kernel name")?;
             let t = load_tensor(path)?;
-            let cfg = KernelConfig { grid: [4, 2, 2], strip_width: 16, parallel: true };
+            // A cached plan for this tensor's shape and rank beats the
+            // fixed default grid; a miss keeps the default (no tuning run
+            // is triggered implicitly).
+            let cfg = open_plan_cache(args)?
+                .and_then(|c| c.lookup(PlanKey::of(&TensorStats::of(&t), rank)))
+                .map(|p| KernelConfig {
+                    grid: p.grid,
+                    strip_width: p.strip_width,
+                    parallel: true,
+                })
+                .unwrap_or(KernelConfig {
+                    grid: [4, 2, 2],
+                    strip_width: 16,
+                    parallel: true,
+                });
             match method {
                 "als" => {
                     let mut opts = CpAlsOptions::new(rank);
@@ -241,8 +292,33 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 other => Err(format!("unknown method `{other}` (als|apr)")),
             }
         }
+        "serve" => {
+            let addr = args.flag("addr").unwrap_or("127.0.0.1:7607");
+            let config = ServerConfig {
+                workers: args.flag_or("workers", 2),
+                queue_capacity: args.flag_or("queue", 16),
+                plan_cache_path: args.flag("plan-cache").map(std::path::PathBuf::from),
+            };
+            let server = Server::bind(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+            // Announce before blocking: `run` only returns output after the
+            // server exits, which is never in normal operation.
+            eprintln!("tenblock serve: listening on {}", server.addr());
+            server.join();
+            Ok("server stopped".to_string())
+        }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// Opens the `--plan-cache` file when the flag is present (with a value).
+fn open_plan_cache(args: &Args) -> Result<Option<PlanCache>, String> {
+    match args.flag("plan-cache") {
+        Some(path) if !path.is_empty() => PlanCache::open(Path::new(path))
+            .map(Some)
+            .map_err(|e| format!("plan cache {path}: {e}")),
+        Some(_) => Err("--plan-cache requires a path".to_string()),
+        None => Ok(None),
     }
 }
 
@@ -267,6 +343,20 @@ mod tests {
         assert_eq!(a.flag("rank"), Some("32"));
         assert_eq!(a.flag_or("seed", 0u64), 7);
         assert_eq!(a.flag_or("missing", 5usize), 5);
+    }
+
+    #[test]
+    fn valueless_flag_does_not_swallow_the_next_flag() {
+        let raw: Vec<String> = ["--verbose", "--rank", "8", "x.tns", "--dry-run"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse(&raw);
+        // `--verbose` has no value; `--rank` must keep its `8`.
+        assert_eq!(a.flag("verbose"), Some(""));
+        assert_eq!(a.flag("rank"), Some("8"));
+        assert_eq!(a.positional, vec!["x.tns"]);
+        assert_eq!(a.flag("dry-run"), Some(""));
     }
 
     #[test]
@@ -315,6 +405,31 @@ mod tests {
         dargs.flags.push(("method".into(), "apr".into()));
         let apr = run("decompose", &dargs).unwrap();
         assert!(apr.contains("CP-APR"));
+    }
+
+    #[test]
+    fn plan_cache_flag_shares_plans_between_tune_and_decompose() {
+        let tns = tmpfile("plan_cached.tnsb");
+        let mut gargs = Args::parse(&["Poisson1".to_string(), tns.clone()]);
+        gargs.flags.push(("nnz".into(), "2000".into()));
+        run("gen", &gargs).unwrap();
+
+        let cache = tmpfile("plans.json");
+        let _ = std::fs::remove_file(&cache);
+        let mut targs = Args::parse(std::slice::from_ref(&tns));
+        targs.flags.push(("rank".into(), "8".into()));
+        targs.flags.push(("plan-cache".into(), cache.clone()));
+        let first = run("tune", &targs).unwrap();
+        assert!(first.contains("selected grid"), "{first}");
+        let second = run("tune", &targs).unwrap();
+        assert!(second.contains("plan cache hit"), "{second}");
+
+        let mut dargs = Args::parse(std::slice::from_ref(&tns));
+        dargs.flags.push(("rank".into(), "8".into()));
+        dargs.flags.push(("iters".into(), "2".into()));
+        dargs.flags.push(("plan-cache".into(), cache));
+        let als = run("decompose", &dargs).unwrap();
+        assert!(als.contains("CP-ALS"), "{als}");
     }
 
     #[test]

@@ -29,7 +29,11 @@ fn blocked_cpd_recovers_planted_rank() {
     opts.max_iters = 150;
     opts.tol = 1e-10;
     opts.kernel = KernelKind::MbRankB;
-    opts.kernel_cfg = KernelConfig { grid: [2, 2, 2], strip_width: 16, parallel: false };
+    opts.kernel_cfg = KernelConfig {
+        grid: [2, 2, 2],
+        strip_width: 16,
+        parallel: false,
+    };
     let result = CpAls::new(&x, opts).run(&x);
     let fit = *result.fit_history.last().unwrap();
     assert!(fit > 0.99, "fit = {fit}");
@@ -69,11 +73,18 @@ fn kernel_choice_does_not_change_the_math() {
         opts.max_iters = 20;
         opts.tol = 0.0;
         opts.kernel = kind;
-        opts.kernel_cfg = KernelConfig { grid: [3, 2, 2], strip_width: 8, parallel: false };
+        opts.kernel_cfg = KernelConfig {
+            grid: [3, 2, 2],
+            strip_width: 8,
+            parallel: false,
+        };
         let result = CpAls::new(&x, opts).run(&x);
         fits.push(*result.fit_history.last().unwrap());
     }
     for f in &fits[1..] {
-        assert!((f - fits[0]).abs() < 1e-6, "fits diverge across kernels: {fits:?}");
+        assert!(
+            (f - fits[0]).abs() < 1e-6,
+            "fits diverge across kernels: {fits:?}"
+        );
     }
 }

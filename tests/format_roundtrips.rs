@@ -6,13 +6,12 @@ use tenblock::tensor::coo::perm_for_mode;
 use tenblock::tensor::{io, CooTensor, Entry, SplattTensor};
 
 fn arb_tensor() -> impl Strategy<Value = CooTensor> {
-    (1usize..15, 1usize..15, 1usize..15)
-        .prop_flat_map(|(i, j, k)| {
-            let entry = (0..i as u32, 0..j as u32, 0..k as u32, -100.0f64..100.0)
-                .prop_map(|(a, b, c, v)| Entry::new(a, b, c, v));
-            proptest::collection::vec(entry, 0..80)
-                .prop_map(move |es| CooTensor::from_entries([i, j, k], es))
-        })
+    (1usize..15, 1usize..15, 1usize..15).prop_flat_map(|(i, j, k)| {
+        let entry = (0..i as u32, 0..j as u32, 0..k as u32, -100.0f64..100.0)
+            .prop_map(|(a, b, c, v)| Entry::new(a, b, c, v));
+        proptest::collection::vec(entry, 0..80)
+            .prop_map(move |es| CooTensor::from_entries([i, j, k], es))
+    })
 }
 
 proptest! {

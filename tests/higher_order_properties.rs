@@ -9,26 +9,24 @@ use tenblock::tensor::{CooTensor, CsfTensor, DenseMatrix, Entry, NdCooTensor};
 
 /// Strategy: a random N-mode tensor (order 2-5, small dims).
 fn arb_nd() -> impl Strategy<Value = NdCooTensor> {
-    (2usize..=5)
-        .prop_flat_map(|order| {
-            proptest::collection::vec(2usize..8, order)
-                .prop_flat_map(move |dims| {
-                    let coord = dims
-                        .iter()
-                        .map(|&d| (0..d as u32).boxed())
-                        .collect::<Vec<_>>();
-                    let entry = (coord, -4.0f64..4.0);
-                    proptest::collection::vec(entry, 0..50).prop_map(move |es| {
-                        let mut coords = Vec::new();
-                        let mut vals = Vec::new();
-                        for (c, v) in es {
-                            coords.extend_from_slice(&c);
-                            vals.push(v);
-                        }
-                        NdCooTensor::from_flat(dims.clone(), coords, vals)
-                    })
-                })
+    (2usize..=5).prop_flat_map(|order| {
+        proptest::collection::vec(2usize..8, order).prop_flat_map(move |dims| {
+            let coord = dims
+                .iter()
+                .map(|&d| (0..d as u32).boxed())
+                .collect::<Vec<_>>();
+            let entry = (coord, -4.0f64..4.0);
+            proptest::collection::vec(entry, 0..50).prop_map(move |es| {
+                let mut coords = Vec::new();
+                let mut vals = Vec::new();
+                for (c, v) in es {
+                    coords.extend_from_slice(&c);
+                    vals.push(v);
+                }
+                NdCooTensor::from_flat(dims.clone(), coords, vals)
+            })
         })
+    })
 }
 
 fn seeded_factors(dims: &[usize], rank: usize, seed: u64) -> Vec<DenseMatrix> {

@@ -9,13 +9,12 @@ use tenblock::tensor::{CooTensor, DenseMatrix, Entry};
 
 /// Strategy: a small random sparse tensor.
 fn arb_tensor() -> impl Strategy<Value = CooTensor> {
-    (2usize..12, 2usize..12, 2usize..12)
-        .prop_flat_map(|(i, j, k)| {
-            let entry = (0..i as u32, 0..j as u32, 0..k as u32, -5.0f64..5.0)
-                .prop_map(|(a, b, c, v)| Entry::new(a, b, c, v));
-            proptest::collection::vec(entry, 0..60)
-                .prop_map(move |es| CooTensor::from_entries([i, j, k], es))
-        })
+    (2usize..12, 2usize..12, 2usize..12).prop_flat_map(|(i, j, k)| {
+        let entry = (0..i as u32, 0..j as u32, 0..k as u32, -5.0f64..5.0)
+            .prop_map(|(a, b, c, v)| Entry::new(a, b, c, v));
+        proptest::collection::vec(entry, 0..60)
+            .prop_map(move |es| CooTensor::from_entries([i, j, k], es))
+    })
 }
 
 /// Deterministic pseudo-random factors derived from a seed.
