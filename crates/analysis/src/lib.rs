@@ -21,6 +21,11 @@
 //!   selection driven by the cache simulator's predicted memory traffic
 //!   instead of wall-clock timing.
 
+/// Re-export of the observability crate: recorders, spans, and the
+/// [`obs::KernelCounters`] model the kernels report against (the same
+/// quantities [`roofline`] predicts).
+pub use tenblock_obs as obs;
+
 pub mod cache;
 pub mod ppa;
 pub mod roofline;

@@ -15,6 +15,7 @@ use tenblock_bench::{
 };
 use tenblock_core::block::{MbKernel, MbRankBKernel, RankBKernel, RankbLayout, Traversal};
 use tenblock_core::mttkrp::{CooKernel, SplattKernel};
+use tenblock_core::ExecPolicy;
 use tenblock_tensor::gen::Dataset;
 use tenblock_tensor::DenseMatrix;
 
@@ -96,13 +97,13 @@ fn main() {
         rayon::current_num_threads()
     );
     let base_seq = SplattKernel::new(&x, 0);
-    let base_par = SplattKernel::new(&x, 0).with_parallel(true);
+    let base_par = SplattKernel::new(&x, 0).with_exec(ExecPolicy::auto());
     let t1 = time_kernel(&base_seq, &factors, &mut out, reps);
     row("SPLATT sequential", t1, None);
     let t2 = time_kernel(&base_par, &factors, &mut out, reps);
     row("SPLATT parallel", t2, Some(t1));
     let blk_seq = MbRankBKernel::new(&x, 0, [4, 2, 2], 16);
-    let blk_par = MbRankBKernel::new(&x, 0, [4, 2, 2], 16).with_parallel(true);
+    let blk_par = MbRankBKernel::new(&x, 0, [4, 2, 2], 16).with_exec(ExecPolicy::auto());
     let t3 = time_kernel(&blk_seq, &factors, &mut out, reps);
     row("MB+RankB sequential", t3, None);
     let t4 = time_kernel(&blk_par, &factors, &mut out, reps);

@@ -6,7 +6,9 @@
 //! both the grid factor *and* the strip factor, which is why the paper finds
 //! the combination more effective than either technique alone.
 
+use super::mb::grid_counters;
 use super::{split_rows_by_bounds, BlockGrid};
+use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
 use crate::mttkrp::{process_block_rankb, DenseWindow, RowWindow, StripWindow};
 use rayon::prelude::*;
@@ -20,7 +22,7 @@ pub struct MbRankBKernel {
     grid: BlockGrid,
     strip_width: usize,
     layout: RankbLayout,
-    parallel: bool,
+    exec: ExecPolicy,
 }
 
 impl MbRankBKernel {
@@ -33,7 +35,7 @@ impl MbRankBKernel {
             grid: BlockGrid::new(coo, mode, grid),
             strip_width,
             layout: RankbLayout::Plain,
-            parallel: false,
+            exec: ExecPolicy::serial(),
         }
     }
 
@@ -43,9 +45,16 @@ impl MbRankBKernel {
         self
     }
 
+    /// Sets the execution policy (threading + recorder).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Enables or disables rayon parallelism over block rows.
+    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
         self
     }
 
@@ -76,7 +85,7 @@ impl MbRankBKernel {
                 process_block_rankb(t, b, c, 0..t.n_slices(), rows, row0, rank, col0, width);
             }
         };
-        if self.parallel {
+        if self.exec.is_parallel() {
             chunks.into_par_iter().enumerate().for_each(work);
         } else {
             chunks.into_iter().enumerate().for_each(work);
@@ -97,6 +106,12 @@ impl MttkrpKernel for MbRankBKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        let span = self.exec.recorder.span("mttkrp/MB+RankB");
+        if span.active() {
+            let strips = rank.div_ceil(self.strip_width.min(rank.max(1)));
+            span.annotate_num("mode", self.mode as f64);
+            span.counters(&grid_counters(&self.grid, rank, strips as u64));
+        }
         out.fill_zero();
 
         match self.layout {
@@ -189,7 +204,7 @@ mod tests {
             for parallel in [false, true] {
                 let k = MbRankBKernel::new(&x, 0, [4, 2, 3], 16)
                     .with_layout(layout)
-                    .with_parallel(parallel);
+                    .with_exec(ExecPolicy::from_parallel(parallel));
                 let mut out = DenseMatrix::zeros(150, rank);
                 k.mttkrp(&fs, &mut out);
                 assert!(

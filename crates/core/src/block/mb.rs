@@ -7,10 +7,26 @@
 //! and are processed in parallel under rayon.
 
 use super::{split_rows_by_bounds, BlockGrid};
+use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
 use crate::mttkrp::process_block_plain;
 use rayon::prelude::*;
+use tenblock_obs::KernelCounters;
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
+
+/// Counters for a grid-blocked kernel: fibers are summed over blocks (the
+/// traversal the blocked kernel actually performs).
+pub(crate) fn grid_counters(grid: &BlockGrid, rank: usize, strips: u64) -> KernelCounters {
+    let mut fibers = 0u64;
+    for a in 0..grid.grid()[0] {
+        for t in grid.row_blocks(a) {
+            fibers += t.n_fibers() as u64;
+        }
+    }
+    KernelCounters::fibered_model(grid.nnz() as u64, fibers, rank as u64)
+        .with_blocks(grid.n_nonempty() as u64)
+        .with_strips(strips)
+}
 
 /// Block traversal order within a slice-axis row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,7 +45,7 @@ pub enum Traversal {
 pub struct MbKernel {
     mode: usize,
     grid: BlockGrid,
-    parallel: bool,
+    exec: ExecPolicy,
     traversal: Traversal,
 }
 
@@ -40,7 +56,7 @@ impl MbKernel {
         MbKernel {
             mode,
             grid: BlockGrid::new(coo, mode, grid),
-            parallel: false,
+            exec: ExecPolicy::serial(),
             traversal: Traversal::default(),
         }
     }
@@ -50,14 +66,21 @@ impl MbKernel {
         MbKernel {
             mode: grid.perm()[0],
             grid,
-            parallel: false,
+            exec: ExecPolicy::serial(),
             traversal: Traversal::default(),
         }
     }
 
+    /// Sets the execution policy (threading + recorder).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Enables or disables rayon parallelism over block rows.
+    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
         self
     }
 
@@ -86,6 +109,11 @@ impl MttkrpKernel for MbKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        let span = self.exec.recorder.span("mttkrp/MB");
+        if span.active() {
+            span.annotate_num("mode", self.mode as f64);
+            span.counters(&grid_counters(&self.grid, rank, 1));
+        }
         out.fill_zero();
 
         let bounds0 = self.grid.bounds(0).to_vec();
@@ -100,7 +128,7 @@ impl MttkrpKernel for MbKernel {
                 Traversal::CMajor => self.grid.row_blocks_c_major(a).for_each(&mut run),
             }
         };
-        if self.parallel {
+        if self.exec.is_parallel() {
             chunks.into_par_iter().enumerate().for_each(work);
         } else {
             chunks.into_iter().enumerate().for_each(work);
@@ -166,7 +194,7 @@ mod tests {
         let factors = factors_for(&x, rank);
         let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
         let k_seq = MbKernel::new(&x, 0, [4, 3, 2]);
-        let k_par = MbKernel::new(&x, 0, [4, 3, 2]).with_parallel(true);
+        let k_par = MbKernel::new(&x, 0, [4, 3, 2]).with_exec(ExecPolicy::auto());
         let mut a = DenseMatrix::zeros(120, rank);
         let mut b = DenseMatrix::zeros(120, rank);
         k_seq.mttkrp(&fs, &mut a);

@@ -12,9 +12,11 @@
 //! pass reads contiguous memory.
 
 use super::split_rows_by_bounds;
+use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
 use crate::mttkrp::{process_block_rankb, DenseWindow, RowWindow, StripWindow};
 use rayon::prelude::*;
+use tenblock_obs::KernelCounters;
 use tenblock_tensor::{CooTensor, DenseMatrix, SplattTensor, StripMatrix, NMODES};
 
 /// Factor-matrix layout used by the rank-blocked pass.
@@ -33,7 +35,7 @@ pub struct RankBKernel {
     t: SplattTensor,
     strip_width: usize,
     layout: RankbLayout,
-    parallel: bool,
+    exec: ExecPolicy,
 }
 
 impl RankBKernel {
@@ -47,7 +49,7 @@ impl RankBKernel {
             t: SplattTensor::for_mode(coo, mode),
             strip_width,
             layout: RankbLayout::Plain,
-            parallel: false,
+            exec: ExecPolicy::serial(),
         }
     }
 
@@ -57,9 +59,16 @@ impl RankBKernel {
         self
     }
 
+    /// Sets the execution policy (threading + recorder).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Enables or disables rayon parallelism over slices within a strip.
+    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
         self
     }
 
@@ -77,17 +86,15 @@ pub(crate) fn rankb_pass<B: RowWindow, C: RowWindow>(
     out: &mut DenseMatrix,
     col0: usize,
     width: usize,
-    parallel: bool,
+    exec: &ExecPolicy,
 ) {
     let rank = out.cols();
     let n_slices = t.n_slices();
     if n_slices == 0 {
         return;
     }
-    if parallel {
-        let chunk = n_slices
-            .div_ceil(4 * rayon::current_num_threads().max(1))
-            .max(1);
+    if exec.is_parallel() {
+        let chunk = exec.chunk_size(n_slices);
         let mut bounds: Vec<usize> = (0..n_slices).step_by(chunk).collect();
         bounds.push(n_slices);
         let chunks = split_rows_by_bounds(out.as_mut_slice(), &bounds, rank);
@@ -123,6 +130,19 @@ impl MttkrpKernel for RankBKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        let span = self.exec.recorder.span("mttkrp/RankB");
+        if span.active() {
+            let strips = rank.div_ceil(self.strip_width.min(rank.max(1)));
+            span.annotate_num("mode", self.mode as f64);
+            span.counters(
+                &KernelCounters::fibered_model(
+                    self.t.nnz() as u64,
+                    self.t.n_fibers() as u64,
+                    rank as u64,
+                )
+                .with_strips(strips as u64),
+            );
+        }
         out.fill_zero();
 
         match self.layout {
@@ -132,7 +152,7 @@ impl MttkrpKernel for RankBKernel {
                     let width = self.strip_width.min(rank - col0);
                     let bw = DenseWindow::new(b, col0, width);
                     let cw = DenseWindow::new(c, col0, width);
-                    rankb_pass(&self.t, &bw, &cw, out, col0, width, self.parallel);
+                    rankb_pass(&self.t, &bw, &cw, out, col0, width, &self.exec);
                     col0 += width;
                 }
             }
@@ -144,7 +164,7 @@ impl MttkrpKernel for RankBKernel {
                     let width = bs.width_of(s);
                     let bw = StripWindow::new(&bs, s);
                     let cw = StripWindow::new(&cs, s);
-                    rankb_pass(&self.t, &bw, &cw, out, col0, width, self.parallel);
+                    rankb_pass(&self.t, &bw, &cw, out, col0, width, &self.exec);
                 }
             }
         }
@@ -225,7 +245,7 @@ mod tests {
         let factors = factors_for(&x, rank);
         let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
         let seq = RankBKernel::new(&x, 0, 16);
-        let par = RankBKernel::new(&x, 0, 16).with_parallel(true);
+        let par = RankBKernel::new(&x, 0, 16).with_exec(ExecPolicy::auto());
         let mut a = DenseMatrix::zeros(100, rank);
         let mut b = DenseMatrix::zeros(100, rank);
         seq.mttkrp(&fs, &mut a);

@@ -1,6 +1,7 @@
 //! The [`MttkrpKernel`] trait and the kernel registry.
 
 use crate::block::{MbKernel, MbRankBKernel, RankBKernel};
+use crate::exec::ExecPolicy;
 use crate::mttkrp::{CooKernel, Csf3Kernel, SplattKernel};
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
 
@@ -59,7 +60,7 @@ impl KernelKind {
     ];
 }
 
-/// Blocking parameters for [`build_kernel`].
+/// Blocking and execution parameters for [`build_kernel`].
 #[derive(Debug, Clone)]
 pub struct KernelConfig {
     /// MB grid in kernel axes `[slice, j, k]`; `[1, 1, 1]` disables MB.
@@ -67,8 +68,8 @@ pub struct KernelConfig {
     /// RankB strip width in columns; `0` means "whole rank" (disables
     /// rank blocking).
     pub strip_width: usize,
-    /// Run slice/block-row loops in parallel with rayon.
-    pub parallel: bool,
+    /// Threading policy and observability recorder.
+    pub exec: ExecPolicy,
 }
 
 impl Default for KernelConfig {
@@ -76,8 +77,16 @@ impl Default for KernelConfig {
         KernelConfig {
             grid: [1, 1, 1],
             strip_width: 0,
-            parallel: false,
+            exec: ExecPolicy::serial(),
         }
+    }
+}
+
+impl KernelConfig {
+    /// Replaces the execution policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -97,20 +106,19 @@ pub fn build_kernel(
     } else {
         cfg.strip_width
     };
+    let exec = cfg.exec.clone();
     match kind {
-        KernelKind::Coo => Box::new(CooKernel::new(coo, mode)),
-        KernelKind::Splatt => Box::new(SplattKernel::new(coo, mode).with_parallel(cfg.parallel)),
-        KernelKind::Mb => Box::new(MbKernel::new(coo, mode, cfg.grid).with_parallel(cfg.parallel)),
-        KernelKind::RankB => {
-            Box::new(RankBKernel::new(coo, mode, strip).with_parallel(cfg.parallel))
-        }
+        KernelKind::Coo => Box::new(CooKernel::new(coo, mode).with_exec(exec)),
+        KernelKind::Splatt => Box::new(SplattKernel::new(coo, mode).with_exec(exec)),
+        KernelKind::Mb => Box::new(MbKernel::new(coo, mode, cfg.grid).with_exec(exec)),
+        KernelKind::RankB => Box::new(RankBKernel::new(coo, mode, strip).with_exec(exec)),
         KernelKind::MbRankB => {
-            Box::new(MbRankBKernel::new(coo, mode, cfg.grid, strip).with_parallel(cfg.parallel))
+            Box::new(MbRankBKernel::new(coo, mode, cfg.grid, strip).with_exec(exec))
         }
         KernelKind::Csf => Box::new(
             Csf3Kernel::new(coo, mode)
                 .with_strip_width(strip)
-                .with_parallel(cfg.parallel),
+                .with_exec(exec),
         ),
     }
 }
@@ -133,7 +141,7 @@ mod tests {
         let cfg = KernelConfig {
             grid: [2, 2, 2],
             strip_width: 4,
-            parallel: false,
+            exec: ExecPolicy::serial(),
         };
 
         let mut reference: Option<DenseMatrix> = None;

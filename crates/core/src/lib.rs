@@ -48,9 +48,15 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod block;
+pub mod exec;
 pub mod kernel;
 pub mod mttkrp;
 pub mod tune;
 
+pub use exec::{ExecPolicy, Threads};
 pub use kernel::{build_kernel, KernelConfig, KernelKind, MttkrpKernel};
 pub use tune::{tune, TuneOptions, TuneResult};
+
+// Re-export the observability vocabulary so downstream crates don't need a
+// direct tenblock-obs dependency to attach a recorder.
+pub use tenblock_obs as obs;

@@ -6,7 +6,9 @@
 //! multiply-per-factor per nonzero (no per-fiber factoring), which is the
 //! extra work Algorithm 1 saves.
 
+use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
+use tenblock_obs::KernelCounters;
 use tenblock_tensor::coo::perm_for_mode;
 use tenblock_tensor::{CooTensor, DenseMatrix, Idx, NMODES};
 
@@ -18,6 +20,7 @@ pub struct CooKernel {
     /// Entries re-indexed to kernel axes: `(out_row, j, k, val)`, sorted by
     /// `out_row` so output writes are sequential.
     entries: Vec<(Idx, Idx, Idx, f64)>,
+    exec: ExecPolicy,
 }
 
 impl CooKernel {
@@ -35,7 +38,15 @@ impl CooKernel {
             perm,
             dims: coo.dims(),
             entries,
+            exec: ExecPolicy::serial(),
         }
+    }
+
+    /// Sets the execution policy. The COO kernel has no parallel path; only
+    /// the recorder is used.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -51,6 +62,14 @@ impl MttkrpKernel for CooKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        let span = self.exec.recorder.span("mttkrp/COO");
+        if span.active() {
+            span.annotate_num("mode", self.mode as f64);
+            span.counters(&KernelCounters::coo_model(
+                self.entries.len() as u64,
+                rank as u64,
+            ));
+        }
         out.fill_zero();
         for &(i, j, k, v) in &self.entries {
             let brow = b.row(j as usize);

@@ -8,6 +8,8 @@
 //! root row of the output accumulates the sums of its level-1 children —
 //! the order-N generalization of Algorithm 1's per-fiber factoring.
 
+use crate::exec::ExecPolicy;
+use tenblock_obs::KernelCounters;
 use tenblock_tensor::{CsfTensor, DenseMatrix, NdCooTensor};
 
 /// N-mode MTTKRP kernel over CSF, producing the root-mode factor.
@@ -15,9 +17,9 @@ pub struct CsfKernel {
     t: CsfTensor,
     /// Rank-blocking strip width in columns (`usize::MAX` = single strip).
     strip_width: usize,
-    /// Run root nodes in parallel with rayon (root nodes own disjoint
-    /// output rows, so workers need no synchronization).
-    parallel: bool,
+    /// Threading policy and observability recorder. Root nodes own disjoint
+    /// output rows, so parallel workers need no synchronization.
+    exec: ExecPolicy,
 }
 
 impl CsfKernel {
@@ -26,7 +28,7 @@ impl CsfKernel {
         CsfKernel {
             t: CsfTensor::for_mode(x, mode),
             strip_width: usize::MAX,
-            parallel: false,
+            exec: ExecPolicy::serial(),
         }
     }
 
@@ -35,13 +37,20 @@ impl CsfKernel {
         CsfKernel {
             t,
             strip_width: usize::MAX,
-            parallel: false,
+            exec: ExecPolicy::serial(),
         }
     }
 
+    /// Sets the execution policy (threading + recorder).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Enables or disables rayon parallelism over root-node chunks.
+    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
         self
     }
 
@@ -83,6 +92,22 @@ impl CsfKernel {
                 assert_eq!(f.rows(), self.t.dims()[m], "factor {m} row mismatch");
             }
         }
+        let span = self.exec.recorder.span("mttkrp/CSF");
+        if span.active() {
+            // Parent-of-leaf nodes are the CSF generalization of SPLATT's
+            // fibers; root mode aside, 3-mode trees make this n_nodes(1).
+            let fibers = if order >= 2 {
+                self.t.n_nodes(order - 2)
+            } else {
+                self.t.nnz()
+            };
+            let strips = rank.div_ceil(self.strip_width.min(rank).max(1));
+            span.annotate_num("mode", root_mode as f64);
+            span.counters(
+                &KernelCounters::fibered_model(self.t.nnz() as u64, fibers as u64, rank as u64)
+                    .with_strips(strips as u64),
+            );
+        }
         out.fill_zero();
         if self.t.nnz() == 0 {
             return;
@@ -110,7 +135,7 @@ impl CsfKernel {
             return;
         }
         let rank = out.cols();
-        if !self.parallel {
+        if !self.exec.is_parallel() {
             self.process_roots(
                 0..n_roots,
                 factors,
@@ -126,9 +151,7 @@ impl CsfKernel {
         // own disjoint, ascending output-row ranges — split the buffer at
         // each chunk's first row.
         use rayon::prelude::*;
-        let chunk = n_roots
-            .div_ceil(4 * rayon::current_num_threads().max(1))
-            .max(1);
+        let chunk = self.exec.chunk_size(n_roots);
         let starts: Vec<usize> = (0..n_roots).step_by(chunk).collect();
         let mut jobs: Vec<(std::ops::Range<usize>, usize, &mut [f64])> = Vec::new();
         let mut buf = out.as_mut_slice();
@@ -245,9 +268,16 @@ impl Csf3Kernel {
         self
     }
 
+    /// Sets the execution policy on the wrapped kernel.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.inner = self.inner.with_exec(exec);
+        self
+    }
+
     /// Enables rayon parallelism on the wrapped kernel.
+    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.inner = self.inner.with_parallel(parallel);
+        self.inner.exec.threads = ExecPolicy::from_parallel(parallel).threads;
         self
     }
 }
@@ -358,7 +388,7 @@ mod tests {
             let seq = CsfKernel::new(&x, 0).with_strip_width(width.min(rank));
             let par = CsfKernel::new(&x, 0)
                 .with_strip_width(width.min(rank))
-                .with_parallel(true);
+                .with_exec(ExecPolicy::auto());
             let mut a = DenseMatrix::zeros(40, rank);
             let mut b = DenseMatrix::zeros(40, rank);
             seq.mttkrp(&frefs, &mut a);

@@ -10,15 +10,17 @@
 //! is needed.
 
 use super::process_block_plain;
+use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
 use rayon::prelude::*;
+use tenblock_obs::KernelCounters;
 use tenblock_tensor::{CooTensor, DenseMatrix, SplattTensor, NMODES};
 
 /// Baseline SPLATT kernel for one mode (Algorithm 1).
 pub struct SplattKernel {
     mode: usize,
     t: SplattTensor,
-    parallel: bool,
+    exec: ExecPolicy,
 }
 
 impl SplattKernel {
@@ -28,7 +30,7 @@ impl SplattKernel {
         SplattKernel {
             mode,
             t: SplattTensor::for_mode(coo, mode),
-            parallel: false,
+            exec: ExecPolicy::serial(),
         }
     }
 
@@ -37,13 +39,20 @@ impl SplattKernel {
         SplattKernel {
             mode: t.perm()[0],
             t,
-            parallel: false,
+            exec: ExecPolicy::serial(),
         }
     }
 
+    /// Sets the execution policy (threading + recorder).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Enables or disables rayon parallelism over slices.
+    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
         self
     }
 
@@ -66,17 +75,24 @@ impl MttkrpKernel for SplattKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        let span = self.exec.recorder.span("mttkrp/SPLATT");
+        if span.active() {
+            span.annotate_num("mode", self.mode as f64);
+            span.counters(&KernelCounters::fibered_model(
+                self.t.nnz() as u64,
+                self.t.n_fibers() as u64,
+                rank as u64,
+            ));
+        }
         out.fill_zero();
 
         let n_slices = self.t.n_slices();
         if n_slices == 0 {
             return;
         }
-        if self.parallel {
+        if self.exec.is_parallel() {
             // Chunk output rows so each worker owns a disjoint slice range.
-            let chunk = n_slices
-                .div_ceil(4 * rayon::current_num_threads().max(1))
-                .max(1);
+            let chunk = self.exec.chunk_size(n_slices);
             out.as_mut_slice()
                 .par_chunks_mut(chunk * rank)
                 .enumerate()
@@ -154,7 +170,7 @@ mod tests {
         let factors = factors_for(&x, rank);
         let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
         let seq = SplattKernel::new(&x, 0);
-        let par = SplattKernel::new(&x, 0).with_parallel(true);
+        let par = SplattKernel::new(&x, 0).with_exec(ExecPolicy::auto());
         let mut a = DenseMatrix::zeros(200, rank);
         let mut b = DenseMatrix::zeros(200, rank);
         seq.mttkrp(&fs, &mut a);

@@ -16,6 +16,7 @@
 //! compared to the 10–1000s of iterations required for decomposition".
 
 use crate::block::MbRankBKernel;
+use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
 use crate::mttkrp::REG_BLOCK;
 use std::time::Instant;
@@ -32,8 +33,9 @@ pub struct TuneOptions {
     /// Upper bound on blocks per axis (safety valve; the paper's heuristic
     /// stops on its own well before this).
     pub max_blocks: usize,
-    /// Run candidates with rayon parallelism enabled.
-    pub parallel: bool,
+    /// Execution policy candidates are timed under. The policy's recorder
+    /// also receives one `tune/candidate` span per timed configuration.
+    pub exec: ExecPolicy,
     /// Seed for the synthetic factor matrices used during timing.
     pub seed: u64,
 }
@@ -45,9 +47,16 @@ impl TuneOptions {
             rank,
             reps: 3,
             max_blocks: 64,
-            parallel: false,
+            exec: ExecPolicy::serial(),
             seed: 0x7e9b10c4,
         }
+    }
+
+    /// Enables or disables rayon parallelism for candidate timing.
+    #[deprecated(note = "set `exec` (ExecPolicy::auto()/serial()) instead")]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
+        self
     }
 }
 
@@ -77,13 +86,20 @@ pub struct TuneResult {
 
 impl TuneResult {
     /// The selected configuration as a [`crate::KernelConfig`], ready to
-    /// hand to [`crate::build_kernel`] (callers choose `parallel`).
-    pub fn config(&self, parallel: bool) -> crate::KernelConfig {
+    /// hand to [`crate::build_kernel`] (callers choose the execution
+    /// policy).
+    pub fn config_with(&self, exec: ExecPolicy) -> crate::KernelConfig {
         crate::KernelConfig {
             grid: self.grid,
             strip_width: self.strip_width,
-            parallel,
+            exec,
         }
+    }
+
+    /// The selected configuration as a [`crate::KernelConfig`].
+    #[deprecated(note = "use config_with(ExecPolicy::auto()/serial())")]
+    pub fn config(&self, parallel: bool) -> crate::KernelConfig {
+        self.config_with(ExecPolicy::from_parallel(parallel))
     }
 }
 
@@ -117,7 +133,13 @@ fn time_config(
     out: &mut DenseMatrix,
     opts: &TuneOptions,
 ) -> f64 {
-    let kernel = MbRankBKernel::new(coo, mode, grid, strip_width).with_parallel(opts.parallel);
+    // Candidate timing runs with the recorder stripped: per-candidate spans
+    // come from `tune` itself, not from every repetition's kernel call.
+    let exec = ExecPolicy {
+        threads: opts.exec.threads,
+        ..ExecPolicy::default()
+    };
+    let kernel = MbRankBKernel::new(coo, mode, grid, strip_width).with_exec(exec);
     let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
     let mut best = f64::INFINITY;
     for _ in 0..opts.reps.max(1) {
@@ -149,8 +171,17 @@ pub fn tune(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResult {
     let mut out = DenseMatrix::zeros(dims[mode], opts.rank);
     let mut history = Vec::new();
 
+    let tune_span = opts.exec.recorder.span("tune");
+    tune_span.annotate_num("mode", mode as f64);
+
     let mut eval = |grid: [usize; NMODES], strip: usize, history: &mut Vec<TuneSample>| {
+        let span = opts.exec.recorder.span("tune/candidate");
         let secs = time_config(coo, mode, grid, strip, &factors, &mut out, opts);
+        if span.active() {
+            span.annotate_str("grid", &format!("{}x{}x{}", grid[0], grid[1], grid[2]));
+            span.annotate_num("strip_width", strip as f64);
+            span.annotate_num("secs", secs);
+        }
         history.push(TuneSample {
             grid,
             strip_width: strip,
@@ -224,7 +255,7 @@ mod tests {
             rank: 32,
             reps: 1,
             max_blocks: 8,
-            parallel: false,
+            exec: ExecPolicy::serial(),
             seed: 1,
         };
         let r = tune(&x, 0, &opts);
@@ -246,7 +277,7 @@ mod tests {
             rank: 8,
             reps: 1,
             max_blocks: 4,
-            parallel: false,
+            exec: ExecPolicy::serial(),
             seed: 2,
         };
         let r = tune(&x, 1, &opts);
@@ -262,7 +293,7 @@ mod tests {
             rank: 16,
             reps: 1,
             max_blocks: 4,
-            parallel: false,
+            exec: ExecPolicy::serial(),
             seed: 3,
         };
         let r = tune(&x, 0, &opts);

@@ -75,7 +75,7 @@ pub struct CpAlsResult {
 /// let mut opts = CpAlsOptions::new(4);
 /// opts.max_iters = 5;
 /// opts.kernel = KernelKind::MbRankB; // blocked MTTKRP inside ALS
-/// opts.kernel_cfg = KernelConfig { grid: [2, 2, 2], strip_width: 16, parallel: false };
+/// opts.kernel_cfg = KernelConfig { grid: [2, 2, 2], strip_width: 16, ..Default::default() };
 /// let result = CpAls::new(&x, opts).run(&x);
 /// assert_eq!(result.fit_history.len(), result.iterations);
 /// ```
@@ -134,9 +134,15 @@ impl CpAls {
             .map(|&d| DenseMatrix::zeros(d, rank))
             .collect();
 
+        let recorder = self.opts.kernel_cfg.exec.recorder.clone();
+        let als_span = recorder.span("cpd/als");
+        als_span.annotate_num("rank", rank as f64);
+
         let mut iterations = 0;
-        for _ in 0..self.opts.max_iters {
+        for it in 0..self.opts.max_iters {
             iterations += 1;
+            let iter_span = recorder.span("cpd/als/iter");
+            iter_span.annotate_num("iter", it as f64);
             for m in 0..NMODES {
                 let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
                 self.kernels[m].mttkrp(&fs, &mut mttkrp_out[m]);
@@ -155,6 +161,7 @@ impl CpAls {
             let model = KruskalTensor::new(lambda.clone(), factors.clone());
             let fit = model.fit(x);
             fit_history.push(fit);
+            iter_span.annotate_num("fit", fit);
             if (fit - prev_fit).abs() < self.opts.tol {
                 converged = true;
                 break;
@@ -230,13 +237,63 @@ mod tests {
             opts.kernel_cfg = KernelConfig {
                 grid: [2, 2, 2],
                 strip_width: 16,
-                parallel: false,
+                ..Default::default()
             };
             let result = CpAls::new(&x, opts).run(&x);
             fits.push(*result.fit_history.last().unwrap());
         }
         for f in &fits[1..] {
             assert!((f - fits[0]).abs() < 1e-6, "kernel fits diverge: {fits:?}");
+        }
+    }
+
+    #[test]
+    fn trace_spans_nest_and_are_monotone() {
+        use std::sync::Arc;
+        use tenblock_core::obs::{Rec, TraceRecorder};
+        use tenblock_core::ExecPolicy;
+
+        let x = planted(2, [8, 8, 8], 11);
+        let tr = Arc::new(TraceRecorder::new());
+        let mut opts = CpAlsOptions::new(2);
+        opts.max_iters = 3;
+        opts.tol = 0.0;
+        opts.kernel_cfg = KernelConfig::default()
+            .with_exec(ExecPolicy::serial().with_recorder(Rec::new(tr.clone())));
+        let result = CpAls::new(&x, opts).run(&x);
+
+        let spans = tr.snapshot();
+        let roots: Vec<_> = spans.iter().filter(|s| s.name == "cpd/als").collect();
+        assert_eq!(roots.len(), 1, "exactly one ALS root span");
+        let root_id = roots[0].id;
+
+        let iters: Vec<_> = spans.iter().filter(|s| s.name == "cpd/als/iter").collect();
+        assert_eq!(iters.len(), result.iterations, "one span per iteration");
+        for it in &iters {
+            assert_eq!(it.parent, root_id, "iteration spans hang off the root");
+            assert!(it.start_ns <= it.end_ns);
+            assert!(
+                it.attrs.iter().any(|(k, _)| k == "fit"),
+                "iteration span carries the fit"
+            );
+        }
+
+        let mttkrps: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("mttkrp/"))
+            .collect();
+        assert_eq!(mttkrps.len(), NMODES * result.iterations);
+        for m in &mttkrps {
+            assert!(
+                iters.iter().any(|i| i.id == m.parent),
+                "MTTKRP spans nest under an iteration"
+            );
+        }
+
+        // Span ids are assigned at start under one lock: start timestamps
+        // are monotone in id order.
+        for w in spans.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns, "timestamps not monotone");
         }
     }
 

@@ -287,7 +287,7 @@ mod tests {
         o2.kernel_cfg = KernelConfig {
             grid: [2, 3, 2],
             strip_width: 16,
-            parallel: false,
+            ..Default::default()
         };
         let r1 = cp_apr(&x, &o1);
         let r2 = cp_apr(&x, &o2);

@@ -29,7 +29,7 @@ pub mod server;
 pub use json::Json;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use plan_cache::{PlanCache, PlanKey, TunedPlan};
-pub use proto::Service;
+pub use proto::{ErrorCode, Service, PROTOCOL_VERSION};
 pub use registry::{Registry, TensorEntry};
 pub use scheduler::{JobId, JobState, Scheduler, SubmitError};
 pub use server::{Server, ServerConfig};

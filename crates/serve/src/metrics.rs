@@ -126,6 +126,10 @@ pub struct Metrics {
     pub mttkrp_latency: LatencyHistogram,
     /// Latency of whole jobs, queue wait included.
     pub job_latency: LatencyHistogram,
+    /// Time jobs spent waiting in the queue before a worker picked them up.
+    pub job_queue_wait: LatencyHistogram,
+    /// Time jobs spent actually running (`job_latency` minus queue wait).
+    pub job_run: LatencyHistogram,
 }
 
 /// Materialized view of [`Metrics`] plus instantaneous queue state.
@@ -157,6 +161,10 @@ pub struct MetricsSnapshot {
     pub mttkrp_latency: HistogramSnapshot,
     /// Whole-job latency (queue wait + run).
     pub job_latency: HistogramSnapshot,
+    /// Queue-wait portion of job latency.
+    pub job_queue_wait: HistogramSnapshot,
+    /// Run-time portion of job latency.
+    pub job_run: HistogramSnapshot,
 }
 
 impl Metrics {
@@ -177,6 +185,8 @@ impl Metrics {
             queue_capacity,
             mttkrp_latency: self.mttkrp_latency.snapshot(),
             job_latency: self.job_latency.snapshot(),
+            job_queue_wait: self.job_queue_wait.snapshot(),
+            job_run: self.job_run.snapshot(),
         }
     }
 }
@@ -213,6 +223,8 @@ impl MetricsSnapshot {
             ("tensors", Json::usize(self.tensors_registered as usize)),
             ("mttkrp_latency", self.mttkrp_latency.to_json()),
             ("job_latency", self.job_latency.to_json()),
+            ("job_queue_wait", self.job_queue_wait.to_json()),
+            ("job_run", self.job_run.to_json()),
         ])
     }
 }
@@ -237,6 +249,52 @@ mod tests {
             (mean - (50e-6 + 5e-3 + 2.0) / 3.0).abs() < 1e-4,
             "mean {mean}"
         );
+    }
+
+    #[test]
+    fn concurrent_writers_keep_snapshots_consistent() {
+        use std::sync::Arc;
+
+        const WRITERS: usize = 4;
+        const OBS_PER_WRITER: usize = 2_000;
+        let m = Arc::new(Metrics::default());
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..OBS_PER_WRITER {
+                        m.job_latency
+                            .observe((w * OBS_PER_WRITER + i) as f64 * 1e-6);
+                        m.jobs_done.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+
+        // Snapshot continuously while writers hammer the histogram.
+        // `observe` bumps the bucket before `total`, so any snapshot must
+        // satisfy sum(counts) >= total — a torn snapshot that violated this
+        // would mean buckets and totals disagree about what was recorded.
+        for _ in 0..200 {
+            let s = m.snapshot(0, 1);
+            let bucket_sum: u64 = s.job_latency.counts.iter().sum();
+            assert!(
+                bucket_sum >= s.job_latency.total,
+                "buckets {bucket_sum} < total {}",
+                s.job_latency.total
+            );
+            assert!(s.jobs_done <= (WRITERS * OBS_PER_WRITER) as u64);
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = m.snapshot(0, 1);
+        assert_eq!(s.job_latency.total, (WRITERS * OBS_PER_WRITER) as u64);
+        assert_eq!(
+            s.job_latency.counts.iter().sum::<u64>(),
+            (WRITERS * OBS_PER_WRITER) as u64
+        );
+        assert_eq!(s.jobs_done, (WRITERS * OBS_PER_WRITER) as u64);
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //! testable without a socket. `server.rs` wraps this in line-delimited
 //! JSON over TCP.
 //!
-//! Every response carries `"ok"`. Errors add `"error"` (human-readable)
-//! and `"code"` (machine-readable: `bad-request`, `unknown-cmd`,
-//! `not-found`, `queue-full`, `internal`). Long-running commands (`tune`,
-//! `mttkrp`, `decompose`) submit a job and return its id; pass
-//! `"wait": true` to block for the result inline.
+//! Every response carries `"ok"` and the protocol version `"v"`
+//! ([`PROTOCOL_VERSION`], currently 1). Errors add `"error"`
+//! (human-readable) and `"code"` (machine-readable, one of
+//! [`ErrorCode`]). Long-running commands (`tune`, `mttkrp`, `decompose`)
+//! submit a job and return its id; pass `"wait": true` to block for the
+//! result inline (waits are clamped to [`DEFAULT_WAIT`]).
 
 use crate::json::Json;
 use crate::metrics::Metrics;
@@ -17,14 +18,51 @@ use crate::plan_cache::{PlanCache, PlanKey, TunedPlan};
 use crate::registry::{Registry, RegistryError};
 use crate::scheduler::{CancelError, JobId, JobState, Scheduler, SubmitError};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use tenblock_core::{build_kernel, tune, KernelConfig, KernelKind, TuneOptions};
+use tenblock_core::obs::{Rec, TraceRecorder};
+use tenblock_core::{build_kernel, tune, ExecPolicy, KernelConfig, KernelKind, TuneOptions};
 use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAprOptions};
 use tenblock_tensor::{DenseMatrix, NMODES};
 
-/// Default block time for `"wait": true` requests.
-const DEFAULT_WAIT: Duration = Duration::from_secs(600);
+/// Wire protocol version, carried as `"v"` on every response. Bump it on
+/// any change a deployed client could observe (renamed/removed fields,
+/// changed semantics); purely additive fields keep the version.
+pub const PROTOCOL_VERSION: usize = 1;
+
+/// Default block time for `"wait": true` requests, and the upper bound any
+/// client-supplied wait is clamped to (a connection must not be able to
+/// park a protocol thread indefinitely).
+pub const DEFAULT_WAIT: Duration = Duration::from_secs(600);
+
+/// Machine-readable error codes, serialized into the `"code"` field from
+/// exactly one place ([`ErrorCode::as_str`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed or incomplete request.
+    BadRequest,
+    /// Unrecognized `"cmd"`.
+    UnknownCmd,
+    /// Named tensor or job does not exist.
+    NotFound,
+    /// The bounded job queue is at capacity.
+    QueueFull,
+    /// Server-side failure not attributable to the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownCmd => "unknown-cmd",
+            ErrorCode::NotFound => "not-found",
+            ErrorCode::QueueFull => "queue-full",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
 
 /// Work accepted into the job queue.
 #[derive(Debug, Clone)]
@@ -72,6 +110,10 @@ pub struct ServiceCore {
     pub plans: PlanCache,
     /// Service counters.
     pub metrics: Arc<Metrics>,
+    /// Span tree of the most recently finished job, served by the `trace`
+    /// command. One job's worth is kept: the trace is a debugging aid, not
+    /// a log.
+    pub last_trace: Mutex<Option<(JobId, Json)>>,
 }
 
 /// The in-process service: core state plus the job scheduler.
@@ -93,16 +135,22 @@ fn kernel_by_name(name: &str) -> Option<KernelKind> {
     }
 }
 
-fn err(code: &str, msg: impl Into<String>) -> Json {
+/// Shapes an error response. Also used by the TCP front-end for
+/// parse-level errors, so every error on the wire goes through here.
+pub(crate) fn err(code: ErrorCode, msg: impl Into<String>) -> Json {
     Json::obj([
+        ("v", Json::usize(PROTOCOL_VERSION)),
         ("ok", Json::Bool(false)),
-        ("code", Json::str(code)),
+        ("code", Json::str(code.as_str())),
         ("error", Json::str(msg.into())),
     ])
 }
 
 fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-    let mut o = Json::obj([("ok", Json::Bool(true))]);
+    let mut o = Json::obj([
+        ("v", Json::usize(PROTOCOL_VERSION)),
+        ("ok", Json::Bool(true)),
+    ]);
     if let Json::Obj(map) = &mut o {
         for (k, v) in fields {
             map.insert(k.to_string(), v);
@@ -113,14 +161,29 @@ fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
 
 fn registry_err(e: RegistryError) -> Json {
     match e {
-        RegistryError::NotFound(_) => err("not-found", e.to_string()),
-        RegistryError::Exists(_) | RegistryError::Load(_) => err("bad-request", e.to_string()),
+        RegistryError::NotFound(_) => err(ErrorCode::NotFound, e.to_string()),
+        RegistryError::Exists(_) | RegistryError::Load(_) => {
+            err(ErrorCode::BadRequest, e.to_string())
+        }
     }
 }
 
 /// Executes one job payload against the shared core. Runs on a worker
 /// thread; the returned JSON becomes the job's `Done` result.
-fn run_job(core: &ServiceCore, payload: JobPayload) -> Result<Json, String> {
+///
+/// Every job runs under its own [`TraceRecorder`]; the finished span tree
+/// replaces [`ServiceCore::last_trace`] whether the job succeeded or not.
+fn run_job(core: &ServiceCore, id: JobId, payload: JobPayload) -> Result<Json, String> {
+    let tracer = Arc::new(TraceRecorder::new());
+    let rec = Rec::new(Arc::clone(&tracer) as _);
+    let result = run_traced(core, &rec, payload);
+    let tree = Json::parse(&tracer.to_span_tree_json())
+        .unwrap_or_else(|e| err(ErrorCode::Internal, format!("trace serialization: {e}")));
+    *core.last_trace.lock().unwrap() = Some((id, tree));
+    result
+}
+
+fn run_traced(core: &ServiceCore, rec: &Rec, payload: JobPayload) -> Result<Json, String> {
     match payload {
         JobPayload::Tune {
             tensor,
@@ -128,6 +191,7 @@ fn run_job(core: &ServiceCore, payload: JobPayload) -> Result<Json, String> {
             reps,
             max_blocks,
         } => {
+            let _span = rec.span("job/tune");
             let entry = core.registry.get(&tensor).map_err(|e| e.to_string())?;
             let key = PlanKey {
                 fingerprint: entry.fingerprint,
@@ -139,6 +203,7 @@ fn run_job(core: &ServiceCore, payload: JobPayload) -> Result<Json, String> {
                     let mut opts = TuneOptions::new(rank);
                     opts.reps = reps;
                     opts.max_blocks = max_blocks;
+                    opts.exec = ExecPolicy::serial().with_recorder(rec.clone());
                     let r = tune(&entry.coo, 0, &opts);
                     TunedPlan {
                         grid: r.grid,
@@ -171,13 +236,14 @@ fn run_job(core: &ServiceCore, payload: JobPayload) -> Result<Json, String> {
             rank,
             reps,
         } => {
+            let _span = rec.span("job/mttkrp");
             let entry = core.registry.get(&tensor).map_err(|e| e.to_string())?;
             if mode >= NMODES {
                 return Err(format!("mode {mode} out of range (0..{NMODES})"));
             }
             // Use the tuned plan when one is cached for this shape+rank;
             // otherwise the kernel defaults.
-            let cfg = core
+            let mut cfg = core
                 .plans
                 .lookup(PlanKey {
                     fingerprint: entry.fingerprint,
@@ -186,9 +252,10 @@ fn run_job(core: &ServiceCore, payload: JobPayload) -> Result<Json, String> {
                 .map(|p| KernelConfig {
                     grid: p.grid,
                     strip_width: p.strip_width,
-                    parallel: false,
+                    ..Default::default()
                 })
                 .unwrap_or_default();
+            cfg.exec = ExecPolicy::serial().with_recorder(rec.clone());
             let k = build_kernel(kernel, &entry.coo, mode, &cfg);
             let dims = entry.coo.dims();
             let factors: Vec<DenseMatrix> = dims
@@ -220,8 +287,9 @@ fn run_job(core: &ServiceCore, payload: JobPayload) -> Result<Json, String> {
             iters,
             kernel,
         } => {
+            let _span = rec.span("job/decompose");
             let entry = core.registry.get(&tensor).map_err(|e| e.to_string())?;
-            let cfg = core
+            let mut cfg = core
                 .plans
                 .lookup(PlanKey {
                     fingerprint: entry.fingerprint,
@@ -230,13 +298,14 @@ fn run_job(core: &ServiceCore, payload: JobPayload) -> Result<Json, String> {
                 .map(|p| KernelConfig {
                     grid: p.grid,
                     strip_width: p.strip_width,
-                    parallel: true,
+                    ..Default::default()
                 })
                 .unwrap_or(KernelConfig {
                     grid: [4, 2, 2],
                     strip_width: 16,
-                    parallel: true,
+                    ..Default::default()
                 });
+            cfg.exec = ExecPolicy::auto().with_recorder(rec.clone());
             match method {
                 Method::Als => {
                     let mut opts = CpAlsOptions::new(rank);
@@ -285,10 +354,11 @@ impl Service {
             registry: Registry::new(),
             plans,
             metrics: Arc::clone(&metrics),
+            last_trace: Mutex::new(None),
         });
         let runner_core = Arc::clone(&core);
-        let scheduler = Scheduler::start(workers, queue_capacity, metrics, move |payload| {
-            run_job(&runner_core, payload)
+        let scheduler = Scheduler::start(workers, queue_capacity, metrics, move |id, payload| {
+            run_job(&runner_core, id, payload)
         });
         Service { core, scheduler }
     }
@@ -302,7 +372,7 @@ impl Service {
     pub fn handle(&self, req: &Json) -> Json {
         self.core.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let Some(cmd) = req.get_str("cmd") else {
-            return err("bad-request", "missing \"cmd\"");
+            return err(ErrorCode::BadRequest, "missing \"cmd\"");
         };
         match cmd {
             "load" => self.cmd_load(req),
@@ -324,6 +394,12 @@ impl Service {
             "decompose" => self.submit_cmd(req, Self::parse_decompose),
             "job-status" => self.cmd_job_status(req),
             "cancel" => self.cmd_cancel(req),
+            "trace" => match &*self.core.last_trace.lock().unwrap() {
+                Some((id, tree)) => {
+                    ok([("job", Json::str(id.to_string())), ("trace", tree.clone())])
+                }
+                None => err(ErrorCode::NotFound, "no job has finished yet"),
+            },
             "metrics" => ok([(
                 "metrics",
                 self.core
@@ -331,16 +407,16 @@ impl Service {
                     .snapshot(self.scheduler.queue_depth(), self.scheduler.capacity())
                     .to_json(),
             )]),
-            other => err("unknown-cmd", format!("unknown command {other:?}")),
+            other => err(ErrorCode::UnknownCmd, format!("unknown command {other:?}")),
         }
     }
 
     fn cmd_load(&self, req: &Json) -> Json {
         let Some(name) = req.get_str("name") else {
-            return err("bad-request", "load: missing \"name\"");
+            return err(ErrorCode::BadRequest, "load: missing \"name\"");
         };
         let Some(path) = req.get_str("path") else {
-            return err("bad-request", "load: missing \"path\"");
+            return err(ErrorCode::BadRequest, "load: missing \"path\"");
         };
         match self.core.registry.load(name, path) {
             Ok(entry) => {
@@ -363,10 +439,10 @@ impl Service {
 
     fn cmd_gen(&self, req: &Json) -> Json {
         let Some(name) = req.get_str("name") else {
-            return err("bad-request", "gen: missing \"name\"");
+            return err(ErrorCode::BadRequest, "gen: missing \"name\"");
         };
         let Some(dataset) = req.get_str("dataset") else {
-            return err("bad-request", "gen: missing \"dataset\"");
+            return err(ErrorCode::BadRequest, "gen: missing \"dataset\"");
         };
         let nnz = req.get_usize("nnz");
         let seed = req.get_u64("seed").unwrap_or(42);
@@ -395,7 +471,7 @@ impl Service {
 
     fn cmd_stats(&self, req: &Json) -> Json {
         let Some(name) = req.get_str("tensor") else {
-            return err("bad-request", "stats: missing \"tensor\"");
+            return err(ErrorCode::BadRequest, "stats: missing \"tensor\"");
         };
         match self.core.registry.get(name) {
             Ok(entry) => {
@@ -429,7 +505,7 @@ impl Service {
     fn parse_tune(req: &Json) -> Result<JobPayload, Json> {
         let tensor = req
             .get_str("tensor")
-            .ok_or_else(|| err("bad-request", "tune: missing \"tensor\""))?;
+            .ok_or_else(|| err(ErrorCode::BadRequest, "tune: missing \"tensor\""))?;
         let rank = req.get_usize("rank").unwrap_or(16);
         let reps = req.get_usize("reps").unwrap_or(2);
         let max_blocks = req.get_usize("max_blocks").unwrap_or(64);
@@ -444,10 +520,10 @@ impl Service {
     fn parse_mttkrp(req: &Json) -> Result<JobPayload, Json> {
         let tensor = req
             .get_str("tensor")
-            .ok_or_else(|| err("bad-request", "mttkrp: missing \"tensor\""))?;
+            .ok_or_else(|| err(ErrorCode::BadRequest, "mttkrp: missing \"tensor\""))?;
         let mode = req.get_usize("mode").unwrap_or(0);
         let kernel = kernel_by_name(req.get_str("kernel").unwrap_or("mbrankb"))
-            .ok_or_else(|| err("bad-request", "mttkrp: unknown kernel name"))?;
+            .ok_or_else(|| err(ErrorCode::BadRequest, "mttkrp: unknown kernel name"))?;
         let rank = req.get_usize("rank").unwrap_or(16);
         let reps = req.get_usize("reps").unwrap_or(3);
         Ok(JobPayload::Mttkrp {
@@ -462,13 +538,13 @@ impl Service {
     fn parse_decompose(req: &Json) -> Result<JobPayload, Json> {
         let tensor = req
             .get_str("tensor")
-            .ok_or_else(|| err("bad-request", "decompose: missing \"tensor\""))?;
+            .ok_or_else(|| err(ErrorCode::BadRequest, "decompose: missing \"tensor\""))?;
         let method = match req.get_str("method").unwrap_or("als") {
             "als" => Method::Als,
             "apr" => Method::Apr,
             other => {
                 return Err(err(
-                    "bad-request",
+                    ErrorCode::BadRequest,
                     format!("unknown method {other:?} (als|apr)"),
                 ))
             }
@@ -476,7 +552,7 @@ impl Service {
         let rank = req.get_usize("rank").unwrap_or(16);
         let iters = req.get_usize("iters").unwrap_or(20);
         let kernel = kernel_by_name(req.get_str("kernel").unwrap_or("mbrankb"))
-            .ok_or_else(|| err("bad-request", "decompose: unknown kernel name"))?;
+            .ok_or_else(|| err(ErrorCode::BadRequest, "decompose: unknown kernel name"))?;
         Ok(JobPayload::Decompose {
             tensor: tensor.to_string(),
             method,
@@ -502,16 +578,23 @@ impl Service {
             | JobPayload::Decompose { tensor, .. } => tensor,
         };
         if !self.core.registry.contains(tensor) {
-            return err("not-found", format!("no tensor registered as {tensor:?}"));
+            return err(
+                ErrorCode::NotFound,
+                format!("no tensor registered as {tensor:?}"),
+            );
         }
         let deadline = req.get_u64("deadline_ms").map(Duration::from_millis);
         let id = match self.scheduler.submit(payload, deadline) {
             Ok(id) => id,
-            Err(SubmitError::QueueFull) => return err("queue-full", "job queue is full"),
-            Err(SubmitError::Shutdown) => return err("internal", "scheduler is shut down"),
+            Err(SubmitError::QueueFull) => return err(ErrorCode::QueueFull, "job queue is full"),
+            Err(SubmitError::Shutdown) => {
+                return err(ErrorCode::Internal, "scheduler is shut down")
+            }
         };
         if req.get_bool("wait").unwrap_or(false) {
-            let timeout = deadline.unwrap_or(DEFAULT_WAIT);
+            // Clamp: a client asking for a week must not pin a protocol
+            // thread past the server's own patience.
+            let timeout = deadline.unwrap_or(DEFAULT_WAIT).min(DEFAULT_WAIT);
             return match self.scheduler.wait(id, timeout) {
                 Some(state) => self.job_response(id, state),
                 // Timed out waiting: report the job's actual state (it may
@@ -547,25 +630,31 @@ impl Service {
 
     fn cmd_job_status(&self, req: &Json) -> Json {
         let Some(id) = req.get_str("job").and_then(JobId::parse) else {
-            return err("bad-request", "job-status: missing or malformed \"job\"");
+            return err(
+                ErrorCode::BadRequest,
+                "job-status: missing or malformed \"job\"",
+            );
         };
         match self.scheduler.status(id) {
             Some(state) => self.job_response(id, state),
-            None => err("not-found", format!("no such job {id}")),
+            None => err(ErrorCode::NotFound, format!("no such job {id}")),
         }
     }
 
     fn cmd_cancel(&self, req: &Json) -> Json {
         let Some(id) = req.get_str("job").and_then(JobId::parse) else {
-            return err("bad-request", "cancel: missing or malformed \"job\"");
+            return err(
+                ErrorCode::BadRequest,
+                "cancel: missing or malformed \"job\"",
+            );
         };
         match self.scheduler.cancel(id) {
             Ok(()) => ok([
                 ("job", Json::str(id.to_string())),
                 ("state", Json::str("cancelled")),
             ]),
-            Err(CancelError::NotFound) => err("not-found", format!("no such job {id}")),
-            Err(e) => err("bad-request", e.to_string()),
+            Err(CancelError::NotFound) => err(ErrorCode::NotFound, format!("no such job {id}")),
+            Err(e) => err(ErrorCode::BadRequest, e.to_string()),
         }
     }
 }
@@ -688,6 +777,59 @@ mod tests {
                 .get_str("code"),
             Some("bad-request")
         );
+    }
+
+    #[test]
+    fn every_response_carries_version() {
+        let s = svc();
+        gen_small(&s, "t");
+        let responses = [
+            s.handle(&req(r#"{"cmd":"list"}"#)),
+            s.handle(&req(r#"{"cmd":"frobnicate"}"#)),
+            s.handle(&req(r#"{"cmd":"stats","tensor":"ghost"}"#)),
+            s.handle(&req(r#"{"cmd":"metrics"}"#)),
+            s.handle(&req(r#"{"nope":1}"#)),
+        ];
+        for r in responses {
+            assert_eq!(r.get_usize("v"), Some(PROTOCOL_VERSION), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn trace_returns_last_job_span_tree() {
+        let s = svc();
+        let early = s.handle(&req(r#"{"cmd":"trace"}"#));
+        assert_eq!(early.get_str("code"), Some("not-found"));
+
+        gen_small(&s, "t");
+        let r = s.handle(&req(
+            r#"{"cmd":"mttkrp","tensor":"t","mode":0,"kernel":"splatt","rank":8,"reps":2,"wait":true}"#,
+        ));
+        assert_eq!(r.get_str("state"), Some("done"), "{r:?}");
+
+        let t = s.handle(&req(r#"{"cmd":"trace"}"#));
+        assert_eq!(t.get_bool("ok"), Some(true), "{t:?}");
+        assert!(t.get_str("job").unwrap().starts_with("j-"));
+        let Some(Json::Arr(roots)) = t.get("trace").unwrap().get("spans") else {
+            panic!("trace has no spans array: {t:?}");
+        };
+        assert_eq!(roots.len(), 1, "one root span per job");
+        let root = &roots[0];
+        assert_eq!(root.get_str("name"), Some("job/mttkrp"));
+        let Some(Json::Arr(children)) = root.get("children") else {
+            panic!("root span has no children: {root:?}");
+        };
+        // Two reps -> two kernel spans, each carrying the byte counters.
+        let kernel_spans: Vec<_> = children
+            .iter()
+            .filter(|c| c.get_str("name") == Some("mttkrp/SPLATT"))
+            .collect();
+        assert_eq!(kernel_spans.len(), 2);
+        for k in kernel_spans {
+            let args = k.get("args").expect("kernel span has args");
+            assert!(args.get_usize("tensor_bytes").unwrap() > 0);
+            assert!(args.get_usize("factor_bytes").unwrap() > 0);
+        }
     }
 
     #[test]

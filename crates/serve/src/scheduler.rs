@@ -148,7 +148,7 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
     /// the job's terminal state.
     pub fn start<F>(workers: usize, capacity: usize, metrics: Arc<Metrics>, runner: F) -> Self
     where
-        F: Fn(P) -> Result<R, String> + Send + Sync + 'static,
+        F: Fn(JobId, P) -> Result<R, String> + Send + Sync + 'static,
     {
         let (tx, rx) = crossbeam::channel::bounded(capacity.max(1));
         let table: Arc<Table<P, R>> = Arc::new(Table {
@@ -182,7 +182,12 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
                             table.changed.notify_all();
                             rec.submitted
                         };
-                        let outcome = runner(payload);
+                        metrics
+                            .job_queue_wait
+                            .observe(submitted.elapsed().as_secs_f64());
+                        let run_start = Instant::now();
+                        let outcome = runner(id, payload);
+                        metrics.job_run.observe(run_start.elapsed().as_secs_f64());
                         metrics
                             .job_latency
                             .observe(submitted.elapsed().as_secs_f64());
@@ -337,7 +342,7 @@ mod tests {
     {
         let metrics = Arc::new(Metrics::default());
         (
-            Scheduler::start(workers, cap, Arc::clone(&metrics), f),
+            Scheduler::start(workers, cap, Arc::clone(&metrics), move |_, x| f(x)),
             metrics,
         )
     }
@@ -353,6 +358,10 @@ mod tests {
             }
         }
         assert_eq!(m.jobs_done.load(Ordering::Relaxed), 5);
+        // Every executed job contributes to all three latency histograms.
+        assert_eq!(m.job_latency.snapshot().total, 5);
+        assert_eq!(m.job_queue_wait.snapshot().total, 5);
+        assert_eq!(m.job_run.snapshot().total, 5);
     }
 
     #[test]

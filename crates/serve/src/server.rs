@@ -10,7 +10,7 @@
 
 use crate::json::Json;
 use crate::plan_cache::PlanCache;
-use crate::proto::Service;
+use crate::proto::{err, ErrorCode, Service};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,11 +58,7 @@ fn handle_connection(stream: TcpStream, service: &Service) {
         }
         let response = match Json::parse(&line) {
             Ok(req) => service.handle(&req),
-            Err(e) => Json::obj([
-                ("ok", Json::Bool(false)),
-                ("code", Json::str("bad-request")),
-                ("error", Json::str(format!("invalid JSON: {e}"))),
-            ]),
+            Err(e) => err(ErrorCode::BadRequest, format!("invalid JSON: {e}")),
         };
         let mut out = response.to_string_compact();
         out.push('\n');
@@ -175,6 +171,39 @@ mod tests {
         assert_eq!(bad.get_str("code"), Some("bad-request"));
         let list = roundtrip(&mut stream, &mut reader, r#"{"cmd":"list"}"#);
         assert_eq!(list.get_bool("ok"), Some(true));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn job_latency_histograms_populate_over_tcp() {
+        let mut server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        let r = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"cmd":"gen","name":"t","dataset":"poisson1","nnz":2000,"seed":3}"#,
+        );
+        assert_eq!(r.get_bool("ok"), Some(true), "{r:?}");
+        let job = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"cmd":"mttkrp","tensor":"t","mode":0,"kernel":"mbrankb","rank":8,"reps":2,"wait":true}"#,
+        );
+        assert_eq!(job.get_str("state"), Some("done"), "{job:?}");
+
+        let m = roundtrip(&mut stream, &mut reader, r#"{"cmd":"metrics"}"#);
+        let metrics = m.get("metrics").unwrap();
+        for key in ["job_queue_wait", "job_run", "job_latency"] {
+            let h = metrics.get(key).unwrap();
+            assert!(
+                h.get_usize("total").unwrap() >= 1,
+                "{key} recorded nothing: {h:?}"
+            );
+        }
 
         server.shutdown();
     }

@@ -45,7 +45,7 @@ fn main() {
     opts.kernel_cfg = KernelConfig {
         grid: [2, 2, 1],
         strip_width: 16,
-        parallel: false,
+        ..Default::default()
     };
     let result = cp_apr(&x, &opts);
     println!(

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example cpd_recommender`
 
-use tenblock::core::{KernelConfig, KernelKind};
+use tenblock::core::{ExecPolicy, KernelConfig, KernelKind};
 use tenblock::cpd::{CpAls, CpAlsOptions};
 use tenblock::tensor::gen::Dataset;
 
@@ -26,7 +26,7 @@ fn main() {
     opts.kernel_cfg = KernelConfig {
         grid: [4, 2, 1],
         strip_width: 16,
-        parallel: true,
+        exec: ExecPolicy::auto(),
     };
 
     let t0 = std::time::Instant::now();

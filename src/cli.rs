@@ -15,7 +15,9 @@
 //! block-size plans with each other and with a running `serve` instance.
 
 use std::path::Path;
-use tenblock_core::{build_kernel, tune, KernelConfig, KernelKind, TuneOptions};
+use std::sync::Arc;
+use tenblock_core::obs::{Rec, TraceRecorder};
+use tenblock_core::{build_kernel, tune, ExecPolicy, KernelConfig, KernelKind, TuneOptions};
 use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAprOptions};
 use tenblock_serve::{PlanCache, PlanKey, Server, ServerConfig, TunedPlan};
 use tenblock_tensor::gen::{Dataset, ALL_DATASETS};
@@ -121,17 +123,56 @@ USAGE:
   tenblock stats <file>
   tenblock convert <in> <out>
   tenblock gen <dataset> <out> [--nnz N] [--seed S]
-  tenblock bench <file> [--rank R] [--reps N]
-  tenblock tune <file> [--rank R] [--plan-cache <path>]
+  tenblock bench <file> [--rank R] [--reps N] [--trace [path]]
+  tenblock tune <file> [--rank R] [--plan-cache <path>] [--trace [path]]
   tenblock decompose <file> [--rank R] [--iters N] [--method als|apr]
                             [--kernel splatt|mb|rankb|mbrankb]
-                            [--plan-cache <path>]
+                            [--plan-cache <path>] [--trace [path]]
   tenblock serve --addr <host:port> [--workers N] [--queue N]
                  [--plan-cache <path>]
 
 Files: .tns (FROSTT text) or .tnsb (tenblock binary).
 Datasets: Poisson1-3, NELL2, Netflix, Reddit, Amazon (scaled analogues).
+--trace records execution spans (kernel calls, ALS iterations, tune
+candidates) with Section IV byte/flop counters and writes chrome://tracing
+JSON to `path` (default trace.json); open it at chrome://tracing or
+https://ui.perfetto.dev.
 The serve protocol is line-delimited JSON; see crates/serve/README.md.";
+
+/// Resolves `--trace [path]`: present without a value means `trace.json`.
+fn trace_path(args: &Args) -> Option<std::path::PathBuf> {
+    args.flag("trace").map(|v| {
+        if v.is_empty() {
+            std::path::PathBuf::from("trace.json")
+        } else {
+            std::path::PathBuf::from(v)
+        }
+    })
+}
+
+/// Attaches `tracer` to `exec` when `--trace` was given.
+fn with_tracing(
+    exec: ExecPolicy,
+    trace: &Option<std::path::PathBuf>,
+    tracer: &Arc<TraceRecorder>,
+) -> ExecPolicy {
+    match trace {
+        Some(_) => exec.with_recorder(Rec::new(Arc::clone(tracer) as _)),
+        None => exec,
+    }
+}
+
+/// Writes the recorded spans as chrome://tracing JSON; returns a footer
+/// line for the command's output.
+fn write_trace(tracer: &TraceRecorder, path: &Path) -> Result<String, String> {
+    std::fs::write(path, tracer.to_chrome_json())
+        .map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+    Ok(format!(
+        "\nwrote {} spans (chrome://tracing JSON) to {}",
+        tracer.snapshot().len(),
+        path.display()
+    ))
+}
 
 /// Runs one subcommand; returns the text to print or an error message.
 pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
@@ -183,10 +224,12 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 .collect();
             let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
             let mut out = DenseMatrix::zeros(t.dims()[0], rank);
+            let trace = trace_path(args);
+            let tracer = Arc::new(TraceRecorder::new());
             let cfg = KernelConfig {
                 grid: [4, 4, 2],
                 strip_width: 16,
-                parallel: false,
+                exec: with_tracing(ExecPolicy::serial(), &trace, &tracer),
             };
             let mut lines = vec![format!(
                 "mode-1 MTTKRP on {path}: nnz {}, rank {rank} (best of {reps})",
@@ -202,7 +245,11 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 }
                 lines.push(format!("  {:<10} {:>10.4} s", k.name(), best));
             }
-            Ok(lines.join("\n"))
+            let mut msg = lines.join("\n");
+            if let Some(p) = trace {
+                msg.push_str(&write_trace(&tracer, &p)?);
+            }
+            Ok(msg)
         }
         "tune" => {
             let path = args.positional.first().ok_or("tune: missing <file>")?;
@@ -216,8 +263,11 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                     plan.grid[0], plan.grid[1], plan.grid[2], plan.strip_width, plan.best_secs
                 ));
             }
+            let trace = trace_path(args);
+            let tracer = Arc::new(TraceRecorder::new());
             let mut opts = TuneOptions::new(rank);
             opts.reps = 2;
+            opts.exec = with_tracing(opts.exec, &trace, &tracer);
             let r = tune(&t, 0, &opts);
             if let Some(cache) = &cache {
                 let plan = TunedPlan {
@@ -229,7 +279,7 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                     .insert(key, plan)
                     .map_err(|e| format!("plan cache write failed: {e}"))?;
             }
-            Ok(format!(
+            let mut msg = format!(
                 "selected grid {}x{}x{}, strip width {} ({:.4} s/MTTKRP, {} candidates tried)",
                 r.grid[0],
                 r.grid[1],
@@ -237,7 +287,11 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 r.strip_width,
                 r.best_secs,
                 r.history.len()
-            ))
+            );
+            if let Some(p) = trace {
+                msg.push_str(&write_trace(&tracer, &p)?);
+            }
+            Ok(msg)
         }
         "decompose" => {
             let path = args.positional.first().ok_or("decompose: missing <file>")?;
@@ -250,31 +304,34 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             // A cached plan for this tensor's shape and rank beats the
             // fixed default grid; a miss keeps the default (no tuning run
             // is triggered implicitly).
-            let cfg = open_plan_cache(args)?
+            let trace = trace_path(args);
+            let tracer = Arc::new(TraceRecorder::new());
+            let mut cfg = open_plan_cache(args)?
                 .and_then(|c| c.lookup(PlanKey::of(&TensorStats::of(&t), rank)))
                 .map(|p| KernelConfig {
                     grid: p.grid,
                     strip_width: p.strip_width,
-                    parallel: true,
+                    ..Default::default()
                 })
                 .unwrap_or(KernelConfig {
                     grid: [4, 2, 2],
                     strip_width: 16,
-                    parallel: true,
+                    ..Default::default()
                 });
-            match method {
+            cfg.exec = with_tracing(ExecPolicy::auto(), &trace, &tracer);
+            let mut msg = match method {
                 "als" => {
                     let mut opts = CpAlsOptions::new(rank);
                     opts.max_iters = iters;
                     opts.kernel = kernel;
                     opts.kernel_cfg = cfg;
                     let result = CpAls::new(&t, opts).run(&t);
-                    Ok(format!(
+                    format!(
                         "CP-ALS rank {rank}: fit {:.5} after {} iterations (converged: {})",
                         result.fit_history.last().unwrap_or(&0.0),
                         result.iterations,
                         result.converged
-                    ))
+                    )
                 }
                 "apr" => {
                     let mut opts = CpAprOptions::new(rank);
@@ -282,15 +339,19 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                     opts.kernel = kernel;
                     opts.kernel_cfg = cfg;
                     let result = cp_apr(&t, &opts);
-                    Ok(format!(
+                    format!(
                         "CP-APR rank {rank}: log-likelihood {:.2} after {} iterations (converged: {})",
                         result.loglik_history.last().unwrap_or(&f64::NEG_INFINITY),
                         result.iterations,
                         result.converged
-                    ))
+                    )
                 }
-                other => Err(format!("unknown method `{other}` (als|apr)")),
+                other => return Err(format!("unknown method `{other}` (als|apr)")),
+            };
+            if let Some(p) = trace {
+                msg.push_str(&write_trace(&tracer, &p)?);
             }
+            Ok(msg)
         }
         "serve" => {
             let addr = args.flag("addr").unwrap_or("127.0.0.1:7607");
@@ -430,6 +491,31 @@ mod tests {
         dargs.flags.push(("plan-cache".into(), cache));
         let als = run("decompose", &dargs).unwrap();
         assert!(als.contains("CP-ALS"), "{als}");
+    }
+
+    #[test]
+    fn decompose_trace_writes_chrome_json() {
+        let tns = tmpfile("traced.tnsb");
+        let mut gargs = Args::parse(&["Poisson1".to_string(), tns.clone()]);
+        gargs.flags.push(("nnz".into(), "2000".into()));
+        run("gen", &gargs).unwrap();
+
+        let out = tmpfile("trace.json");
+        let _ = std::fs::remove_file(&out);
+        let mut dargs = Args::parse(std::slice::from_ref(&tns));
+        dargs.flags.push(("rank".into(), "4".into()));
+        dargs.flags.push(("iters".into(), "2".into()));
+        dargs.flags.push(("kernel".into(), "splatt".into()));
+        dargs.flags.push(("trace".into(), out.clone()));
+        let msg = run("decompose", &dargs).unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.starts_with('['), "not a chrome event array");
+        assert!(json.contains("\"ph\""));
+        assert!(json.contains("cpd/als/iter"));
+        assert!(json.contains("mttkrp/SPLATT"));
+        assert!(json.contains("tensor_bytes"));
     }
 
     #[test]

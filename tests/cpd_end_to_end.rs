@@ -2,7 +2,7 @@
 //! kernels, the tuner's output plugs straight into ALS, and the whole
 //! pipeline survives realistic (clustered, count-valued) data.
 
-use tenblock::core::{tune, KernelConfig, KernelKind, TuneOptions};
+use tenblock::core::{tune, ExecPolicy, KernelConfig, KernelKind, TuneOptions};
 use tenblock::cpd::{CpAls, CpAlsOptions, KruskalTensor};
 use tenblock::tensor::gen::{clustered_tensor, ClusteredConfig};
 use tenblock::tensor::DenseMatrix;
@@ -32,7 +32,7 @@ fn blocked_cpd_recovers_planted_rank() {
     opts.kernel_cfg = KernelConfig {
         grid: [2, 2, 2],
         strip_width: 16,
-        parallel: false,
+        ..Default::default()
     };
     let result = CpAls::new(&x, opts).run(&x);
     let fit = *result.fit_history.last().unwrap();
@@ -55,7 +55,7 @@ fn tuner_output_feeds_als() {
     opts.kernel_cfg = KernelConfig {
         grid: tuned.grid,
         strip_width: tuned.strip_width,
-        parallel: true,
+        exec: ExecPolicy::auto(),
     };
     let result = CpAls::new(&x, opts).run(&x);
     assert_eq!(result.fit_history.len(), 10);
@@ -76,7 +76,7 @@ fn kernel_choice_does_not_change_the_math() {
         opts.kernel_cfg = KernelConfig {
             grid: [3, 2, 2],
             strip_width: 8,
-            parallel: false,
+            ..Default::default()
         };
         let result = CpAls::new(&x, opts).run(&x);
         fits.push(*result.fit_history.last().unwrap());

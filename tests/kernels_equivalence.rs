@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use tenblock::core::mttkrp::dense_mttkrp;
-use tenblock::core::{build_kernel, KernelConfig, KernelKind};
+use tenblock::core::{build_kernel, ExecPolicy, KernelConfig, KernelKind};
 use tenblock::tensor::{CooTensor, DenseMatrix, Entry};
 
 /// Strategy: a small random sparse tensor.
@@ -57,7 +57,7 @@ proptest! {
             gb.min(dims[perm[1]]),
             gc.min(dims[perm[2]]),
         ];
-        let cfg = KernelConfig { grid, strip_width: strip, parallel: false };
+        let cfg = KernelConfig { grid, strip_width: strip, ..Default::default() };
         for kind in KernelKind::ALL {
             let k = build_kernel(kind, &x, mode, &cfg);
             let mut out = DenseMatrix::zeros(dims[mode], rank);
@@ -82,8 +82,8 @@ proptest! {
             .collect();
         let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
         for kind in [KernelKind::Splatt, KernelKind::Mb, KernelKind::RankB, KernelKind::MbRankB] {
-            let cfg_seq = KernelConfig { grid: [2, 2, 2], strip_width: 8, parallel: false };
-            let cfg_par = KernelConfig { parallel: true, ..cfg_seq.clone() };
+            let cfg_seq = KernelConfig { grid: [2, 2, 2], strip_width: 8, exec: ExecPolicy::serial() };
+            let cfg_par = KernelConfig { exec: ExecPolicy::auto(), ..cfg_seq.clone() };
             let perm = tenblock::tensor::coo::perm_for_mode(mode);
             let mut cfg_seq = cfg_seq;
             let mut cfg_par = cfg_par;
