@@ -1,0 +1,34 @@
+//! # tenblock-check
+//!
+//! Correctness analysis for the tenblock workspace, in three layers:
+//!
+//! 1. **Write-set race detection** ([`writeset`]): every parallel MTTKRP
+//!    task declares the output-row range it owns plus the rows it will
+//!    actually touch; [`check_write_sets`] verifies the claims are pairwise
+//!    disjoint, jointly cover the output, and that no task writes outside
+//!    its claim. Violations come back as a structured [`RaceReport`]
+//!    instead of silently corrupt numbers.
+//! 2. **Blocking-invariant oracles** ([`oracle`]): pure functions over
+//!    plain data validating an MB grid (bounds tile each axis, every
+//!    nonzero sits inside exactly one block), a RankB strip plan (strips
+//!    tile `[0, rank)`, register chunks never exceed `N_RegB`), and a
+//!    tuner output (block counts achievable for the tensor shape).
+//! 3. **Workspace lint** ([`lint`]): a zero-dependency, line-oriented lint
+//!    enforcing repo rules (no `unwrap()`/`expect()` in non-test serve and
+//!    core code, no deprecated pre-ExecPolicy constructors, doc comments on
+//!    core `pub fn`s, no `lock().unwrap()` outside the shims).
+//!
+//! The crate has no dependencies (not even on `tenblock-tensor`), so
+//! `tenblock-core` can depend on it without a cycle: kernels translate
+//! their internal state into the plain-data vocabulary here.
+
+pub mod lint;
+pub mod oracle;
+pub mod writeset;
+
+pub use lint::{lint_workspace, Finding, LintReport, Rule};
+pub use oracle::{
+    check_bounds_tiling, check_grid_blocks, check_strip_plan, check_tune_grid, GridBlock,
+    OracleError,
+};
+pub use writeset::{check_write_sets, write_set_violations, RaceReport, Violation, WriteSet};

@@ -1,0 +1,565 @@
+//! Zero-dependency, line-oriented workspace lint.
+//!
+//! In the spirit of the `shims/` philosophy (exactly the surface we need,
+//! no `syn`), this is a token scan over the workspace's `.rs` files with
+//! just enough state to strip strings/comments and to recognize trailing
+//! `#[cfg(test)]` modules. Enforced rules:
+//!
+//! * [`Rule::NoUnwrap`] — no `.unwrap()` / `.expect(` in non-test
+//!   `crates/serve` and `crates/core` code; production paths return typed
+//!   errors.
+//! * [`Rule::NoDeprecatedExec`] — no calls to the `#[deprecated]`
+//!   pre-`ExecPolicy` constructors (`.with_parallel(...)`) outside test
+//!   code.
+//! * [`Rule::PubFnDoc`] — every `pub fn` in `crates/core` carries a doc
+//!   comment.
+//! * [`Rule::NoLockUnwrap`] — no `lock().unwrap()` outside the shims; a
+//!   poisoned lock must be recovered (`unwrap_or_else(|p| p.into_inner())`)
+//!   so one panicking thread cannot cascade.
+//!
+//! A finding can be waived in place with a trailing
+//! `// lint: allow(<rule>)` comment; waived findings are reported but do
+//! not fail the lint. The scan keeps just enough lexical state across
+//! lines (block comments, multi-line strings, raw strings) that literals
+//! are never mistaken for code.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// No `.unwrap()` / `.expect(` in non-test serve/core code.
+    NoUnwrap,
+    /// No deprecated pre-ExecPolicy constructors outside tests.
+    NoDeprecatedExec,
+    /// Every `pub fn` in `crates/core` has a doc comment.
+    PubFnDoc,
+    /// No `lock().unwrap()` outside the shims.
+    NoLockUnwrap,
+}
+
+impl Rule {
+    /// Stable rule name, as used in `lint: allow(...)` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoDeprecatedExec => "no-deprecated-exec",
+            Rule::PubFnDoc => "pub-fn-doc",
+            Rule::NoLockUnwrap => "no-lock-unwrap",
+        }
+    }
+}
+
+/// One lint hit.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// File path relative to the linted root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+    /// Whether a `lint: allow(...)` waiver covers this finding.
+    pub waived: bool,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            if self.waived { ", waived" } else { "" },
+            self.excerpt
+        )
+    }
+}
+
+/// Result of a workspace lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Every finding, waived or not, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings that fail the lint (not waived).
+    pub fn failing(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Findings covered by a waiver.
+    pub fn waived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived)
+    }
+
+    /// Whether the lint passes (no unwaived findings).
+    pub fn is_clean(&self) -> bool {
+        self.failing().next().is_none()
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} file(s) scanned, {} finding(s) ({} waived)",
+            self.files_scanned,
+            self.failing().count(),
+            self.waived().count()
+        )
+    }
+}
+
+/// Recursively collects `.rs` files under `root`, skipping build output,
+/// VCS metadata, and hidden directories.
+fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Cross-line lexical state for [`strip_code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Lex {
+    /// Plain code.
+    #[default]
+    Code,
+    /// Inside a `/* */` block comment.
+    BlockComment,
+    /// Inside a `"..."` string literal (may span lines).
+    Str,
+    /// Inside an `r##"..."##` raw string with this many `#`s.
+    RawStr(usize),
+}
+
+/// If a raw string literal starts at byte `i` (`r"`, `r#"`, `br##"`, …),
+/// returns the index of its opening quote and the number of `#`s.
+fn raw_string_at(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some((j, hashes))
+}
+
+/// Strips string literals (keeping quotes), char literals, and comments
+/// from one line; `lex` carries block-comment / multi-line-string / raw
+/// string state across lines.
+fn strip_code(line: &str, lex: &mut Lex) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match *lex {
+            Lex::BlockComment => {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    *lex = Lex::Code;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Lex::Str => match bytes[i] {
+                b'\\' => i += 2, // escape (a trailing \ continues the line)
+                b'"' => {
+                    out.push('"');
+                    *lex = Lex::Code;
+                    i += 1;
+                }
+                _ => i += 1,
+            },
+            Lex::RawStr(hashes) => {
+                let closes = bytes[i] == b'"'
+                    && bytes.len() - i > hashes
+                    && bytes[i + 1..i + 1 + hashes].iter().all(|&b| b == b'#');
+                if closes {
+                    out.push('"');
+                    *lex = Lex::Code;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+            }
+            Lex::Code => {
+                if let Some((quote, hashes)) = raw_string_at(bytes, i) {
+                    out.push('"');
+                    *lex = Lex::RawStr(hashes);
+                    i = quote + 1;
+                    continue;
+                }
+                match bytes[i] {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => break, // line comment
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        *lex = Lex::BlockComment;
+                        i += 2;
+                    }
+                    b'"' => {
+                        out.push('"');
+                        *lex = Lex::Str;
+                        i += 1;
+                    }
+                    b'\'' if bytes.get(i + 2) == Some(&b'\'') && bytes[i + 1] != b'\\' => {
+                        // Simple char literal 'x' (lifetimes lack the closing ').
+                        i += 3;
+                    }
+                    b'\'' if bytes.get(i + 1) == Some(&b'\\') => {
+                        // Escaped char literal '\n', '\'', '\\' …
+                        i += 2;
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    c => {
+                        out.push(c as char);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts waived rule names from a `lint: allow(a, b)` marker, if any.
+fn waivers(raw_line: &str) -> Vec<&str> {
+    let Some(pos) = raw_line.find("lint: allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw_line[pos + "lint: allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..end].split(',').map(str::trim).collect()
+}
+
+/// Per-file lint context derived from its workspace-relative path.
+struct FileScope {
+    /// Under `shims/` — exempt from every rule.
+    in_shims: bool,
+    /// Under a `tests/` directory — test code throughout.
+    test_file: bool,
+    /// Under `crates/serve/src` or `crates/core/src` (no-unwrap scope).
+    unwrap_scope: bool,
+    /// Under `crates/core/src` (pub-fn-doc scope).
+    core_src: bool,
+}
+
+impl FileScope {
+    fn of(rel: &str) -> FileScope {
+        let test_file = rel.split('/').any(|c| c == "tests");
+        FileScope {
+            in_shims: rel.starts_with("shims/"),
+            test_file,
+            unwrap_scope: rel.starts_with("crates/serve/src") || rel.starts_with("crates/core/src"),
+            core_src: rel.starts_with("crates/core/src"),
+        }
+    }
+}
+
+/// Whether the raw lines before `idx` document the item at `idx`
+/// (a `///` doc comment or `#[doc]`, possibly behind other attributes).
+fn has_doc_comment(raw: &[&str], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = raw[i].trim();
+        if t.starts_with("///") || t.starts_with("#[doc") || t.starts_with("#![doc") {
+            return true;
+        }
+        // Skip other attributes (possibly multi-line: a continuation line
+        // ends with `]` or `)]`).
+        if t.starts_with("#[") || t.ends_with(")]") || t.ends_with("]") && !t.contains('[') {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Lints one file's contents; `rel` is the workspace-relative path.
+fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    let scope = FileScope::of(rel);
+    if scope.in_shims {
+        return;
+    }
+    let raw: Vec<&str> = text.lines().collect();
+
+    let mut lex = Lex::default();
+    let mut depth: i64 = 0;
+    let mut cfg_test_pending = false;
+    let mut test_depth: Option<i64> = None;
+
+    for (idx, raw_line) in raw.iter().enumerate() {
+        let code = strip_code(raw_line, &mut lex);
+        let trimmed = code.trim();
+
+        // --- test-region tracking: a `#[cfg(test)]` item (the trailing
+        // `mod tests` convention) opens a region that ends when its brace
+        // closes.
+        let depth_before = depth;
+        depth += code.matches('{').count() as i64;
+        depth -= code.matches('}').count() as i64;
+        if raw_line.trim().starts_with("#[cfg(test)]") {
+            cfg_test_pending = true;
+        } else if cfg_test_pending && code.contains('{') {
+            test_depth = Some(depth_before);
+            cfg_test_pending = false;
+        }
+        let in_test = scope.test_file || test_depth.is_some();
+
+        let waived_rules = waivers(raw_line);
+        let mut push = |rule: Rule| {
+            findings.push(Finding {
+                rule,
+                file: rel.to_string(),
+                line: idx + 1,
+                excerpt: raw_line.trim().chars().take(120).collect(),
+                waived: waived_rules.contains(&rule.name()),
+            });
+        };
+
+        if !in_test {
+            if scope.unwrap_scope && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                push(Rule::NoUnwrap);
+            }
+            if code.contains(".with_parallel(") {
+                push(Rule::NoDeprecatedExec);
+            }
+            if code.contains("lock().unwrap()") {
+                push(Rule::NoLockUnwrap);
+            }
+            if scope.core_src && trimmed.starts_with("pub fn ") && !has_doc_comment(&raw, idx) {
+                push(Rule::PubFnDoc);
+            }
+        }
+
+        if let Some(d) = test_depth {
+            if depth <= d {
+                test_depth = None;
+            }
+        }
+    }
+}
+
+/// Lints every `.rs` file under `root` (the workspace directory).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in rust_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        lint_file(&rel, &text, &mut report.findings);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        lint_file(rel, text, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_scoped_crates() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_source("crates/serve/src/a.rs", src).len(), 1);
+        assert_eq!(lint_source("crates/core/src/a.rs", src).len(), 1);
+        assert!(lint_source("crates/tensor/src/a.rs", src).is_empty());
+        assert!(lint_source("src/cli.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { x.unwrap_or_else(|p| p.into_inner()); y.unwrap_or(0); }\n";
+        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn expect_is_flagged_but_expect_err_is_not() {
+        let hit = lint_source("crates/serve/src/a.rs", "fn f() { x.expect(\"msg\"); }\n");
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, Rule::NoUnwrap);
+        let ok = lint_source("crates/serve/src/a.rs", "fn f() { x.expect_err(\"m\"); }\n");
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn g() { x.unwrap(); let _ = m.lock().unwrap(); }\n\
+                   }\n";
+        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_back_in_scope() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   fn g() { x.unwrap(); }\n\
+                   }\n\
+                   fn f() { y.unwrap(); }\n";
+        let findings = lint_source("crates/serve/src/a.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn tests_directories_are_exempt() {
+        let src = "fn f() { x.unwrap(); m.lock().unwrap(); y.with_parallel(true); }\n";
+        assert!(lint_source("tests/a.rs", src).is_empty());
+        assert!(lint_source("crates/serve/tests/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "fn f() { let s = \".unwrap()\"; } // .unwrap() in comment\n\
+                   /* lock().unwrap() in block\n\
+                   still comment .unwrap()\n\
+                   */ fn g() {}\n";
+        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiline_string_literals_are_not_scanned_as_code() {
+        // The forbidden pattern sits inside a string spanning three lines
+        // (like the CLI's USAGE const).
+        let src = "const HELP: &str =\n\
+                   \"first line\n\
+                   mentions lock().unwrap() here\n\
+                   and x.unwrap() too\";\n\
+                   fn f() {}\n";
+        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_braces_do_not_break_test_tracking() {
+        // Braces and quotes inside an r#"..."# literal must not skew the
+        // brace depth that scopes the trailing test module.
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn g() { let t = r#\"{\"a\":\"}}}\",\"b\":1}\"#; }\n\
+                   fn h() { x.unwrap(); }\n\
+                   }\n";
+        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_unwrap_flagged_everywhere_but_shims() {
+        let src = "fn f() { let g = m.lock().unwrap(); }\n";
+        let f = lint_source("crates/obs/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NoLockUnwrap);
+        assert!(lint_source("shims/rayon/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deprecated_exec_constructors_flagged_outside_tests() {
+        let src = "fn f(k: K) { let _ = k.with_parallel(true); }\n";
+        let f = lint_source("crates/cpd/src/als.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::NoDeprecatedExec);
+        // The definition site (no leading dot) is not a call.
+        let def = "pub fn with_parallel(mut self, p: bool) -> Self { self }\n";
+        assert!(lint_source("crates/cpd/src/als.rs", def).is_empty());
+    }
+
+    #[test]
+    fn pub_fn_without_doc_flagged_in_core_only() {
+        let undocumented = "pub fn naked() {}\n";
+        let f = lint_source("crates/core/src/kernel.rs", undocumented);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PubFnDoc);
+        assert!(lint_source("crates/serve/src/a.rs", undocumented).is_empty());
+
+        let documented = "/// Does things.\npub fn clothed() {}\n";
+        assert!(lint_source("crates/core/src/kernel.rs", documented).is_empty());
+        let attr_between = "/// Doc.\n#[inline]\npub fn fast() {}\n";
+        assert!(lint_source("crates/core/src/kernel.rs", attr_between).is_empty());
+    }
+
+    #[test]
+    fn waiver_marks_finding_without_failing() {
+        let src = "fn f() { x.unwrap(); } // invariant: x is Some — lint: allow(no-unwrap)\n";
+        let findings = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].waived);
+        let report = LintReport {
+            findings,
+            files_scanned: 1,
+        };
+        assert!(report.is_clean());
+        assert_eq!(report.waived().count(), 1);
+    }
+
+    #[test]
+    fn waiver_for_a_different_rule_does_not_apply() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(no-lock-unwrap)\n";
+        let findings = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].waived);
+    }
+
+    #[test]
+    fn lint_workspace_walks_and_reports() {
+        let dir = std::env::temp_dir().join(format!("tenblock_lint_{}", std::process::id()));
+        let serve = dir.join("crates/serve/src");
+        std::fs::create_dir_all(&serve).unwrap();
+        std::fs::create_dir_all(dir.join("target")).unwrap();
+        std::fs::write(serve.join("bad.rs"), "fn f() { x.unwrap(); }\n").unwrap();
+        std::fs::write(dir.join("target/skip.rs"), "fn f() { x.unwrap(); }\n").unwrap();
+        let report = lint_workspace(&dir).unwrap();
+        assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.failing().count(), 1);
+        assert!(report.to_string().contains("crates/serve/src/bad.rs:1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,420 @@
+//! Write-set race detection for parallel output-row partitions.
+//!
+//! A parallel MTTKRP kernel hands each worker task a contiguous range of
+//! output rows. Correctness rests on two properties the type system cannot
+//! see: the *claims* must tile the output (pairwise disjoint, jointly
+//! covering), and every row a task actually *touches* — derived from the
+//! tensor data it processes — must fall inside its own claim. An off-by-one
+//! block boundary breaks the second property and silently races.
+//!
+//! [`WriteSet`] carries both halves of one task's declaration;
+//! [`check_write_sets`] verifies a whole launch before it runs.
+
+use std::ops::Range;
+
+/// Rows listed per violation are capped at this many; the total count is
+/// still reported so diagnostics stay bounded on large tensors.
+pub const MAX_REPORTED_ROWS: usize = 64;
+
+/// One parallel task's declared output footprint.
+#[derive(Debug, Clone)]
+pub struct WriteSet {
+    /// Task index within the launch (stable across the report).
+    pub task: usize,
+    /// The contiguous row range this task's buffer covers — its claim.
+    pub owned: Range<usize>,
+    /// Global rows the task will actually write, derived from the tensor
+    /// data (slice ids, block contents, entry coordinates). Order and
+    /// duplicates are irrelevant.
+    pub touched: Vec<usize>,
+}
+
+impl WriteSet {
+    /// A claim with no touched rows recorded yet.
+    pub fn new(task: usize, owned: Range<usize>) -> WriteSet {
+        WriteSet {
+            task,
+            owned,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Records rows the task will write.
+    pub fn touch_all(mut self, rows: impl IntoIterator<Item = usize>) -> WriteSet {
+        self.touched.extend(rows);
+        self
+    }
+}
+
+/// One detected violation of the write-set contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two tasks write (or claim) the same rows. `first` owns the rows;
+    /// `second` claims or touches them too.
+    Overlap {
+        /// Task owning the contested rows.
+        first: usize,
+        /// Task also claiming or touching them.
+        second: usize,
+        /// The contested rows (sorted, deduped, capped at
+        /// [`MAX_REPORTED_ROWS`]).
+        rows: Vec<usize>,
+        /// Total number of contested rows before capping.
+        total: usize,
+    },
+    /// Output rows no task claims — they would keep stale values.
+    Gap {
+        /// The unclaimed row range.
+        rows: Range<usize>,
+    },
+    /// A task claims or touches rows outside the output entirely.
+    OutOfBounds {
+        /// The offending task.
+        task: usize,
+        /// The out-of-range rows (sorted, deduped, capped).
+        rows: Vec<usize>,
+        /// Total count before capping.
+        total: usize,
+    },
+    /// A blocking invariant failed before write sets were even formed
+    /// (grid, strip plan, or tuner oracle).
+    Invariant {
+        /// Human-readable description from the oracle.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Overlap {
+                first,
+                second,
+                rows,
+                total,
+            } => {
+                write!(
+                    f,
+                    "overlap: tasks {first} and {second} both write rows {rows:?}"
+                )?;
+                if *total > rows.len() {
+                    write!(f, " (+{} more)", total - rows.len())?;
+                }
+                Ok(())
+            }
+            Violation::Gap { rows } => write!(f, "gap: rows {rows:?} are claimed by no task"),
+            Violation::OutOfBounds { task, rows, total } => {
+                write!(f, "out of bounds: task {task} writes rows {rows:?}")?;
+                if *total > rows.len() {
+                    write!(f, " (+{} more)", total - rows.len())?;
+                }
+                Ok(())
+            }
+            Violation::Invariant { detail } => write!(f, "invariant: {detail}"),
+        }
+    }
+}
+
+/// A failed checked-mode launch: which kernel, and every violation found.
+///
+/// All violations are aggregated — a shifted block boundary typically shows
+/// up both as an oracle [`Violation::Invariant`] and as a write-set
+/// [`Violation::Overlap`] naming the task pair and rows.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Kernel name (as reported by `MttkrpKernel::name`).
+    pub kernel: String,
+    /// Everything found, oracle failures first.
+    pub violations: Vec<Violation>,
+}
+
+impl RaceReport {
+    /// `Ok(())` when `violations` is empty, otherwise the report.
+    pub fn check(kernel: &str, violations: Vec<Violation>) -> Result<(), RaceReport> {
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(RaceReport {
+                kernel: kernel.to_string(),
+                violations,
+            })
+        }
+    }
+
+    /// All rows named by overlap violations (sorted, deduped) — the rows
+    /// two tasks would race on.
+    pub fn overlapping_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> = self
+            .violations
+            .iter()
+            .filter_map(|v| match v {
+                Violation::Overlap { rows, .. } => Some(rows.iter().copied()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "race report for kernel {}: {} violation(s)",
+            self.kernel,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RaceReport {}
+
+/// Sorts, dedups, and caps a row list, returning `(rows, total)`.
+fn cap_rows(mut rows: Vec<usize>) -> (Vec<usize>, usize) {
+    rows.sort_unstable();
+    rows.dedup();
+    let total = rows.len();
+    rows.truncate(MAX_REPORTED_ROWS);
+    (rows, total)
+}
+
+/// Checks a launch's write sets against an output of `out_rows` rows.
+///
+/// Detects, in order: claims past the end of the output
+/// ([`Violation::OutOfBounds`]), overlapping claims ([`Violation::Overlap`]),
+/// unclaimed rows ([`Violation::Gap`]), and touched rows outside the
+/// toucher's own claim (reported as an overlap against the owning task, or
+/// out-of-bounds when no task owns the row).
+pub fn write_set_violations(out_rows: usize, sets: &[WriteSet]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // --- Claim phase: the owned ranges must tile [0, out_rows).
+    let mut claims: Vec<(Range<usize>, usize)> = sets
+        .iter()
+        .filter(|s| !s.owned.is_empty())
+        .map(|s| (s.owned.clone(), s.task))
+        .collect();
+    claims.sort_by_key(|(r, _)| (r.start, r.end));
+
+    for (r, task) in &claims {
+        if r.end > out_rows {
+            let (rows, total) = cap_rows((r.start.max(out_rows)..r.end).collect());
+            violations.push(Violation::OutOfBounds {
+                task: *task,
+                rows,
+                total,
+            });
+        }
+    }
+
+    let mut cursor = 0usize;
+    let mut cursor_owner = usize::MAX;
+    for (r, task) in &claims {
+        if r.start > cursor {
+            violations.push(Violation::Gap {
+                rows: cursor..r.start,
+            });
+        } else if r.start < cursor {
+            let (rows, total) = cap_rows((r.start..r.end.min(cursor)).collect());
+            violations.push(Violation::Overlap {
+                first: cursor_owner,
+                second: *task,
+                rows,
+                total,
+            });
+        }
+        if r.end > cursor {
+            cursor = r.end;
+            cursor_owner = *task;
+        }
+    }
+    if cursor < out_rows {
+        violations.push(Violation::Gap {
+            rows: cursor..out_rows,
+        });
+    }
+
+    // --- Touch phase: every touched row must sit inside the toucher's own
+    // claim. A stray row owned by another task is a write-write race on
+    // that pair; a row owned by nobody is out of bounds.
+    let mut pair_rows: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+    for set in sets {
+        let mut oob = Vec::new();
+        for &row in &set.touched {
+            if set.owned.contains(&row) {
+                continue;
+            }
+            let owner = claims
+                .iter()
+                .find(|(r, _)| r.contains(&row))
+                .map(|(_, t)| *t);
+            match owner {
+                Some(o) => {
+                    let key = (o, set.task);
+                    match pair_rows.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, rows)) => rows.push(row),
+                        None => pair_rows.push((key, vec![row])),
+                    }
+                }
+                None => oob.push(row),
+            }
+        }
+        if !oob.is_empty() {
+            let (rows, total) = cap_rows(oob);
+            violations.push(Violation::OutOfBounds {
+                task: set.task,
+                rows,
+                total,
+            });
+        }
+    }
+    for ((first, second), rows) in pair_rows {
+        let (rows, total) = cap_rows(rows);
+        violations.push(Violation::Overlap {
+            first,
+            second,
+            rows,
+            total,
+        });
+    }
+
+    violations
+}
+
+/// [`write_set_violations`] wrapped into a pass/fail [`RaceReport`].
+pub fn check_write_sets(
+    kernel: &str,
+    out_rows: usize,
+    sets: &[WriteSet],
+) -> Result<(), RaceReport> {
+    RaceReport::check(kernel, write_set_violations(out_rows, sets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(task: usize, owned: Range<usize>, touched: &[usize]) -> WriteSet {
+        WriteSet::new(task, owned).touch_all(touched.iter().copied())
+    }
+
+    #[test]
+    fn clean_partition_passes() {
+        let sets = [
+            set(0, 0..4, &[0, 1, 3]),
+            set(1, 4..7, &[4, 6]),
+            set(2, 7..10, &[9]),
+        ];
+        assert!(check_write_sets("k", 10, &sets).is_ok());
+    }
+
+    #[test]
+    fn empty_claims_are_skipped() {
+        let sets = [set(0, 0..5, &[]), set(1, 5..5, &[]), set(2, 5..8, &[7])];
+        assert!(check_write_sets("k", 8, &sets).is_ok());
+    }
+
+    #[test]
+    fn overlapping_claims_are_reported_with_rows() {
+        let sets = [set(0, 0..6, &[]), set(1, 5..10, &[])];
+        let report = check_write_sets("k", 10, &sets).unwrap_err();
+        assert_eq!(report.kernel, "k");
+        assert_eq!(report.overlapping_rows(), vec![5]);
+        assert!(matches!(
+            &report.violations[0],
+            Violation::Overlap {
+                first: 0,
+                second: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn gaps_at_start_middle_end_are_reported() {
+        let sets = [set(0, 1..3, &[]), set(1, 5..8, &[])];
+        let report = check_write_sets("k", 10, &sets).unwrap_err();
+        let gaps: Vec<_> = report
+            .violations
+            .iter()
+            .filter_map(|v| match v {
+                Violation::Gap { rows } => Some(rows.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gaps, vec![0..1, 3..5, 8..10]);
+    }
+
+    #[test]
+    fn touch_outside_own_claim_names_the_pair() {
+        // Task 1 touches row 4, which task 0 owns: a write-write race.
+        let sets = [set(0, 0..5, &[2]), set(1, 5..10, &[4, 5])];
+        let report = check_write_sets("k", 10, &sets).unwrap_err();
+        assert_eq!(report.violations.len(), 1);
+        match &report.violations[0] {
+            Violation::Overlap {
+                first,
+                second,
+                rows,
+                total,
+            } => {
+                assert_eq!((*first, *second), (0, 1));
+                assert_eq!(rows, &[4]);
+                assert_eq!(*total, 1);
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn touch_outside_all_claims_is_out_of_bounds() {
+        let sets = [set(0, 0..5, &[12]), set(1, 5..10, &[])];
+        let report = check_write_sets("k", 10, &sets).unwrap_err();
+        assert!(matches!(
+            &report.violations[0],
+            Violation::OutOfBounds { task: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn claim_past_output_end_is_out_of_bounds() {
+        let sets = [set(0, 0..12, &[])];
+        let report = check_write_sets("k", 10, &sets).unwrap_err();
+        match &report.violations[0] {
+            Violation::OutOfBounds { task, rows, .. } => {
+                assert_eq!(*task, 0);
+                assert_eq!(rows, &[10, 11]);
+            }
+            other => panic!("expected out-of-bounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_lists_are_capped_but_totals_exact() {
+        let sets = [set(0, 0..200, &[]), set(1, 100..300, &[])];
+        let report = check_write_sets("k", 300, &sets).unwrap_err();
+        match &report.violations[0] {
+            Violation::Overlap { rows, total, .. } => {
+                assert_eq!(rows.len(), MAX_REPORTED_ROWS);
+                assert_eq!(*total, 100);
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let sets = [set(0, 0..6, &[]), set(1, 5..10, &[])];
+        let report = check_write_sets("SPLATT", 10, &sets).unwrap_err();
+        let text = report.to_string();
+        assert!(text.contains("SPLATT"), "{text}");
+        assert!(text.contains("overlap"), "{text}");
+    }
+}

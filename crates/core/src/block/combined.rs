@@ -8,10 +8,12 @@
 
 use super::mb::grid_counters;
 use super::{split_rows_by_bounds, BlockGrid};
+use crate::checked::{block_row_write_sets, effective_strip_plan, push_oracle};
 use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
-use crate::mttkrp::{process_block_rankb, DenseWindow, RowWindow, StripWindow};
+use crate::mttkrp::{process_block_rankb, DenseWindow, RowWindow, StripWindow, REG_BLOCK};
 use rayon::prelude::*;
+use tenblock_check::{check_strip_plan, write_set_violations, RaceReport};
 use tenblock_tensor::{CooTensor, DenseMatrix, StripMatrix, NMODES};
 
 use super::rankb::RankbLayout;
@@ -68,6 +70,28 @@ impl MbRankBKernel {
         self.strip_width
     }
 
+    /// Verifies the grid and strip-plan oracles and, when parallel, the
+    /// block-row write sets (one claim per slice-axis block row, touched
+    /// rows taken from the blocks' stored global rows).
+    fn verify(&self, out_rows: usize, rank: usize) -> Result<(), RaceReport> {
+        let mut violations = Vec::new();
+        push_oracle(&mut violations, self.grid.validate());
+        push_oracle(
+            &mut violations,
+            check_strip_plan(
+                rank,
+                &effective_strip_plan(rank, self.strip_width),
+                REG_BLOCK,
+            ),
+        );
+        if self.exec.is_parallel() {
+            let sets =
+                block_row_write_sets(self.grid.bounds(0), |a| Box::new(self.grid.row_blocks(a)));
+            violations.extend(write_set_violations(out_rows, &sets));
+        }
+        RaceReport::check("MB+RankB", violations)
+    }
+
     /// One strip pass over the whole grid.
     fn strip_pass<B: RowWindow, C: RowWindow>(
         &self,
@@ -106,6 +130,11 @@ impl MttkrpKernel for MbRankBKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        if self.exec.is_checked() {
+            if let Err(report) = self.verify(out.rows(), rank) {
+                panic!("checked execution refused launch: {report}");
+            }
+        }
         let span = self.exec.recorder.span("mttkrp/MB+RankB");
         if span.active() {
             let strips = rank.div_ceil(self.strip_width.min(rank.max(1)));
@@ -135,6 +164,16 @@ impl MttkrpKernel for MbRankBKernel {
                 }
             }
         }
+    }
+
+    fn mttkrp_checked(
+        &self,
+        factors: &[&DenseMatrix; NMODES],
+        out: &mut DenseMatrix,
+    ) -> Result<(), RaceReport> {
+        self.verify(out.rows(), out.cols())?;
+        self.mttkrp(factors, out);
+        Ok(())
     }
 
     fn mode(&self) -> usize {

@@ -33,7 +33,7 @@ fn uniform_bounds(dim: usize, n: usize) -> Vec<usize> {
 /// grids are tiny, so this is a handful of comparisons).
 #[inline]
 fn find_block(bounds: &[usize], idx: usize) -> usize {
-    debug_assert!(idx < *bounds.last().unwrap());
+    debug_assert!(bounds.last().is_some_and(|&end| idx < end));
     bounds.partition_point(|&b| b <= idx) - 1
 }
 
@@ -181,6 +181,57 @@ impl BlockGrid {
             .map(|b| b.actual_bytes())
             .sum()
     }
+
+    /// Runs the MB blocking oracle over this grid: the per-axis bounds must
+    /// tile each kernel axis, every stored nonzero must sit inside its
+    /// block's box, and the blocks must jointly hold exactly [`Self::nnz`]
+    /// nonzeros. Independent of the construction code — it re-derives
+    /// everything from the stored blocks.
+    pub fn validate(&self) -> Result<(), tenblock_check::OracleError> {
+        let dims = [
+            self.dims[self.perm[0]],
+            self.dims[self.perm[1]],
+            self.dims[self.perm[2]],
+        ];
+        let mut blocks = Vec::new();
+        for a in 0..self.grid[0] {
+            for b in 0..self.grid[1] {
+                for c in 0..self.grid[2] {
+                    if let Some(t) = self.block(a, b, c) {
+                        blocks.push(tenblock_check::GridBlock {
+                            coords: [a, b, c],
+                            entries: t
+                                .to_entries()
+                                .iter()
+                                .map(|e| {
+                                    [
+                                        e.idx[self.perm[0]] as usize,
+                                        e.idx[self.perm[1]] as usize,
+                                        e.idx[self.perm[2]] as usize,
+                                    ]
+                                })
+                                .collect(),
+                        });
+                    }
+                }
+            }
+        }
+        tenblock_check::check_grid_blocks(
+            dims,
+            [&self.bounds[0], &self.bounds[1], &self.bounds[2]],
+            self.nnz,
+            &blocks,
+        )
+    }
+
+    /// Test hook: moves the stored boundary `idx` of kernel axis `ax` by
+    /// `delta` *without* re-bucketing the blocks — the canonical seeded bug
+    /// for exercising checked execution (an off-by-one block boundary whose
+    /// blocks still contain the rows of the old partition).
+    pub fn shift_bound_for_test(&mut self, ax: usize, idx: usize, delta: isize) {
+        let b = &mut self.bounds[ax][idx];
+        *b = b.checked_add_signed(delta).unwrap_or(0);
+    }
 }
 
 #[cfg(test)]
@@ -267,5 +318,17 @@ mod tests {
     fn oversized_grid_panics() {
         let x = uniform_tensor([4, 4, 4], 10, 1);
         BlockGrid::new(&x, 0, [5, 1, 1]);
+    }
+
+    #[test]
+    fn validate_passes_then_catches_a_shifted_boundary() {
+        let x = uniform_tensor([10, 8, 8], 400, 11);
+        for mode in 0..3 {
+            assert!(BlockGrid::new(&x, mode, [2, 2, 2]).validate().is_ok());
+        }
+        let mut g = BlockGrid::new(&x, 0, [2, 2, 2]);
+        g.shift_bound_for_test(0, 1, 1);
+        let err = g.validate().unwrap_err();
+        assert_eq!(err.check, "grid-blocks");
     }
 }

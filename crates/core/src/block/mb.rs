@@ -7,10 +7,12 @@
 //! and are processed in parallel under rayon.
 
 use super::{split_rows_by_bounds, BlockGrid};
+use crate::checked::{block_row_write_sets, push_oracle};
 use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
 use crate::mttkrp::process_block_plain;
 use rayon::prelude::*;
+use tenblock_check::{write_set_violations, RaceReport};
 use tenblock_obs::KernelCounters;
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
 
@@ -94,6 +96,20 @@ impl MbKernel {
     pub fn grid(&self) -> &BlockGrid {
         &self.grid
     }
+
+    /// Verifies the grid invariants (oracle) and, when parallel, the
+    /// block-row write sets: each slice-axis block row's claim against the
+    /// global rows stored in its blocks.
+    fn verify(&self, out_rows: usize) -> Result<(), RaceReport> {
+        let mut violations = Vec::new();
+        push_oracle(&mut violations, self.grid.validate());
+        if self.exec.is_parallel() {
+            let sets =
+                block_row_write_sets(self.grid.bounds(0), |a| Box::new(self.grid.row_blocks(a)));
+            violations.extend(write_set_violations(out_rows, &sets));
+        }
+        RaceReport::check("MB", violations)
+    }
 }
 
 impl MttkrpKernel for MbKernel {
@@ -109,6 +125,11 @@ impl MttkrpKernel for MbKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        if self.exec.is_checked() {
+            if let Err(report) = self.verify(out.rows()) {
+                panic!("checked execution refused launch: {report}");
+            }
+        }
         let span = self.exec.recorder.span("mttkrp/MB");
         if span.active() {
             span.annotate_num("mode", self.mode as f64);
@@ -133,6 +154,16 @@ impl MttkrpKernel for MbKernel {
         } else {
             chunks.into_iter().enumerate().for_each(work);
         }
+    }
+
+    fn mttkrp_checked(
+        &self,
+        factors: &[&DenseMatrix; NMODES],
+        out: &mut DenseMatrix,
+    ) -> Result<(), RaceReport> {
+        self.verify(out.rows())?;
+        self.mttkrp(factors, out);
+        Ok(())
     }
 
     fn mode(&self) -> usize {

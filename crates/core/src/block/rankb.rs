@@ -12,10 +12,12 @@
 //! pass reads contiguous memory.
 
 use super::split_rows_by_bounds;
+use crate::checked::{effective_strip_plan, push_oracle, slice_chunk_write_sets};
 use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
-use crate::mttkrp::{process_block_rankb, DenseWindow, RowWindow, StripWindow};
+use crate::mttkrp::{process_block_rankb, DenseWindow, RowWindow, StripWindow, REG_BLOCK};
 use rayon::prelude::*;
+use tenblock_check::{check_strip_plan, write_set_violations, RaceReport};
 use tenblock_obs::KernelCounters;
 use tenblock_tensor::{CooTensor, DenseMatrix, SplattTensor, StripMatrix, NMODES};
 
@@ -76,6 +78,26 @@ impl RankBKernel {
     pub fn strip_width(&self) -> usize {
         self.strip_width
     }
+
+    /// Verifies the strip plan against the RankB oracle and, when parallel,
+    /// the per-pass slice-chunk write sets.
+    fn verify(&self, out_rows: usize, rank: usize) -> Result<(), RaceReport> {
+        let mut violations = Vec::new();
+        push_oracle(
+            &mut violations,
+            check_strip_plan(
+                rank,
+                &effective_strip_plan(rank, self.strip_width),
+                REG_BLOCK,
+            ),
+        );
+        if self.exec.is_parallel() && self.t.n_slices() > 0 {
+            let chunk = self.exec.chunk_size(self.t.n_slices());
+            let sets = slice_chunk_write_sets(&self.t, out_rows, chunk);
+            violations.extend(write_set_violations(out_rows, &sets));
+        }
+        RaceReport::check("RankB", violations)
+    }
 }
 
 /// One strip pass over a full SPLATT tensor: parallel over slice chunks.
@@ -130,6 +152,11 @@ impl MttkrpKernel for RankBKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        if self.exec.is_checked() {
+            if let Err(report) = self.verify(out.rows(), rank) {
+                panic!("checked execution refused launch: {report}");
+            }
+        }
         let span = self.exec.recorder.span("mttkrp/RankB");
         if span.active() {
             let strips = rank.div_ceil(self.strip_width.min(rank.max(1)));
@@ -168,6 +195,16 @@ impl MttkrpKernel for RankBKernel {
                 }
             }
         }
+    }
+
+    fn mttkrp_checked(
+        &self,
+        factors: &[&DenseMatrix; NMODES],
+        out: &mut DenseMatrix,
+    ) -> Result<(), RaceReport> {
+        self.verify(out.rows(), out.cols())?;
+        self.mttkrp(factors, out);
+        Ok(())
     }
 
     fn mode(&self) -> usize {

@@ -1,0 +1,155 @@
+//! Bridges from kernel internals to the `tenblock-check` vocabulary.
+//!
+//! Each kernel's checked path ([`crate::MttkrpKernel::mttkrp_checked`], or
+//! `mttkrp` under [`crate::Threads::Checked`]) declares the output-row
+//! footprint of every parallel task as a [`WriteSet`]: the contiguous range
+//! it *owns* (from the partition arithmetic) and the rows it will actually
+//! *touch* (from the tensor data — slice ids, block contents, root fids).
+//! The builders here mirror each kernel's partitioning formula exactly, so
+//! a drifted boundary in the real structures shows up as a write-set
+//! violation before any task runs.
+
+use tenblock_check::{Violation, WriteSet};
+use tenblock_tensor::{CsfTensor, SplattTensor};
+
+/// Write sets for output rows handed out `chunk` rows at a time over a
+/// SPLATT tensor — the partitioning of the SPLATT kernel's
+/// `par_chunks_mut(chunk * rank)` and the RankB pass's stepped bounds.
+/// Task `t` owns rows `[t*chunk, (t+1)*chunk)` (clamped) and touches the
+/// global row of every slice in the same index window.
+pub(crate) fn slice_chunk_write_sets(
+    t: &SplattTensor,
+    out_rows: usize,
+    chunk: usize,
+) -> Vec<WriteSet> {
+    let n_slices = t.n_slices();
+    let mut sets = Vec::new();
+    let mut lo = 0usize;
+    let mut task = 0usize;
+    while lo < out_rows {
+        let hi = (lo + chunk).min(out_rows);
+        let s_lo = lo.min(n_slices);
+        let s_hi = (lo + chunk).min(n_slices);
+        sets.push(WriteSet::new(task, lo..hi).touch_all((s_lo..s_hi).map(|s| t.slice_global(s))));
+        lo = hi;
+        task += 1;
+    }
+    sets
+}
+
+/// Write sets for a blocked kernel parallel over slice-axis block rows:
+/// task `a` owns `bounds0[a]..bounds0[a+1]` and touches the global row of
+/// every slice in every block of row `a` (the compressed blocks store true
+/// row ids, so this cross-checks the grid assignment against the claim).
+pub(crate) fn block_row_write_sets<'a>(
+    bounds0: &[usize],
+    row_blocks: impl Fn(usize) -> Box<dyn Iterator<Item = &'a SplattTensor> + 'a>,
+) -> Vec<WriteSet> {
+    let mut sets = Vec::new();
+    for (a, w) in bounds0.windows(2).enumerate() {
+        let mut ws = WriteSet::new(a, w[0]..w[1]);
+        for t in row_blocks(a) {
+            ws = ws.touch_all((0..t.n_slices()).map(|s| t.slice_global(s)));
+        }
+        sets.push(ws);
+    }
+    sets
+}
+
+/// Write sets for the CSF strip pass, which splits the output buffer at the
+/// first root fid of each root chunk. The skip regions (rows with no root)
+/// are never written; they are folded into the preceding task's claim so
+/// the claims tile the output exactly as the buffer splits do.
+pub(crate) fn csf_root_write_sets(t: &CsfTensor, out_rows: usize, chunk: usize) -> Vec<WriteSet> {
+    let n_roots = t.n_nodes(0);
+    if n_roots == 0 {
+        return vec![WriteSet::new(0, 0..out_rows)];
+    }
+    let starts: Vec<usize> = (0..n_roots).step_by(chunk).collect();
+    let mut sets = Vec::new();
+    let mut prev_end = 0usize;
+    for (ci, &lo) in starts.iter().enumerate() {
+        let hi = (lo + chunk).min(n_roots);
+        let row_end = if ci + 1 < starts.len() {
+            t.fid(0, starts[ci + 1]) as usize
+        } else {
+            out_rows
+        };
+        sets.push(
+            WriteSet::new(ci, prev_end..row_end).touch_all((lo..hi).map(|r| t.fid(0, r) as usize)),
+        );
+        prev_end = row_end;
+    }
+    sets
+}
+
+/// The effective `(col0, width)` strip plan a rank-blocked kernel executes
+/// for `rank` columns at `strip_width` (a width of `usize::MAX` means a
+/// single full-rank strip, as in the unblocked CSF path).
+pub(crate) fn effective_strip_plan(rank: usize, strip_width: usize) -> Vec<(usize, usize)> {
+    let mut plan = Vec::new();
+    let mut col0 = 0usize;
+    while col0 < rank {
+        let width = strip_width.min(rank - col0);
+        plan.push((col0, width));
+        col0 += width;
+    }
+    plan
+}
+
+/// Folds an oracle failure into the violation list as an
+/// [`Violation::Invariant`].
+pub(crate) fn push_oracle(
+    violations: &mut Vec<Violation>,
+    result: Result<(), tenblock_check::OracleError>,
+) {
+    if let Err(e) = result {
+        violations.push(Violation::Invariant {
+            detail: e.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tenblock_tensor::gen::uniform_tensor;
+    use tenblock_tensor::NdCooTensor;
+
+    #[test]
+    fn slice_chunks_tile_and_touch_identity_for_uncompressed() {
+        let x = uniform_tensor([10, 6, 6], 100, 3);
+        let t = SplattTensor::for_mode(&x, 0);
+        let sets = slice_chunk_write_sets(&t, 10, 4);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0].owned, 0..4);
+        assert_eq!(sets[2].owned, 8..10);
+        assert!(tenblock_check::check_write_sets("SPLATT", 10, &sets).is_ok());
+    }
+
+    #[test]
+    fn csf_roots_fold_skip_regions_into_claims() {
+        // Rows 0 and 7 only: the claims must still tile 0..10.
+        let x = NdCooTensor::from_coo3(&tenblock_tensor::CooTensor::from_triples(
+            [10, 3, 3],
+            &[0, 7],
+            &[1, 2],
+            &[0, 1],
+            &[1.0, 2.0],
+        ));
+        let t = CsfTensor::for_mode(&x, 0);
+        let sets = csf_root_write_sets(&t, 10, 1);
+        assert!(tenblock_check::check_write_sets("CSF", 10, &sets).is_ok());
+    }
+
+    #[test]
+    fn strip_plans_pass_the_oracle() {
+        for (rank, width) in [(37, 16), (8, 16), (32, 1), (24, usize::MAX), (0, 16)] {
+            let plan = effective_strip_plan(rank, width);
+            assert!(
+                tenblock_check::check_strip_plan(rank, &plan, crate::mttkrp::REG_BLOCK).is_ok(),
+                "rank {rank} width {width}"
+            );
+        }
+    }
+}

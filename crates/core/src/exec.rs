@@ -23,22 +23,32 @@ pub enum Threads {
     /// shim sizes its pool from available parallelism, so this bounds
     /// work-splitting granularity rather than pinning a thread count).
     Fixed(usize),
+    /// Like [`Threads::Auto`], but every launch first validates the
+    /// kernel's blocking invariants and parallel write sets
+    /// ([`crate::MttkrpKernel::mttkrp_checked`]); a violation is reported
+    /// as a [`tenblock_check::RaceReport`] before any task runs.
+    Checked,
 }
 
 impl Threads {
     /// Whether the parallel code path should run at all.
     pub fn is_parallel(self) -> bool {
         match self {
-            Threads::Auto => true,
+            Threads::Auto | Threads::Checked => true,
             Threads::Serial => false,
             Threads::Fixed(n) => n > 1,
         }
     }
 
+    /// Whether launches must pass write-set/invariant verification first.
+    pub fn is_checked(self) -> bool {
+        matches!(self, Threads::Checked)
+    }
+
     /// Worker count used to size work chunks.
     pub fn workers(self) -> usize {
         match self {
-            Threads::Auto => rayon::current_num_threads().max(1),
+            Threads::Auto | Threads::Checked => rayon::current_num_threads().max(1),
             Threads::Serial => 1,
             Threads::Fixed(n) => n.max(1),
         }
@@ -77,6 +87,14 @@ impl ExecPolicy {
         }
     }
 
+    /// All available threads with pre-launch write-set verification.
+    pub fn checked() -> Self {
+        ExecPolicy {
+            threads: Threads::Checked,
+            recorder: Rec::noop(),
+        }
+    }
+
     /// The policy the old `parallel: bool` flag meant.
     pub fn from_parallel(parallel: bool) -> Self {
         if parallel {
@@ -96,6 +114,12 @@ impl ExecPolicy {
     #[inline]
     pub fn is_parallel(&self) -> bool {
         self.threads.is_parallel()
+    }
+
+    /// Shorthand for `self.threads.is_checked()`.
+    #[inline]
+    pub fn is_checked(&self) -> bool {
+        self.threads.is_checked()
     }
 
     /// Chunk size splitting `items` so each worker sees ~4 chunks (the
@@ -119,6 +143,12 @@ mod tests {
         assert_eq!(Threads::Serial.workers(), 1);
         assert_eq!(Threads::Fixed(6).workers(), 6);
         assert!(Threads::Auto.workers() >= 1);
+        assert!(Threads::Checked.is_parallel());
+        assert!(Threads::Checked.is_checked());
+        assert!(!Threads::Auto.is_checked());
+        assert_eq!(Threads::Checked.workers(), Threads::Auto.workers());
+        assert!(ExecPolicy::checked().is_checked());
+        assert!(!ExecPolicy::auto().is_checked());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::block::{MbKernel, MbRankBKernel, RankBKernel};
 use crate::exec::ExecPolicy;
 use crate::mttkrp::{CooKernel, Csf3Kernel, SplattKernel};
+use tenblock_check::RaceReport;
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
 
 /// A prepared MTTKRP kernel for one mode of one tensor.
@@ -18,6 +19,26 @@ pub trait MttkrpKernel: Send + Sync {
     /// ignored (it is the output slot). `out` must be
     /// `dims[m] x R` where every factor has `R` columns.
     fn mttkrp(&self, factors: &[&DenseMatrix; NMODES], out: &mut DenseMatrix);
+
+    /// Like [`MttkrpKernel::mttkrp`], but first verifies the kernel's
+    /// blocking invariants and the write sets of its parallel tasks
+    /// (claimed output-row ranges pairwise disjoint and jointly covering
+    /// the output, actual touches confined to the owning claim). On
+    /// violation, returns a structured [`RaceReport`] *without running any
+    /// task*; on success, computes exactly what `mttkrp` would.
+    ///
+    /// The default implementation performs no verification — kernels with
+    /// a parallel path override it. A kernel whose `exec` policy is
+    /// [`crate::Threads::Checked`] performs the same verification inside
+    /// `mttkrp` itself and panics with the report on violation.
+    fn mttkrp_checked(
+        &self,
+        factors: &[&DenseMatrix; NMODES],
+        out: &mut DenseMatrix,
+    ) -> Result<(), RaceReport> {
+        self.mttkrp(factors, out);
+        Ok(())
+    }
 
     /// The mode this kernel computes.
     fn mode(&self) -> usize;

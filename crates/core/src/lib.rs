@@ -48,6 +48,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod block;
+mod checked;
 pub mod exec;
 pub mod kernel;
 pub mod mttkrp;
@@ -60,3 +61,8 @@ pub use tune::{tune, TuneOptions, TuneResult};
 // Re-export the observability vocabulary so downstream crates don't need a
 // direct tenblock-obs dependency to attach a recorder.
 pub use tenblock_obs as obs;
+
+// Re-export the correctness vocabulary for the same reason: callers of
+// `mttkrp_checked` handle `RaceReport` without a tenblock-check dependency.
+pub use tenblock_check as check;
+pub use tenblock_check::RaceReport;

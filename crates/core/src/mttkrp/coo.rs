@@ -8,6 +8,7 @@
 
 use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
+use tenblock_check::{write_set_violations, RaceReport, WriteSet};
 use tenblock_obs::KernelCounters;
 use tenblock_tensor::coo::perm_for_mode;
 use tenblock_tensor::{CooTensor, DenseMatrix, Idx, NMODES};
@@ -48,6 +49,14 @@ impl CooKernel {
         self.exec = exec;
         self
     }
+
+    /// The COO kernel runs one serial task owning the whole output; the
+    /// check degenerates to a bounds check on the entry rows.
+    fn verify(&self, out_rows: usize) -> Result<(), RaceReport> {
+        let set = WriteSet::new(0, 0..out_rows)
+            .touch_all(self.entries.iter().map(|&(i, _, _, _)| i as usize));
+        RaceReport::check("COO", write_set_violations(out_rows, &[set]))
+    }
 }
 
 impl MttkrpKernel for CooKernel {
@@ -62,6 +71,11 @@ impl MttkrpKernel for CooKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        if self.exec.is_checked() {
+            if let Err(report) = self.verify(out.rows()) {
+                panic!("checked execution refused launch: {report}");
+            }
+        }
         let span = self.exec.recorder.span("mttkrp/COO");
         if span.active() {
             span.annotate_num("mode", self.mode as f64);
@@ -79,6 +93,16 @@ impl MttkrpKernel for CooKernel {
                 *o += v * bv * cv;
             }
         }
+    }
+
+    fn mttkrp_checked(
+        &self,
+        factors: &[&DenseMatrix; NMODES],
+        out: &mut DenseMatrix,
+    ) -> Result<(), RaceReport> {
+        self.verify(out.rows())?;
+        self.mttkrp(factors, out);
+        Ok(())
     }
 
     fn mode(&self) -> usize {

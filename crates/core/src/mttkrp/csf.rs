@@ -8,7 +8,9 @@
 //! root row of the output accumulates the sums of its level-1 children —
 //! the order-N generalization of Algorithm 1's per-fiber factoring.
 
+use crate::checked::{csf_root_write_sets, effective_strip_plan, push_oracle};
 use crate::exec::ExecPolicy;
+use tenblock_check::{check_strip_plan, write_set_violations, RaceReport};
 use tenblock_obs::KernelCounters;
 use tenblock_tensor::{CsfTensor, DenseMatrix, NdCooTensor};
 
@@ -73,6 +75,29 @@ impl CsfKernel {
         &self.t
     }
 
+    /// Verifies the strip plan and, when parallel, the root-chunk write
+    /// sets (each chunk's buffer split against the root fids it processes).
+    fn verify(&self, out_rows: usize, rank: usize) -> Result<(), RaceReport> {
+        let mut violations = Vec::new();
+        push_oracle(
+            &mut violations,
+            check_strip_plan(
+                rank,
+                &effective_strip_plan(rank, self.strip_width),
+                crate::mttkrp::REG_BLOCK,
+            ),
+        );
+        if self.exec.is_parallel() && self.t.nnz() > 0 {
+            let n_roots = self.t.n_nodes(0);
+            if n_roots > 0 {
+                let chunk = self.exec.chunk_size(n_roots);
+                let sets = csf_root_write_sets(&self.t, out_rows, chunk);
+                violations.extend(write_set_violations(out_rows, &sets));
+            }
+        }
+        RaceReport::check("CSF", violations)
+    }
+
     /// Computes the root-mode MTTKRP. `factors` are indexed by original
     /// mode (the root slot is ignored); `out` must be
     /// `dims[root] x R`.
@@ -90,6 +115,11 @@ impl CsfKernel {
             if m != root_mode {
                 assert_eq!(f.cols(), rank, "factor {m} rank mismatch");
                 assert_eq!(f.rows(), self.t.dims()[m], "factor {m} row mismatch");
+            }
+        }
+        if self.exec.is_checked() {
+            if let Err(report) = self.verify(out.rows(), rank) {
+                panic!("checked execution refused launch: {report}");
             }
         }
         let span = self.exec.recorder.span("mttkrp/CSF");
@@ -285,6 +315,16 @@ impl Csf3Kernel {
 impl crate::kernel::MttkrpKernel for Csf3Kernel {
     fn mttkrp(&self, factors: &[&DenseMatrix; tenblock_tensor::NMODES], out: &mut DenseMatrix) {
         self.inner.mttkrp(&factors[..], out);
+    }
+
+    fn mttkrp_checked(
+        &self,
+        factors: &[&DenseMatrix; tenblock_tensor::NMODES],
+        out: &mut DenseMatrix,
+    ) -> Result<(), RaceReport> {
+        self.inner.verify(out.rows(), out.cols())?;
+        self.inner.mttkrp(&factors[..], out);
+        Ok(())
     }
 
     fn mode(&self) -> usize {

@@ -152,12 +152,15 @@ pub(crate) fn process_block_rankb<B: RowWindow, C: RowWindow>(
                 for n in nz.clone() {
                     let v = vals[n];
                     let brow = b.window(j_idx[n] as usize);
-                    let bchunk: &[f64; REG_BLOCK] = brow[col..col + REG_BLOCK].try_into().unwrap();
+                    // Infallible: the slice is exactly REG_BLOCK long, and
+                    // the hot loop must stay branch-free.
+                    let bchunk: &[f64; REG_BLOCK] = brow[col..col + REG_BLOCK].try_into().unwrap(); // lint: allow(no-unwrap)
                     for l in 0..REG_BLOCK {
                         reg[l] += v * bchunk[l];
                     }
                 }
-                let cchunk: &[f64; REG_BLOCK] = crow[col..col + REG_BLOCK].try_into().unwrap();
+                // Infallible for the same reason as `bchunk` above.
+                let cchunk: &[f64; REG_BLOCK] = crow[col..col + REG_BLOCK].try_into().unwrap(); // lint: allow(no-unwrap)
                 let orow = &mut out_rows[obase + col..obase + col + REG_BLOCK];
                 for l in 0..REG_BLOCK {
                     orow[l] += reg[l] * cchunk[l];

@@ -10,9 +10,11 @@
 //! is needed.
 
 use super::process_block_plain;
+use crate::checked::slice_chunk_write_sets;
 use crate::exec::ExecPolicy;
 use crate::kernel::MttkrpKernel;
 use rayon::prelude::*;
+use tenblock_check::{write_set_violations, RaceReport};
 use tenblock_obs::KernelCounters;
 use tenblock_tensor::{CooTensor, DenseMatrix, SplattTensor, NMODES};
 
@@ -60,6 +62,20 @@ impl SplattKernel {
     pub fn tensor(&self) -> &SplattTensor {
         &self.t
     }
+
+    /// Verifies the output partition the parallel path would launch: each
+    /// chunk's claimed rows against the global rows of the slices it
+    /// processes (which differ from the claim if the tensor is
+    /// slice-compressed — the parallel path requires an uncompressed one).
+    fn verify(&self, out_rows: usize) -> Result<(), RaceReport> {
+        let mut violations = Vec::new();
+        if self.exec.is_parallel() && self.t.n_slices() > 0 {
+            let chunk = self.exec.chunk_size(self.t.n_slices());
+            let sets = slice_chunk_write_sets(&self.t, out_rows, chunk);
+            violations.extend(write_set_violations(out_rows, &sets));
+        }
+        RaceReport::check("SPLATT", violations)
+    }
 }
 
 impl MttkrpKernel for SplattKernel {
@@ -75,6 +91,11 @@ impl MttkrpKernel for SplattKernel {
         );
         assert_eq!(b.cols(), rank, "factor rank mismatch");
         assert_eq!(c.cols(), rank, "factor rank mismatch");
+        if self.exec.is_checked() {
+            if let Err(report) = self.verify(out.rows()) {
+                panic!("checked execution refused launch: {report}");
+            }
+        }
         let span = self.exec.recorder.span("mttkrp/SPLATT");
         if span.active() {
             span.annotate_num("mode", self.mode as f64);
@@ -114,6 +135,16 @@ impl MttkrpKernel for SplattKernel {
                 &mut accum,
             );
         }
+    }
+
+    fn mttkrp_checked(
+        &self,
+        factors: &[&DenseMatrix; NMODES],
+        out: &mut DenseMatrix,
+    ) -> Result<(), RaceReport> {
+        self.verify(out.rows())?;
+        self.mttkrp(factors, out);
+        Ok(())
     }
 
     fn mode(&self) -> usize {

@@ -101,6 +101,24 @@ impl TuneResult {
     pub fn config(&self, parallel: bool) -> crate::KernelConfig {
         self.config_with(ExecPolicy::from_parallel(parallel))
     }
+
+    /// Runs the tuner oracle: the selected block counts must be achievable
+    /// for mode `mode` of a tensor with dimensions `dims`, and the strip
+    /// width must fit `rank` columns.
+    pub fn validate(
+        &self,
+        dims: [usize; NMODES],
+        mode: usize,
+        rank: usize,
+    ) -> Result<(), tenblock_check::OracleError> {
+        let perm = perm_for_mode(mode);
+        tenblock_check::check_tune_grid(
+            [dims[perm[0]], dims[perm[1]], dims[perm[2]]],
+            self.grid,
+            self.strip_width,
+            rank,
+        )
+    }
 }
 
 /// Deterministic pseudo-random factor matrices for candidate timing.

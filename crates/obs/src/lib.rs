@@ -20,9 +20,15 @@
 //!   programmatic inspection over the wire.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::ThreadId;
 use std::time::Instant;
+
+/// Locks the trace state, recovering the guard if a panicking traced thread
+/// poisoned it — a half-recorded span is still worth reporting.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Identifier of one span within a recorder. `SpanId::NONE` (0) is the
 /// sentinel returned by disabled recorders; operations on it are no-ops.
@@ -335,7 +341,7 @@ impl TraceRecorder {
 
     /// All spans recorded so far, in start order.
     pub fn snapshot(&self) -> Vec<SpanSnapshot> {
-        self.state.lock().unwrap().spans.clone()
+        lock(&self.state).spans.clone()
     }
 
     /// Serializes the trace as a `chrome://tracing` JSON array of complete
@@ -419,13 +425,13 @@ impl Recorder for TraceRecorder {
     fn span_start(&self, name: &str) -> SpanId {
         let now = self.now_ns();
         let tid = std::thread::current().id();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         let next_thread = st.threads.len() as u64;
         let thread = *st.threads.entry(tid).or_insert(next_thread);
+        let id = st.spans.len() as u64 + 1;
         let stack = st.stacks.entry(tid).or_default();
         let parent = stack.last().copied().unwrap_or(0);
-        let id = st.spans.len() as u64 + 1;
-        st.stacks.get_mut(&tid).unwrap().push(id);
+        stack.push(id);
         st.spans.push(SpanSnapshot {
             id,
             parent,
@@ -445,7 +451,7 @@ impl Recorder for TraceRecorder {
         }
         let now = self.now_ns();
         let tid = std::thread::current().id();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         if let Some(s) = st.spans.get_mut(id.0 as usize - 1) {
             s.end_ns = now;
         }
@@ -460,7 +466,7 @@ impl Recorder for TraceRecorder {
         if !id.is_some() {
             return;
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         if let Some(s) = st.spans.get_mut(id.0 as usize - 1) {
             s.attrs.push((key.to_string(), value));
         }
@@ -470,7 +476,7 @@ impl Recorder for TraceRecorder {
         if !id.is_some() {
             return;
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         if let Some(s) = st.spans.get_mut(id.0 as usize - 1) {
             s.counters = Some(*c);
         }

@@ -293,7 +293,9 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 // Consume one UTF-8 character (1-4 bytes).
                 let rest = std::str::from_utf8(&bytes[*pos..])
                     .map_err(|_| ParseError::at(*pos, "invalid utf-8"))?;
-                let c = rest.chars().next().unwrap();
+                let Some(c) = rest.chars().next() else {
+                    return Err(ParseError::at(*pos, "unterminated string"));
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

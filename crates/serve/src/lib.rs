@@ -25,6 +25,7 @@ pub mod proto;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+mod sync;
 
 pub use json::Json;
 pub use metrics::{Metrics, MetricsSnapshot};

@@ -144,7 +144,7 @@ impl PlanCache {
                     })?;
                     map.insert(key, plan);
                 }
-                *cache.plans.lock().unwrap() = map;
+                *crate::sync::lock(&cache.plans) = map;
                 Ok(cache)
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(cache),
@@ -155,12 +155,12 @@ impl PlanCache {
     /// Raw lookup. Does not touch the hit/miss counters — use
     /// [`PlanCache::get_or_compute`] on serving paths.
     pub fn lookup(&self, key: PlanKey) -> Option<TunedPlan> {
-        self.plans.lock().unwrap().get(&key).cloned()
+        crate::sync::lock(&self.plans).get(&key).cloned()
     }
 
     /// Inserts (or replaces) a plan and persists if file-backed.
     pub fn insert(&self, key: PlanKey, plan: TunedPlan) -> io::Result<()> {
-        self.plans.lock().unwrap().insert(key, plan);
+        crate::sync::lock(&self.plans).insert(key, plan);
         self.save()
     }
 
@@ -176,7 +176,7 @@ impl PlanCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((plan, true));
         }
-        let _guard = self.compute.lock().unwrap();
+        let _guard = crate::sync::lock(&self.compute);
         // Double-check: another thread may have tuned this key while we
         // waited on the compute lock.
         if let Some(plan) = self.lookup(key) {
@@ -199,7 +199,7 @@ impl PlanCache {
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().unwrap().len()
+        crate::sync::lock(&self.plans).len()
     }
 
     /// Whether the cache holds no plans.
@@ -214,7 +214,7 @@ impl PlanCache {
             return Ok(());
         };
         let doc = {
-            let plans = self.plans.lock().unwrap();
+            let plans = crate::sync::lock(&self.plans);
             // BTreeMap keys sort, so sort entries for stable file output.
             let mut entries: Vec<_> = plans.iter().collect();
             entries.sort_by_key(|(k, _)| (k.fingerprint, k.rank));

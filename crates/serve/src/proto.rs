@@ -179,7 +179,7 @@ fn run_job(core: &ServiceCore, id: JobId, payload: JobPayload) -> Result<Json, S
     let result = run_traced(core, &rec, payload);
     let tree = Json::parse(&tracer.to_span_tree_json())
         .unwrap_or_else(|e| err(ErrorCode::Internal, format!("trace serialization: {e}")));
-    *core.last_trace.lock().unwrap() = Some((id, tree));
+    *crate::sync::lock(&core.last_trace) = Some((id, tree));
     result
 }
 
@@ -394,7 +394,7 @@ impl Service {
             "decompose" => self.submit_cmd(req, Self::parse_decompose),
             "job-status" => self.cmd_job_status(req),
             "cancel" => self.cmd_cancel(req),
-            "trace" => match &*self.core.last_trace.lock().unwrap() {
+            "trace" => match &*crate::sync::lock(&self.core.last_trace) {
                 Some((id, tree)) => {
                     ok([("job", Json::str(id.to_string())), ("trace", tree.clone())])
                 }

@@ -92,7 +92,7 @@ impl Registry {
         // must not block readers. The handle check is repeated under the
         // write lock (first insert wins).
         let entry = Arc::new(TensorEntry::build(name, coo));
-        let mut map = self.entries.write().unwrap();
+        let mut map = crate::sync::write(&self.entries);
         if map.contains_key(name) {
             return Err(RegistryError::Exists(name.to_string()));
         }
@@ -142,9 +142,7 @@ impl Registry {
 
     /// Looks up a tensor by handle.
     pub fn get(&self, name: &str) -> Result<Arc<TensorEntry>, RegistryError> {
-        self.entries
-            .read()
-            .unwrap()
+        crate::sync::read(&self.entries)
             .get(name)
             .cloned()
             .ok_or_else(|| RegistryError::NotFound(name.to_string()))
@@ -152,19 +150,19 @@ impl Registry {
 
     /// Whether `name` is registered.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.read().unwrap().contains_key(name)
+        crate::sync::read(&self.entries).contains_key(name)
     }
 
     /// Registered handles, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<_> = self.entries.read().unwrap().keys().cloned().collect();
+        let mut v: Vec<_> = crate::sync::read(&self.entries).keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Number of resident tensors.
     pub fn len(&self) -> usize {
-        self.entries.read().unwrap().len()
+        crate::sync::read(&self.entries).len()
     }
 
     /// Whether the registry is empty.

@@ -166,8 +166,12 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
                 std::thread::spawn(move || {
                     while let Ok((id, payload)) = rx.recv() {
                         let submitted = {
-                            let mut jobs = table.jobs.lock().unwrap();
-                            let rec = jobs.get_mut(&id).expect("job record exists");
+                            let mut jobs = crate::sync::lock(&table.jobs);
+                            // A missing record means the submitter's insert
+                            // was rolled back; drop the stale queue entry.
+                            let Some(rec) = jobs.get_mut(&id) else {
+                                continue;
+                            };
                             if matches!(rec.state, JobState::Cancelled) {
                                 continue;
                             }
@@ -191,8 +195,10 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
                         metrics
                             .job_latency
                             .observe(submitted.elapsed().as_secs_f64());
-                        let mut jobs = table.jobs.lock().unwrap();
-                        let rec = jobs.get_mut(&id).expect("job record exists");
+                        let mut jobs = crate::sync::lock(&table.jobs);
+                        let Some(rec) = jobs.get_mut(&id) else {
+                            continue;
+                        };
                         rec.state = match outcome {
                             Ok(r) => {
                                 metrics.jobs_done.fetch_add(1, Ordering::Relaxed);
@@ -227,7 +233,7 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let now = Instant::now();
         {
-            let mut jobs = self.table.jobs.lock().unwrap();
+            let mut jobs = crate::sync::lock(&self.table.jobs);
             jobs.insert(
                 id,
                 JobRecord {
@@ -245,7 +251,7 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
             Err(e) => {
                 // Remove the provisional record; the job never existed as
                 // far as clients are concerned.
-                self.table.jobs.lock().unwrap().remove(&id);
+                crate::sync::lock(&self.table.jobs).remove(&id);
                 match e {
                     crossbeam::channel::TrySendError::Full(_) => {
                         self.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
@@ -259,10 +265,7 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
 
     /// Current state of `id` (cloned), or `None` for unknown jobs.
     pub fn status(&self, id: JobId) -> Option<JobState<R>> {
-        self.table
-            .jobs
-            .lock()
-            .unwrap()
+        crate::sync::lock(&self.table.jobs)
             .get(&id)
             .map(|r| r.state.clone())
     }
@@ -271,7 +274,7 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
     /// Returns the terminal state, or `None` on unknown job / timeout.
     pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobState<R>> {
         let deadline = Instant::now() + timeout;
-        let mut jobs = self.table.jobs.lock().unwrap();
+        let mut jobs = crate::sync::lock(&self.table.jobs);
         loop {
             match jobs.get(&id) {
                 None => return None,
@@ -282,18 +285,13 @@ impl<P: Send + 'static, R: Clone + Send + 'static> Scheduler<P, R> {
             if now >= deadline {
                 return None;
             }
-            let (guard, _timeout) = self
-                .table
-                .changed
-                .wait_timeout(jobs, deadline - now)
-                .unwrap();
-            jobs = guard;
+            jobs = crate::sync::wait_timeout(&self.table.changed, jobs, deadline - now);
         }
     }
 
     /// Cancels a queued job.
     pub fn cancel(&self, id: JobId) -> Result<(), CancelError> {
-        let mut jobs = self.table.jobs.lock().unwrap();
+        let mut jobs = crate::sync::lock(&self.table.jobs);
         let rec = jobs.get_mut(&id).ok_or(CancelError::NotFound)?;
         match rec.state {
             JobState::Queued => {

@@ -9,7 +9,10 @@
 //! * `bench <file>` — time every MTTKRP kernel on a tensor,
 //! * `tune <file>` — run the Section V-C block-size heuristic,
 //! * `decompose <file>` — CP-ALS or CP-APR with a chosen kernel,
-//! * `serve` — start the in-process decomposition service (TCP).
+//! * `serve` — start the in-process decomposition service (TCP),
+//! * `check <file>` — run every kernel once in checked execution mode
+//!   (blocking-invariant oracles + write-set race detection),
+//! * `lint <root>` — run the zero-dependency workspace lint.
 //!
 //! `tune` and `decompose` accept `--plan-cache <path>` to share tuned
 //! block-size plans with each other and with a running `serve` instance.
@@ -130,6 +133,8 @@ USAGE:
                             [--plan-cache <path>] [--trace [path]]
   tenblock serve --addr <host:port> [--workers N] [--queue N]
                  [--plan-cache <path>]
+  tenblock check <file> [--rank R]
+  tenblock lint [root]
 
 Files: .tns (FROSTT text) or .tnsb (tenblock binary).
 Datasets: Poisson1-3, NELL2, Netflix, Reddit, Amazon (scaled analogues).
@@ -137,6 +142,12 @@ Datasets: Poisson1-3, NELL2, Netflix, Reddit, Amazon (scaled analogues).
 candidates) with Section IV byte/flop counters and writes chrome://tracing
 JSON to `path` (default trace.json); open it at chrome://tracing or
 https://ui.perfetto.dev.
+`check` runs every kernel once under ExecPolicy::checked(): blocking
+invariants are validated and each parallel task's output-row write set is
+checked for races before the launch; violations print a structured report.
+`lint` scans `root` (default `.`) for workspace rule violations (unwrap in
+serve/core, deprecated constructors, undocumented core pub fns,
+lock().unwrap() outside shims) and exits nonzero on findings.
 The serve protocol is line-delimited JSON; see crates/serve/README.md.";
 
 /// Resolves `--trace [path]`: present without a value means `trace.json`.
@@ -366,6 +377,57 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             eprintln!("tenblock serve: listening on {}", server.addr());
             server.join();
             Ok("server stopped".to_string())
+        }
+        "check" => {
+            let path = args.positional.first().ok_or("check: missing <file>")?;
+            let rank: usize = args.flag_or("rank", 16);
+            let t = load_tensor(path)?;
+            let factors: Vec<DenseMatrix> = t
+                .dims()
+                .iter()
+                .map(|&d| DenseMatrix::from_fn(d, rank, |r, c| ((r * 3 + c) % 7) as f64 * 0.25))
+                .collect();
+            let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+            let cfg = KernelConfig {
+                grid: [4, 4, 2],
+                strip_width: 16,
+                exec: ExecPolicy::checked(),
+            };
+            let mut lines = vec![format!(
+                "checked mode-1 MTTKRP on {path}: nnz {}, rank {rank}, {} workers",
+                t.nnz(),
+                cfg.exec.threads.workers()
+            )];
+            let mut failures = 0usize;
+            for kind in KernelKind::ALL {
+                let k = build_kernel(kind, &t, 0, &cfg);
+                let mut out = DenseMatrix::zeros(t.dims()[0], rank);
+                match k.mttkrp_checked(&fs, &mut out) {
+                    Ok(()) => lines.push(format!(
+                        "  {:<10} ok (invariants hold, write sets race-free)",
+                        k.name()
+                    )),
+                    Err(report) => {
+                        failures += 1;
+                        lines.push(format!("  {:<10} FAIL\n{report}", k.name()));
+                    }
+                }
+            }
+            if failures > 0 {
+                Err(lines.join("\n"))
+            } else {
+                Ok(lines.join("\n"))
+            }
+        }
+        "lint" => {
+            let root = args.positional.first().map(String::as_str).unwrap_or(".");
+            let report = tenblock_core::check::lint_workspace(Path::new(root))
+                .map_err(|e| format!("lint {root}: {e}"))?;
+            if report.is_clean() {
+                Ok(format!("{report}"))
+            } else {
+                Err(format!("{report}"))
+            }
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),

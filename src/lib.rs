@@ -14,12 +14,15 @@
 //! * [`cpd`] — CP-ALS tensor decomposition ([`tenblock_cpd`])
 //! * [`dist`] — simulated distributed MTTKRP with 3D/4D partitioning
 //!   ([`tenblock_dist`])
+//! * [`check`] — race detection, blocking-invariant oracles, workspace lint
+//!   ([`tenblock_check`])
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub mod cli;
 
 pub use tenblock_analysis as analysis;
+pub use tenblock_check as check;
 pub use tenblock_core as core;
 pub use tenblock_cpd as cpd;
 pub use tenblock_dist as dist;

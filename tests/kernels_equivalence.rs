@@ -100,4 +100,35 @@ proptest! {
             prop_assert!(a.approx_eq(&b, 1e-12), "{kind:?} parallel mismatch");
         }
     }
+
+    #[test]
+    fn all_kernels_pass_checked_execution(
+        x in arb_tensor(),
+        rank in 1usize..16,
+        mode in 0usize..3,
+    ) {
+        let dims = x.dims();
+        let factors = seeded_factors(dims, rank, 0xc0ffee);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        let expect = dense_mttkrp(&x, &fs, mode);
+        let perm = tenblock::tensor::coo::perm_for_mode(mode);
+        let mut cfg = KernelConfig {
+            grid: [2, 2, 2],
+            strip_width: 8,
+            exec: ExecPolicy::checked(),
+        };
+        for ax in 0..3 {
+            cfg.grid[ax] = cfg.grid[ax].min(dims[perm[ax]].max(1));
+        }
+        for kind in KernelKind::ALL {
+            let k = build_kernel(kind, &x, mode, &cfg);
+            let mut out = DenseMatrix::zeros(dims[mode], rank);
+            let res = k.mttkrp_checked(&fs, &mut out);
+            prop_assert!(res.is_ok(), "{kind:?} mode {mode} refused: {:?}", res.err());
+            prop_assert!(
+                expect.approx_eq(&out, 1e-9),
+                "{kind:?} mode {mode}: checked run diverged from reference"
+            );
+        }
+    }
 }
