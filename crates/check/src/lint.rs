@@ -16,6 +16,10 @@
 //! * [`Rule::NoLockUnwrap`] — no `lock().unwrap()` outside the shims; a
 //!   poisoned lock must be recovered (`unwrap_or_else(|p| p.into_inner())`)
 //!   so one panicking thread cannot cascade.
+//! * [`Rule::NoPanicIngest`] — no `panic!` / `assert!` / `assert_eq!` /
+//!   `assert_ne!` in the input-boundary files (`crates/tensor/src/io.rs`,
+//!   `crates/serve/src/proto.rs`): ingest code faces untrusted bytes and
+//!   must return typed errors, never abort a worker.
 //!
 //! A finding can be waived in place with a trailing
 //! `// lint: allow(<rule>)` comment; waived findings are reported but do
@@ -37,6 +41,8 @@ pub enum Rule {
     PubFnDoc,
     /// No `lock().unwrap()` outside the shims.
     NoLockUnwrap,
+    /// No panicking macros in the input-boundary (ingest) files.
+    NoPanicIngest,
 }
 
 impl Rule {
@@ -47,6 +53,7 @@ impl Rule {
             Rule::NoDeprecatedExec => "no-deprecated-exec",
             Rule::PubFnDoc => "pub-fn-doc",
             Rule::NoLockUnwrap => "no-lock-unwrap",
+            Rule::NoPanicIngest => "no-panic-ingest",
         }
     }
 }
@@ -280,6 +287,9 @@ struct FileScope {
     unwrap_scope: bool,
     /// Under `crates/core/src` (pub-fn-doc scope).
     core_src: bool,
+    /// An input-boundary file (no-panic-ingest scope): code that parses
+    /// untrusted bytes or dispatches untrusted requests.
+    ingest_scope: bool,
 }
 
 impl FileScope {
@@ -290,8 +300,28 @@ impl FileScope {
             test_file,
             unwrap_scope: rel.starts_with("crates/serve/src") || rel.starts_with("crates/core/src"),
             core_src: rel.starts_with("crates/core/src"),
+            ingest_scope: rel == "crates/tensor/src/io.rs" || rel == "crates/serve/src/proto.rs",
         }
     }
+}
+
+/// Whether `code` invokes the macro `name` (`name` includes the `!(`):
+/// an occurrence not preceded by an identifier character, so `assert!(`
+/// does not match inside `debug_assert!(`.
+fn calls_macro(code: &str, name: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(name) {
+        let at = start + pos;
+        let preceded = code[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if !preceded {
+            return true;
+        }
+        start = at + name.len();
+    }
+    false
 }
 
 /// Whether the raw lines before `idx` document the item at `idx`
@@ -368,6 +398,13 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
             }
             if scope.core_src && trimmed.starts_with("pub fn ") && !has_doc_comment(&raw, idx) {
                 push(Rule::PubFnDoc);
+            }
+            if scope.ingest_scope
+                && ["panic!(", "assert!(", "assert_eq!(", "assert_ne!("]
+                    .iter()
+                    .any(|m| calls_macro(&code, m))
+            {
+                push(Rule::NoPanicIngest);
             }
         }
 
@@ -524,6 +561,35 @@ mod tests {
         assert!(lint_source("crates/core/src/kernel.rs", documented).is_empty());
         let attr_between = "/// Doc.\n#[inline]\npub fn fast() {}\n";
         assert!(lint_source("crates/core/src/kernel.rs", attr_between).is_empty());
+    }
+
+    #[test]
+    fn panics_flagged_only_in_ingest_files() {
+        let src = "fn f(n: usize) { assert!(n > 0); panic!(\"no\"); }\n";
+        let f = lint_source("crates/tensor/src/io.rs", src);
+        assert_eq!(f.len(), 1, "one finding per offending line");
+        assert_eq!(f[0].rule, Rule::NoPanicIngest);
+        assert_eq!(lint_source("crates/serve/src/proto.rs", src).len(), 1);
+        // Panicking constructors elsewhere are a different rule's business.
+        assert!(lint_source("crates/tensor/src/coo.rs", src).is_empty());
+        assert!(lint_source("crates/serve/src/registry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ingest_rule_ignores_tests_debug_asserts_and_waived_lines() {
+        let in_tests = "fn f() {}\n\
+                        #[cfg(test)]\n\
+                        mod tests {\n\
+                        fn g() { assert_eq!(1, 1); panic!(\"boom\"); }\n\
+                        }\n";
+        assert!(lint_source("crates/tensor/src/io.rs", in_tests).is_empty());
+        let debug = "fn f(n: usize) { debug_assert!(n > 0); }\n";
+        assert!(lint_source("crates/tensor/src/io.rs", debug).is_empty());
+        let waived =
+            "fn f() { assert_ne!(a, b); } // checked above — lint: allow(no-panic-ingest)\n";
+        let f = lint_source("crates/serve/src/proto.rs", waived);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
     }
 
     #[test]

@@ -111,12 +111,122 @@ impl KernelConfig {
     }
 }
 
+/// Typed rejection of an invalid [`build_kernel`] request.
+///
+/// Every variant names the exact constraint violated, so boundary layers
+/// (serve, CLI, fuzzer) can surface the reason without string matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// `mode` is not in `0..NMODES`.
+    ModeOutOfRange {
+        /// The requested mode.
+        mode: usize,
+    },
+    /// An MB grid axis requests zero blocks.
+    GridAxisZero {
+        /// Kernel axis (0 = slice, 1 = j, 2 = k).
+        axis: usize,
+    },
+    /// An MB grid axis requests more blocks than the axis has indices.
+    GridExceedsAxis {
+        /// Kernel axis (0 = slice, 1 = j, 2 = k).
+        axis: usize,
+        /// Requested block count.
+        blocks: usize,
+        /// The axis length (tensor dimension along that kernel axis).
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::ModeOutOfRange { mode } => {
+                write!(f, "mode {mode} out of range (0..{NMODES})")
+            }
+            KernelError::GridAxisZero { axis } => {
+                write!(f, "MB grid requests 0 blocks along kernel axis {axis}")
+            }
+            KernelError::GridExceedsAxis { axis, blocks, len } => write!(
+                f,
+                "MB grid requests {blocks} blocks along kernel axis {axis} of length {len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Validates a `(mode, grid)` request against the tensor's dimensions.
+///
+/// This is the exact precondition `BlockGrid::new` asserts; checking it
+/// here turns a would-be panic on hostile input into a [`KernelError`].
+fn validate_request(
+    coo: &CooTensor,
+    mode: usize,
+    grid: [usize; NMODES],
+) -> Result<(), KernelError> {
+    if mode >= NMODES {
+        return Err(KernelError::ModeOutOfRange { mode });
+    }
+    let perm = tenblock_tensor::coo::perm_for_mode(mode);
+    let dims = coo.dims();
+    for ax in 0..NMODES {
+        if grid[ax] == 0 {
+            return Err(KernelError::GridAxisZero { axis: ax });
+        }
+        let len = dims[perm[ax]].max(1);
+        if grid[ax] > len {
+            return Err(KernelError::GridExceedsAxis {
+                axis: ax,
+                blocks: grid[ax],
+                len,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Builds a kernel of the requested kind for mode `mode` of `coo`,
+/// rejecting invalid requests with a typed [`KernelError`] instead of
+/// panicking.
+///
+/// MB kinds use `cfg.grid`; RankB kinds use `cfg.strip_width` (a width of 0
+/// falls back to 16 columns, two cache lines of doubles, the paper's
+/// `N_RegB`). Non-MB kinds ignore the grid but still validate it, so an
+/// invalid config is rejected uniformly regardless of kind.
+pub fn try_build_kernel(
+    kind: KernelKind,
+    coo: &CooTensor,
+    mode: usize,
+    cfg: &KernelConfig,
+) -> Result<Box<dyn MttkrpKernel>, KernelError> {
+    validate_request(coo, mode, cfg.grid)?;
+    Ok(build_validated(kind, coo, mode, cfg))
+}
+
 /// Builds a kernel of the requested kind for mode `mode` of `coo`.
 ///
 /// MB kinds use `cfg.grid`; RankB kinds use `cfg.strip_width` (a width of 0
 /// falls back to 16 columns, two cache lines of doubles, the paper's
 /// `N_RegB`).
+///
+/// # Panics
+/// Panics on an invalid request; boundary code should prefer
+/// [`try_build_kernel`].
 pub fn build_kernel(
+    kind: KernelKind,
+    coo: &CooTensor,
+    mode: usize,
+    cfg: &KernelConfig,
+) -> Box<dyn MttkrpKernel> {
+    match try_build_kernel(kind, coo, mode, cfg) {
+        Ok(k) => k,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn build_validated(
     kind: KernelKind,
     coo: &CooTensor,
     mode: usize,
@@ -148,6 +258,43 @@ pub fn build_kernel(
 mod tests {
     use super::*;
     use tenblock_tensor::gen::uniform_tensor;
+
+    #[test]
+    fn invalid_requests_get_typed_errors() {
+        let x = uniform_tensor([4, 6, 8], 30, 1);
+        let cfg = KernelConfig::default();
+        for kind in KernelKind::ALL {
+            assert_eq!(
+                try_build_kernel(kind, &x, 3, &cfg).err(),
+                Some(KernelError::ModeOutOfRange { mode: 3 }),
+                "{kind:?}"
+            );
+            let zero_grid = KernelConfig {
+                grid: [1, 0, 1],
+                ..Default::default()
+            };
+            assert_eq!(
+                try_build_kernel(kind, &x, 0, &zero_grid).err(),
+                Some(KernelError::GridAxisZero { axis: 1 }),
+                "{kind:?}"
+            );
+            // Mode-0 kernel axes are [dims[0], dims[1], dims[2]] = [4,6,8];
+            // 5 blocks along the 4-long slice axis cannot tile it.
+            let oversized = KernelConfig {
+                grid: [5, 1, 1],
+                ..Default::default()
+            };
+            assert_eq!(
+                try_build_kernel(kind, &x, 0, &oversized).err(),
+                Some(KernelError::GridExceedsAxis {
+                    axis: 0,
+                    blocks: 5,
+                    len: 4
+                }),
+                "{kind:?}"
+            );
+        }
+    }
 
     #[test]
     fn registry_builds_every_kind() {

@@ -55,8 +55,10 @@ pub mod mttkrp;
 pub mod tune;
 
 pub use exec::{ExecPolicy, Threads};
-pub use kernel::{build_kernel, KernelConfig, KernelKind, MttkrpKernel};
-pub use tune::{tune, TuneOptions, TuneResult};
+pub use kernel::{
+    build_kernel, try_build_kernel, KernelConfig, KernelError, KernelKind, MttkrpKernel,
+};
+pub use tune::{try_tune, tune, TuneError, TuneOptions, TuneResult};
 
 // Re-export the observability vocabulary so downstream crates don't need a
 // direct tenblock-obs dependency to attach a recorder.

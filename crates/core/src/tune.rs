@@ -23,6 +23,49 @@ use std::time::Instant;
 use tenblock_tensor::coo::perm_for_mode;
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
 
+/// Typed rejection of a degenerate [`tune`] request.
+///
+/// The heuristic times real kernel runs, so it needs at least one nonzero,
+/// a positive rank, and a valid mode; anything else is reported as a value
+/// instead of panicking mid-search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneError {
+    /// The tensor has no nonzeros: every candidate would time an empty
+    /// kernel and the "best" configuration would be noise.
+    EmptyTensor,
+    /// `rank == 0`: there is no factor column to block over.
+    RankZero,
+    /// `mode` is not in `0..NMODES`.
+    ModeOutOfRange {
+        /// The requested mode.
+        mode: usize,
+    },
+    /// A tensor dimension is smaller than the starting block count (1),
+    /// i.e. zero-length: the MB search has no axis to partition.
+    ZeroAxis {
+        /// The zero-length mode.
+        mode: usize,
+    },
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::EmptyTensor => write!(f, "cannot tune an empty tensor (nnz == 0)"),
+            TuneError::RankZero => write!(f, "cannot tune for rank 0"),
+            TuneError::ModeOutOfRange { mode } => {
+                write!(f, "mode {mode} out of range (0..{NMODES})")
+            }
+            TuneError::ZeroAxis { mode } => write!(
+                f,
+                "mode {mode} has length 0, smaller than the starting block count"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
 /// Options controlling the heuristic search.
 #[derive(Debug, Clone)]
 pub struct TuneOptions {
@@ -128,12 +171,15 @@ fn timing_factors(coo: &CooTensor, rank: usize, seed: u64) -> Vec<DenseMatrix> {
         .enumerate()
         .map(|(m, &d)| {
             DenseMatrix::from_fn(d, rank, |r, c| {
-                // xorshift-style hash; values in [-0.5, 0.5)
+                // xorshift-style hash; values in [-0.5, 0.5). The mantissa
+                // comes from the hash's high 53 bits — `h % 1000` would
+                // concentrate on the (barely mixed) low bits and bias the
+                // distribution toward small residues.
                 let mut h = seed ^ ((r as u64) << 32) ^ ((c as u64) << 8) ^ (m as u64);
                 h ^= h >> 33;
                 h = h.wrapping_mul(0xff51afd7ed558ccd);
                 h ^= h >> 33;
-                (h % 1000) as f64 / 1000.0 - 0.5
+                (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) - 0.5
             })
         })
         .collect()
@@ -168,6 +214,25 @@ fn time_config(
     best
 }
 
+/// Runs the Section V-C heuristic, rejecting degenerate inputs (empty
+/// tensor, rank 0, out-of-range mode, zero-length axis) with a typed
+/// [`TuneError`] instead of panicking mid-search.
+pub fn try_tune(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> Result<TuneResult, TuneError> {
+    if mode >= NMODES {
+        return Err(TuneError::ModeOutOfRange { mode });
+    }
+    if opts.rank == 0 {
+        return Err(TuneError::RankZero);
+    }
+    if let Some(m) = coo.dims().iter().position(|&d| d == 0) {
+        return Err(TuneError::ZeroAxis { mode: m });
+    }
+    if coo.nnz() == 0 {
+        return Err(TuneError::EmptyTensor);
+    }
+    Ok(tune_validated(coo, mode, opts))
+}
+
 /// Runs the Section V-C heuristic for the mode-`mode` MTTKRP of `coo`.
 ///
 /// ```
@@ -182,7 +247,17 @@ fn time_config(
 /// assert!(result.grid.iter().all(|&g| (1..=4).contains(&g)));
 /// assert!(result.strip_width >= 1 && result.strip_width <= 16);
 /// ```
+///
+/// # Panics
+/// Panics on degenerate input; boundary code should prefer [`try_tune`].
 pub fn tune(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResult {
+    match try_tune(coo, mode, opts) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+fn tune_validated(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResult {
     let perm = perm_for_mode(mode);
     let dims = coo.dims();
     let factors = timing_factors(coo, opts.rank, opts.seed);
@@ -301,6 +376,53 @@ mod tests {
         let r = tune(&x, 1, &opts);
         // rank 8 < REG_BLOCK: only the single-strip candidate exists
         assert_eq!(r.strip_width, 8);
+    }
+
+    #[test]
+    fn degenerate_inputs_get_typed_errors() {
+        use tenblock_tensor::CooTensor;
+        let opts = TuneOptions::new(8);
+        let empty = CooTensor::empty([10, 10, 10]);
+        assert_eq!(
+            try_tune(&empty, 0, &opts).err(),
+            Some(TuneError::EmptyTensor)
+        );
+
+        let x = CooTensor::from_triples([2, 2, 2], &[0], &[1], &[1], &[1.0]);
+        assert_eq!(
+            try_tune(&x, 0, &TuneOptions::new(0)).err(),
+            Some(TuneError::RankZero)
+        );
+        assert_eq!(
+            try_tune(&x, 5, &opts).err(),
+            Some(TuneError::ModeOutOfRange { mode: 5 })
+        );
+
+        let flat = CooTensor::empty([3, 0, 3]);
+        assert_eq!(
+            try_tune(&flat, 0, &opts).err(),
+            Some(TuneError::ZeroAxis { mode: 1 })
+        );
+    }
+
+    #[test]
+    fn timing_factors_use_high_hash_bits() {
+        // The [-0.5, 0.5) range must be hit roughly uniformly; the old
+        // `h % 1000` mapping quantized everything to 1000 values. With
+        // 53-bit mantissas, 400 samples should all be distinct and the
+        // mean should sit near 0.
+        let x = CooTensor::from_triples([20, 20, 1], &[0], &[0], &[0], &[1.0]);
+        let fs = timing_factors(&x, 10, 0xfeed);
+        let mut vals: Vec<f64> = (0..20)
+            .flat_map(|r| (0..10).map(move |c| (r, c)))
+            .map(|(r, c)| fs[0].row(r)[c])
+            .collect();
+        assert!(vals.iter().all(|v| (-0.5..0.5).contains(v)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.1, "biased mean {mean}");
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.dedup();
+        assert_eq!(vals.len(), 200, "values collide: low-bit quantization");
     }
 
     #[test]

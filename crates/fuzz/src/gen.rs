@@ -1,0 +1,311 @@
+//! Structure-aware generators: adversarial tensors and mutated `.tns`
+//! byte streams.
+//!
+//! Each tensor class targets a boundary the kernels or the tuner have
+//! historically mishandled elsewhere: empty tensors, degenerate (length-0
+//! or length-1) modes, all-duplicate coordinates, hyper-sparse long-tail
+//! dimensions, and ranks straddling the register-block width. The `.tns`
+//! mutator starts from a well-formed file and injects the malformations
+//! the parser must reject (or survive) without panicking.
+
+use crate::rng::FuzzRng;
+use tenblock_tensor::{CooTensor, Entry, Idx, NMODES};
+
+/// Ranks exercised by the differential runner: 0 (no columns), 1, and the
+/// register-block boundary 16 with its neighbors, plus a non-multiple well
+/// above it.
+pub const RANKS: [usize; 6] = [0, 1, 15, 16, 17, 37];
+
+/// One generated differential-fuzzing case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Generator class, for triage (`empty`, `all-duplicates`, …).
+    pub label: &'static str,
+    /// The tensor under test.
+    pub coo: CooTensor,
+    /// Factor-matrix rank for this case.
+    pub rank: usize,
+}
+
+/// Random entries strictly inside `dims` (empty when any mode is 0).
+fn entries_in(rng: &mut FuzzRng, dims: [usize; NMODES], n: usize) -> Vec<Entry> {
+    if dims.contains(&0) {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|_| Entry {
+            idx: std::array::from_fn(|m| rng.below(dims[m]) as Idx),
+            val: rng.signed_unit(),
+        })
+        .collect()
+}
+
+/// Draws one adversarial tensor case. Deterministic in the RNG stream.
+///
+/// Dimensions are bounded (largest mode ≤ 4096) so the differential runner
+/// can allocate `dim x rank` factor matrices for every case; unbounded
+/// coordinates are the `.tns` mutator's job and stay in the parse stage.
+pub fn arb_case(rng: &mut FuzzRng) -> FuzzCase {
+    let rank = *rng.pick(&RANKS);
+    let (label, coo) = match rng.below(8) {
+        0 => {
+            // Empty tensor; modes may be zero-length.
+            let dims = std::array::from_fn(|_| rng.below(6));
+            ("empty", CooTensor::empty(dims))
+        }
+        1 => {
+            // Single slice: mode 0 has exactly one index.
+            let dims = [1, 1 + rng.below(12), 1 + rng.below(12)];
+            let n = rng.below(40);
+            let entries = entries_in(rng, dims, n);
+            ("single-slice", CooTensor::from_entries(dims, entries))
+        }
+        2 => {
+            // Single fiber: modes 1 and 2 have exactly one index.
+            let dims = [1 + rng.below(24), 1, 1];
+            let n = rng.below(40);
+            let entries = entries_in(rng, dims, n);
+            ("single-fiber", CooTensor::from_entries(dims, entries))
+        }
+        3 => {
+            // Every entry shares one coordinate: construction must coalesce
+            // them into a single nonzero by summing.
+            let dims = std::array::from_fn(|_| 1 + rng.below(8));
+            let idx = std::array::from_fn(|m| rng.below(dims[m]) as Idx);
+            let n = 1 + rng.below(50);
+            let entries = (0..n)
+                .map(|_| Entry {
+                    idx,
+                    val: rng.signed_unit(),
+                })
+                .collect();
+            ("all-duplicates", CooTensor::from_entries(dims, entries))
+        }
+        4 => {
+            // Hyper-sparse long tail: one mode far longer than its nonzero
+            // count, with entries clustered at the far end.
+            let long = 16 + rng.below(4081);
+            let dims = [long, 1 + rng.below(6), 1 + rng.below(6)];
+            let n = 1 + rng.below(30);
+            let mut entries = entries_in(rng, dims, n);
+            for e in entries.iter_mut().take(n / 2) {
+                e.idx[0] = (long - 1 - rng.below(8.min(long))) as Idx;
+            }
+            ("hyper-sparse", CooTensor::from_entries(dims, entries))
+        }
+        5 => {
+            // Tiny but dense: most cells occupied.
+            let dims = std::array::from_fn(|_| 1 + rng.below(4));
+            let n = dims.iter().product::<usize>() * 2;
+            let entries = entries_in(rng, dims, n);
+            ("tiny-dense", CooTensor::from_entries(dims, entries))
+        }
+        6 => {
+            // Plain uniform small tensor — the control group.
+            let dims = std::array::from_fn(|_| 1 + rng.below(24));
+            let n = rng.below(200);
+            let entries = entries_in(rng, dims, n);
+            ("uniform", CooTensor::from_entries(dims, entries))
+        }
+        _ => {
+            // Mode lengths straddling the register-block width (16).
+            let dims = std::array::from_fn(|_| 15 + rng.below(4));
+            let n = rng.below(120);
+            let entries = entries_in(rng, dims, n);
+            ("reg-block-edge", CooTensor::from_entries(dims, entries))
+        }
+    };
+    FuzzCase { label, coo, rank }
+}
+
+/// Renders a tensor as FROSTT `.tns` text (the repro format).
+pub fn render_tns(coo: &CooTensor) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("# dims {:?} nnz {}\n", coo.dims(), coo.nnz()));
+    for e in coo.entries() {
+        s.push_str(&format!(
+            "{} {} {} {}\n",
+            e.idx[0] as u64 + 1,
+            e.idx[1] as u64 + 1,
+            e.idx[2] as u64 + 1,
+            e.val
+        ));
+    }
+    s
+}
+
+/// Malformations injected into `.tns` text. The parser must turn every one
+/// of these into `Ok` or a typed `TnsError` — never a panic.
+const BAD_VALUES: [&str; 7] = ["nan", "NaN", "inf", "-inf", "infinity", "1e999", "abc"];
+const BAD_COORDS: [&str; 6] = [
+    "0",
+    "-3",
+    "4294967297",           // Idx::MAX + 2 (1-based): must be rejected
+    "18446744073709551616", // u64::MAX + 1: integer parse failure
+    "4294967296",           // Idx::MAX + 1 (1-based): the largest legal coordinate
+    "99999999999",
+];
+
+/// Produces a mutated `.tns` byte stream starting from a small well-formed
+/// file. Returns the mutation label and the bytes.
+pub fn mutant_tns(rng: &mut FuzzRng) -> (&'static str, Vec<u8>) {
+    // Seed file: a handful of valid lines.
+    let n = 1 + rng.below(8);
+    let mut lines: Vec<String> = (0..n)
+        .map(|_| {
+            format!(
+                "{} {} {} {}",
+                1 + rng.below(9),
+                1 + rng.below(9),
+                1 + rng.below(9),
+                rng.signed_unit()
+            )
+        })
+        .collect();
+    let target = rng.below(lines.len());
+    let (label, mut bytes) = match rng.below(10) {
+        0 => {
+            // Replace the value field.
+            let mut f: Vec<String> = lines[target].split(' ').map(str::to_string).collect();
+            f[3] = rng.pick(&BAD_VALUES).to_string();
+            lines[target] = f.join(" ");
+            ("bad-value", join(&lines))
+        }
+        1 => {
+            // Replace one coordinate field.
+            let mut f: Vec<String> = lines[target].split(' ').map(str::to_string).collect();
+            f[rng.below(3)] = rng.pick(&BAD_COORDS).to_string();
+            lines[target] = f.join(" ");
+            ("bad-coord", join(&lines))
+        }
+        2 => {
+            // Drop trailing fields from one line.
+            let keep = rng.below(4);
+            let f: Vec<String> = lines[target]
+                .split(' ')
+                .take(keep)
+                .map(str::to_string)
+                .collect();
+            lines[target] = f.join(" ");
+            ("short-line", join(&lines))
+        }
+        3 => {
+            // Append trailing fields (a 4-mode-looking line).
+            lines[target].push_str(" 7 2.5");
+            ("trailing-fields", join(&lines))
+        }
+        4 => {
+            // Duplicate a line verbatim (coalescing path).
+            let dup = lines[target].clone();
+            lines.push(dup);
+            ("duplicate-line", join(&lines))
+        }
+        5 => {
+            // Interleave comments and blank lines.
+            lines.insert(target, String::new());
+            lines.insert(target, "# injected comment".to_string());
+            ("comments", join(&lines))
+        }
+        6 => {
+            // Truncate the byte stream mid-line.
+            let b = join(&lines);
+            let cut = 1 + rng.below(b.len().max(2) - 1);
+            ("truncated", b[..cut].to_vec())
+        }
+        7 => {
+            // Raw non-UTF-8 bytes: the line reader reports an I/O error.
+            let mut b = join(&lines);
+            b.extend_from_slice(&[0xff, 0xfe, b'1', b' ', 0x80, b'\n']);
+            ("non-utf8", b)
+        }
+        8 => {
+            // Whitespace stress: tabs-as-spaces, runs of blanks, CR endings.
+            let spaced: Vec<String> = lines
+                .iter()
+                .map(|l| l.replace(' ', "   ").replace(' ', " \t") + "\r")
+                .collect();
+            ("whitespace", join(&spaced))
+        }
+        _ => {
+            // Near-Idx::MAX coordinates. Parse-stage only: an accepted file
+            // with a ~4-billion dimension must never reach kernel
+            // construction (the runner's size guard enforces that).
+            let big = (Idx::MAX as u64 + 1) - rng.below(3) as u64;
+            lines[target] = format!("{big} 1 1 0.5");
+            ("huge-coord", join(&lines))
+        }
+    };
+    // Occasionally stack a second structural edit on top.
+    if rng.below(4) == 0 {
+        bytes.extend_from_slice(b"# tail comment\n\n");
+    }
+    (label, bytes)
+}
+
+fn join(lines: &[String]) -> Vec<u8> {
+    let mut b = Vec::new();
+    for l in lines {
+        b.extend_from_slice(l.as_bytes());
+        b.push(b'\n');
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_and_well_formed() {
+        let mut a = FuzzRng::new(9);
+        let mut b = FuzzRng::new(9);
+        for _ in 0..200 {
+            let ca = arb_case(&mut a);
+            let cb = arb_case(&mut b);
+            assert_eq!(ca.coo, cb.coo);
+            assert_eq!(ca.rank, cb.rank);
+            assert!(RANKS.contains(&ca.rank));
+            assert!(ca.coo.dims().iter().all(|&d| d <= 4096));
+            // Constructor invariant: every coordinate in range.
+            for e in ca.coo.entries() {
+                for m in 0..NMODES {
+                    assert!((e.idx[m] as usize) < ca.coo.dims()[m]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_classes_appear() {
+        let mut rng = FuzzRng::new(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            seen.insert(arb_case(&mut rng).label);
+        }
+        assert!(seen.len() >= 7, "only saw {seen:?}");
+    }
+
+    #[test]
+    fn render_roundtrips_through_the_parser() {
+        let mut rng = FuzzRng::new(11);
+        for _ in 0..50 {
+            let case = arb_case(&mut rng);
+            if case.coo.nnz() == 0 {
+                continue; // dims are not encoded in .tns text
+            }
+            let text = render_tns(&case.coo);
+            let back = tenblock_tensor::io::read_tns(text.as_bytes()).unwrap();
+            assert_eq!(back.nnz(), case.coo.nnz());
+            assert_eq!(back.entries(), case.coo.entries());
+        }
+    }
+
+    #[test]
+    fn mutants_are_deterministic() {
+        let mut a = FuzzRng::new(21);
+        let mut b = FuzzRng::new(21);
+        for _ in 0..100 {
+            assert_eq!(mutant_tns(&mut a), mutant_tns(&mut b));
+        }
+    }
+}

@@ -122,6 +122,8 @@ pub struct Metrics {
     pub plan_hits: AtomicU64,
     /// Plan-cache misses (heuristic actually ran).
     pub plan_misses: AtomicU64,
+    /// Malformed persisted plan entries skipped when the cache was loaded.
+    pub plan_skipped: AtomicU64,
     /// Latency of MTTKRP executions (the `mttkrp` job's kernel calls).
     pub mttkrp_latency: LatencyHistogram,
     /// Latency of whole jobs, queue wait included.
@@ -153,6 +155,8 @@ pub struct MetricsSnapshot {
     pub plan_hits: u64,
     /// See [`Metrics::plan_misses`].
     pub plan_misses: u64,
+    /// See [`Metrics::plan_skipped`].
+    pub plan_skipped: u64,
     /// Jobs waiting in the bounded queue right now.
     pub queue_depth: usize,
     /// Configured queue capacity.
@@ -181,6 +185,7 @@ impl Metrics {
             tensors_registered: self.tensors_registered.load(Ordering::Relaxed),
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_skipped: self.plan_skipped.load(Ordering::Relaxed),
             queue_depth,
             queue_capacity,
             mttkrp_latency: self.mttkrp_latency.snapshot(),
@@ -218,6 +223,7 @@ impl MetricsSnapshot {
                 Json::obj([
                     ("hits", Json::usize(self.plan_hits as usize)),
                     ("misses", Json::usize(self.plan_misses as usize)),
+                    ("skipped", Json::usize(self.plan_skipped as usize)),
                 ]),
             ),
             ("tensors", Json::usize(self.tensors_registered as usize)),

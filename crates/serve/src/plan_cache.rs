@@ -105,6 +105,8 @@ pub struct PlanCache {
     path: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Malformed entries skipped while loading the backing file.
+    skipped: u64,
 }
 
 impl PlanCache {
@@ -116,11 +118,16 @@ impl PlanCache {
             path: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            skipped: 0,
         }
     }
 
-    /// Cache backed by `path`. A missing file starts empty; a present file
-    /// is parsed strictly (a corrupt cache is an error, not silent loss).
+    /// Cache backed by `path`. A missing file starts empty. A file that is
+    /// not JSON, or lacks the `"plans"` array, is an error (the cache was
+    /// replaced wholesale by something else — don't guess). A *malformed
+    /// entry* inside an otherwise valid file is skipped and counted (see
+    /// [`PlanCache::skipped`]): one bad record must not discard every good
+    /// plan alongside it. Skips emit one structured warning on stderr.
     pub fn open(path: &Path) -> io::Result<PlanCache> {
         let mut cache = PlanCache::in_memory();
         cache.path = Some(path.to_path_buf());
@@ -139,10 +146,21 @@ impl PlanCache {
                 };
                 let mut map = HashMap::new();
                 for item in plans {
-                    let (key, plan) = TunedPlan::from_json(item).ok_or_else(|| {
-                        io::Error::new(io::ErrorKind::InvalidData, "malformed plan entry")
-                    })?;
-                    map.insert(key, plan);
+                    match TunedPlan::from_json(item) {
+                        Some((key, plan)) => {
+                            map.insert(key, plan);
+                        }
+                        None => cache.skipped += 1,
+                    }
+                }
+                if cache.skipped > 0 {
+                    let warning = Json::obj([
+                        ("warn", Json::str("plan-cache-skip")),
+                        ("path", Json::str(path.display().to_string())),
+                        ("skipped", Json::usize(cache.skipped as usize)),
+                        ("loaded", Json::usize(map.len())),
+                    ]);
+                    eprintln!("{}", warning.to_string_compact());
                 }
                 *crate::sync::lock(&cache.plans) = map;
                 Ok(cache)
@@ -150,6 +168,11 @@ impl PlanCache {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(cache),
             Err(e) => Err(e),
         }
+    }
+
+    /// Malformed entries skipped when the backing file was loaded.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Raw lookup. Does not touch the hit/miss counters — use
@@ -172,21 +195,40 @@ impl PlanCache {
         key: PlanKey,
         compute: F,
     ) -> io::Result<(TunedPlan, bool)> {
+        match self.get_or_try_compute::<std::convert::Infallible, _>(key, || Ok(compute()))? {
+            Ok(hit) => Ok(hit),
+            Err(never) => match never {},
+        }
+    }
+
+    /// [`PlanCache::get_or_compute`] with a fallible compute step: a compute
+    /// error is passed through in the inner `Result` and nothing is cached
+    /// (the next request for the key retries). The outer `Result` carries
+    /// persistence failures. Counts a miss whenever `compute` runs, even if
+    /// it fails — a failed tune still means the cache had no answer.
+    pub fn get_or_try_compute<E, F: FnOnce() -> Result<TunedPlan, E>>(
+        &self,
+        key: PlanKey,
+        compute: F,
+    ) -> io::Result<Result<(TunedPlan, bool), E>> {
         if let Some(plan) = self.lookup(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((plan, true));
+            return Ok(Ok((plan, true)));
         }
         let _guard = crate::sync::lock(&self.compute);
         // Double-check: another thread may have tuned this key while we
         // waited on the compute lock.
         if let Some(plan) = self.lookup(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((plan, true));
+            return Ok(Ok((plan, true)));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan = compute();
+        let plan = match compute() {
+            Ok(plan) => plan,
+            Err(e) => return Ok(Err(e)),
+        };
         self.insert(key, plan.clone())?;
-        Ok((plan, false))
+        Ok(Ok((plan, false)))
     }
 
     /// (hits, misses) since construction.
@@ -318,6 +360,54 @@ mod tests {
             }),
             Some(plan(16))
         );
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped_not_fatal() {
+        let path = tmpdir().join("plans_partial.json");
+        // One good entry, one with a zero grid axis, one missing its rank.
+        std::fs::write(
+            &path,
+            concat!(
+                r#"{"version":1,"plans":["#,
+                r#"{"fingerprint":"00000000000000ab","rank":16,"grid":[2,2,1],"strip_width":16,"best_secs":0.5},"#,
+                r#"{"fingerprint":"00000000000000cd","rank":8,"grid":[0,2,1],"strip_width":16,"best_secs":0.5},"#,
+                r#"{"fingerprint":"00000000000000ef","grid":[2,2,1],"strip_width":16,"best_secs":0.5}"#,
+                r#"]}"#,
+            ),
+        )
+        .unwrap();
+        let cache = PlanCache::open(&path).unwrap();
+        assert_eq!(cache.len(), 1, "the good entry survives");
+        assert_eq!(cache.skipped(), 2);
+        assert!(cache
+            .lookup(PlanKey {
+                fingerprint: 0xab,
+                rank: 16
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn failed_compute_caches_nothing_and_retries() {
+        let cache = PlanCache::in_memory();
+        let key = PlanKey {
+            fingerprint: 1,
+            rank: 4,
+        };
+        let r = cache
+            .get_or_try_compute::<&str, _>(key, || Err("tensor too degenerate"))
+            .unwrap();
+        assert_eq!(r, Err("tensor too degenerate"));
+        assert!(
+            cache.is_empty(),
+            "a failed compute must not poison the cache"
+        );
+        // The key is still computable afterwards.
+        let (p, hit) = cache.get_or_compute(key, || plan(4)).unwrap();
+        assert!(!hit);
+        assert_eq!(p, plan(4));
+        assert_eq!(cache.counters(), (0, 2), "both computes count as misses");
     }
 
     #[test]

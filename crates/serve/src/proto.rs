@@ -21,7 +21,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tenblock_core::obs::{Rec, TraceRecorder};
-use tenblock_core::{build_kernel, tune, ExecPolicy, KernelConfig, KernelKind, TuneOptions};
+use tenblock_core::{build_kernel, try_tune, ExecPolicy, KernelConfig, KernelKind, TuneOptions};
 use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAprOptions};
 use tenblock_tensor::{DenseMatrix, NMODES};
 
@@ -47,6 +47,12 @@ pub enum ErrorCode {
     NotFound,
     /// The bounded job queue is at capacity.
     QueueFull,
+    /// The request was well-formed but the tensor bytes are malformed
+    /// (parse/format failure in the `.tns` / `.tnsb` readers).
+    InvalidTensor,
+    /// The request was well-formed but a parameter is semantically invalid
+    /// for the computation (rank 0, mode out of range).
+    InvalidConfig,
     /// Server-side failure not attributable to the request.
     Internal,
 }
@@ -59,6 +65,8 @@ impl ErrorCode {
             ErrorCode::UnknownCmd => "unknown-cmd",
             ErrorCode::NotFound => "not-found",
             ErrorCode::QueueFull => "queue-full",
+            ErrorCode::InvalidTensor => "invalid-tensor",
+            ErrorCode::InvalidConfig => "invalid-config",
             ErrorCode::Internal => "internal",
         }
     }
@@ -135,6 +143,29 @@ fn kernel_by_name(name: &str) -> Option<KernelKind> {
     }
 }
 
+/// Rejects a rank no computation can use (0 means no factor columns).
+/// Checked at parse time so the job queue never sees the request.
+fn require_rank(cmd: &str, rank: usize) -> Result<usize, Json> {
+    if rank == 0 {
+        return Err(err(
+            ErrorCode::InvalidConfig,
+            format!("{cmd}: rank must be >= 1"),
+        ));
+    }
+    Ok(rank)
+}
+
+/// Rejects a mode that names no tensor axis.
+fn require_mode(cmd: &str, mode: usize) -> Result<usize, Json> {
+    if mode >= NMODES {
+        return Err(err(
+            ErrorCode::InvalidConfig,
+            format!("{cmd}: mode {mode} out of range (0..{NMODES})"),
+        ));
+    }
+    Ok(mode)
+}
+
 /// Shapes an error response. Also used by the TCP front-end for
 /// parse-level errors, so every error on the wire goes through here.
 pub(crate) fn err(code: ErrorCode, msg: impl Into<String>) -> Json {
@@ -162,6 +193,7 @@ fn ok(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
 fn registry_err(e: RegistryError) -> Json {
     match e {
         RegistryError::NotFound(_) => err(ErrorCode::NotFound, e.to_string()),
+        RegistryError::InvalidTensor(_) => err(ErrorCode::InvalidTensor, e.to_string()),
         RegistryError::Exists(_) | RegistryError::Load(_) => {
             err(ErrorCode::BadRequest, e.to_string())
         }
@@ -199,19 +231,21 @@ fn run_traced(core: &ServiceCore, rec: &Rec, payload: JobPayload) -> Result<Json
             };
             let (plan, cached) = core
                 .plans
-                .get_or_compute(key, || {
+                .get_or_try_compute::<String, _>(key, || {
                     let mut opts = TuneOptions::new(rank);
                     opts.reps = reps;
                     opts.max_blocks = max_blocks;
                     opts.exec = ExecPolicy::serial().with_recorder(rec.clone());
-                    let r = tune(&entry.coo, 0, &opts);
-                    TunedPlan {
+                    // Degenerate tensors (empty, zero-length mode) fail the
+                    // job with a typed message instead of panicking a worker.
+                    let r = try_tune(&entry.coo, 0, &opts).map_err(|e| format!("tune: {e}"))?;
+                    Ok(TunedPlan {
                         grid: r.grid,
                         strip_width: r.strip_width,
                         best_secs: r.best_secs,
-                    }
+                    })
                 })
-                .map_err(|e| format!("plan cache write failed: {e}"))?;
+                .map_err(|e| format!("plan cache write failed: {e}"))??;
             if cached {
                 core.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
             } else {
@@ -350,6 +384,9 @@ impl Service {
     /// `queue_capacity` slots, with `plans` as the tuned-plan cache.
     pub fn new(workers: usize, queue_capacity: usize, plans: PlanCache) -> Service {
         let metrics = Arc::new(Metrics::default());
+        metrics
+            .plan_skipped
+            .store(plans.skipped(), Ordering::Relaxed);
         let core = Arc::new(ServiceCore {
             registry: Registry::new(),
             plans,
@@ -506,7 +543,7 @@ impl Service {
         let tensor = req
             .get_str("tensor")
             .ok_or_else(|| err(ErrorCode::BadRequest, "tune: missing \"tensor\""))?;
-        let rank = req.get_usize("rank").unwrap_or(16);
+        let rank = require_rank("tune", req.get_usize("rank").unwrap_or(16))?;
         let reps = req.get_usize("reps").unwrap_or(2);
         let max_blocks = req.get_usize("max_blocks").unwrap_or(64);
         Ok(JobPayload::Tune {
@@ -521,10 +558,10 @@ impl Service {
         let tensor = req
             .get_str("tensor")
             .ok_or_else(|| err(ErrorCode::BadRequest, "mttkrp: missing \"tensor\""))?;
-        let mode = req.get_usize("mode").unwrap_or(0);
+        let mode = require_mode("mttkrp", req.get_usize("mode").unwrap_or(0))?;
         let kernel = kernel_by_name(req.get_str("kernel").unwrap_or("mbrankb"))
             .ok_or_else(|| err(ErrorCode::BadRequest, "mttkrp: unknown kernel name"))?;
-        let rank = req.get_usize("rank").unwrap_or(16);
+        let rank = require_rank("mttkrp", req.get_usize("rank").unwrap_or(16))?;
         let reps = req.get_usize("reps").unwrap_or(3);
         Ok(JobPayload::Mttkrp {
             tensor: tensor.to_string(),
@@ -549,7 +586,7 @@ impl Service {
                 ))
             }
         };
-        let rank = req.get_usize("rank").unwrap_or(16);
+        let rank = require_rank("decompose", req.get_usize("rank").unwrap_or(16))?;
         let iters = req.get_usize("iters").unwrap_or(20);
         let kernel = kernel_by_name(req.get_str("kernel").unwrap_or("mbrankb"))
             .ok_or_else(|| err(ErrorCode::BadRequest, "decompose: unknown kernel name"))?;
@@ -789,10 +826,74 @@ mod tests {
             s.handle(&req(r#"{"cmd":"stats","tensor":"ghost"}"#)),
             s.handle(&req(r#"{"cmd":"metrics"}"#)),
             s.handle(&req(r#"{"nope":1}"#)),
+            s.handle(&req(r#"{"cmd":"tune","tensor":"t","rank":0}"#)),
+            s.handle(&req(r#"{"cmd":"mttkrp","tensor":"t","mode":3}"#)),
         ];
         for r in responses {
             assert_eq!(r.get_usize("v"), Some(PROTOCOL_VERSION), "{r:?}");
         }
+    }
+
+    #[test]
+    fn degenerate_parameters_get_invalid_config() {
+        let s = svc();
+        gen_small(&s, "t");
+        for (q, what) in [
+            (r#"{"cmd":"tune","tensor":"t","rank":0}"#, "tune rank 0"),
+            (r#"{"cmd":"mttkrp","tensor":"t","rank":0}"#, "mttkrp rank 0"),
+            (r#"{"cmd":"mttkrp","tensor":"t","mode":3}"#, "mttkrp mode 3"),
+            (
+                r#"{"cmd":"decompose","tensor":"t","rank":0}"#,
+                "decompose rank 0",
+            ),
+        ] {
+            let r = s.handle(&req(q));
+            assert_eq!(r.get_str("code"), Some("invalid-config"), "{what}: {r:?}");
+            assert_eq!(r.get_usize("v"), Some(PROTOCOL_VERSION), "{what}: {r:?}");
+        }
+        // Rejection happens at parse time: nothing was queued.
+        let m = s.handle(&req(r#"{"cmd":"metrics"}"#));
+        let jobs = m.get("metrics").unwrap().get("jobs").unwrap();
+        assert_eq!(jobs.get_usize("submitted"), Some(0));
+    }
+
+    #[test]
+    fn malformed_tensor_file_gets_invalid_tensor() {
+        let dir = std::env::temp_dir().join(format!("tenblock_proto_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.tns");
+        std::fs::write(&bad, "1 1 1 nan\n").unwrap();
+        let s = svc();
+        let r = s.handle(&req(&format!(
+            r#"{{"cmd":"load","name":"b","path":"{}"}}"#,
+            bad.display()
+        )));
+        assert_eq!(r.get_str("code"), Some("invalid-tensor"), "{r:?}");
+        assert_eq!(r.get_usize("v"), Some(PROTOCOL_VERSION));
+        // A nonexistent path is a bad request, not a bad tensor.
+        let r = s.handle(&req(&format!(
+            r#"{{"cmd":"load","name":"m","path":"{}"}}"#,
+            dir.join("missing.tns").display()
+        )));
+        assert_eq!(r.get_str("code"), Some("bad-request"), "{r:?}");
+    }
+
+    #[test]
+    fn tune_on_degenerate_tensor_fails_typed_instead_of_panicking() {
+        use tenblock_tensor::CooTensor;
+        let s = svc();
+        s.core()
+            .registry
+            .register("hollow", CooTensor::empty([4, 4, 4]))
+            .unwrap();
+        let r = s.handle(&req(
+            r#"{"cmd":"tune","tensor":"hollow","rank":8,"reps":1,"max_blocks":2,"wait":true}"#,
+        ));
+        assert_eq!(r.get_str("state"), Some("failed"), "{r:?}");
+        assert!(
+            r.get_str("error").unwrap().contains("tune:"),
+            "typed tune error expected: {r:?}"
+        );
     }
 
     #[test]

@@ -58,8 +58,12 @@ pub enum RegistryError {
     Exists(String),
     /// No tensor under that handle.
     NotFound(String),
-    /// Loading or generating the tensor failed.
+    /// Loading or generating the tensor failed (I/O, unknown extension or
+    /// data set — the request itself, not the tensor bytes).
     Load(String),
+    /// The tensor file was readable but its contents are malformed
+    /// (parse or format error from the `.tns` / `.tnsb` readers).
+    InvalidTensor(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -67,7 +71,7 @@ impl std::fmt::Display for RegistryError {
         match self {
             RegistryError::Exists(n) => write!(f, "tensor {n:?} is already registered"),
             RegistryError::NotFound(n) => write!(f, "no tensor registered as {n:?}"),
-            RegistryError::Load(msg) => write!(f, "{msg}"),
+            RegistryError::Load(msg) | RegistryError::InvalidTensor(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -106,11 +110,17 @@ impl Registry {
             return Err(RegistryError::Exists(name.to_string()));
         }
         let p = Path::new(path);
+        // Parse/format failures become InvalidTensor (the bytes are wrong);
+        // I/O failures and a bad extension stay Load (the request is wrong).
         let coo = match p.extension().and_then(|e| e.to_str()) {
-            Some("tns") => io::read_tns_file(p).map_err(|e| RegistryError::Load(e.to_string()))?,
-            Some("tnsb") => {
-                io_bin::read_bin_file(p).map_err(|e| RegistryError::Load(e.to_string()))?
-            }
+            Some("tns") => io::read_tns_file(p).map_err(|e| match e {
+                io::TnsError::Parse { .. } => RegistryError::InvalidTensor(e.to_string()),
+                io::TnsError::Io(_) => RegistryError::Load(e.to_string()),
+            })?,
+            Some("tnsb") => io_bin::read_bin_file(p).map_err(|e| match e {
+                io_bin::BinError::Format(_) => RegistryError::InvalidTensor(e.to_string()),
+                io_bin::BinError::Io(_) => RegistryError::Load(e.to_string()),
+            })?,
             other => {
                 return Err(RegistryError::Load(format!(
                     "unknown tensor extension {other:?} (expected .tns or .tnsb)"
@@ -208,6 +218,25 @@ mod tests {
         let reg = Registry::new();
         assert!(matches!(
             reg.load("x", "/tmp/whatever.csv"),
+            Err(RegistryError::Load(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_tensor_bytes_are_invalid_tensor_not_load() {
+        let dir = std::env::temp_dir().join(format!("tenblock_registry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.tns");
+        std::fs::write(&bad, "1 1 1 not-a-number\n").unwrap();
+        let reg = Registry::new();
+        assert!(matches!(
+            reg.load("x", bad.to_str().unwrap()),
+            Err(RegistryError::InvalidTensor(_))
+        ));
+        // A missing file is an I/O problem with the request, not bad bytes.
+        let missing = dir.join("never_written.tns");
+        assert!(matches!(
+            reg.load("y", missing.to_str().unwrap()),
             Err(RegistryError::Load(_))
         ));
     }

@@ -7,6 +7,56 @@
 
 use crate::{Idx, NMODES};
 
+/// Typed construction errors for [`CooTensor`].
+///
+/// The panicking constructors ([`CooTensor::from_entries`],
+/// [`CooTensor::from_triples`]) delegate to the fallible `try_*` variants
+/// and panic with the error's message; boundary code (file readers, the
+/// serve registry, the fuzzer) uses the `try_*` forms directly so hostile
+/// input becomes a value, not a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A coordinate is not strictly below its mode's dimension.
+    CoordOutOfRange {
+        /// Mode of the offending coordinate.
+        mode: usize,
+        /// The coordinate value.
+        coord: Idx,
+        /// The dimension it must stay below.
+        dim: usize,
+    },
+    /// A value is NaN or infinite (sparse kernels assume finite data).
+    NonFiniteValue {
+        /// Index of the offending entry in construction order.
+        entry: usize,
+    },
+    /// Parallel coordinate/value slices have different lengths.
+    LengthMismatch {
+        /// The four slice lengths `(is, js, ks, vals)`.
+        lens: [usize; 4],
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::CoordOutOfRange { mode, coord, dim } => write!(
+                f,
+                "coordinate {coord} out of range for mode {mode} (dim {dim})"
+            ),
+            TensorError::NonFiniteValue { entry } => {
+                write!(f, "non-finite value at entry {entry}")
+            }
+            TensorError::LengthMismatch { lens } => write!(
+                f,
+                "coordinate/value slices must have equal length (got {lens:?})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
 /// One nonzero: its coordinate in each mode and its value.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Entry {
@@ -54,24 +104,30 @@ pub struct CooTensor {
 }
 
 impl CooTensor {
-    /// Builds a tensor from raw entries.
+    /// Builds a tensor from raw entries, rejecting malformed input with a
+    /// typed [`TensorError`] instead of panicking.
     ///
     /// Duplicate coordinates are combined by summing their values; entries
     /// whose combined value is exactly `0.0` are kept (explicit zeros are
-    /// legal nonzero *positions* in sparse-tensor libraries).
-    ///
-    /// # Panics
-    /// Panics if any coordinate is out of range for `dims`.
-    pub fn from_entries(dims: [usize; NMODES], mut entries: Vec<Entry>) -> Self {
-        for e in &entries {
+    /// legal nonzero *positions* in sparse-tensor libraries). NaN and
+    /// infinite values are rejected: every downstream kernel assumes
+    /// finite arithmetic.
+    pub fn try_from_entries(
+        dims: [usize; NMODES],
+        mut entries: Vec<Entry>,
+    ) -> Result<Self, TensorError> {
+        for (n, e) in entries.iter().enumerate() {
             for m in 0..NMODES {
-                assert!(
-                    (e.idx[m] as usize) < dims[m],
-                    "coordinate {} out of range for mode {} (dim {})",
-                    e.idx[m],
-                    m,
-                    dims[m]
-                );
+                if (e.idx[m] as usize) >= dims[m] {
+                    return Err(TensorError::CoordOutOfRange {
+                        mode: m,
+                        coord: e.idx[m],
+                        dim: dims[m],
+                    });
+                }
+            }
+            if !e.val.is_finite() {
+                return Err(TensorError::NonFiniteValue { entry: n });
             }
         }
         entries.sort_unstable_by_key(|e| e.idx);
@@ -83,10 +139,49 @@ impl CooTensor {
                 false
             }
         });
-        CooTensor { dims, entries }
+        Ok(CooTensor { dims, entries })
+    }
+
+    /// Builds a tensor from raw entries.
+    ///
+    /// Semantics of [`CooTensor::try_from_entries`] (duplicates summed,
+    /// explicit zeros kept).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range for `dims` or any value is
+    /// non-finite.
+    pub fn from_entries(dims: [usize; NMODES], entries: Vec<Entry>) -> Self {
+        match Self::try_from_entries(dims, entries) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a tensor from parallel coordinate/value slices, rejecting
+    /// malformed input with a typed [`TensorError`].
+    pub fn try_from_triples(
+        dims: [usize; NMODES],
+        is: &[Idx],
+        js: &[Idx],
+        ks: &[Idx],
+        vals: &[f64],
+    ) -> Result<Self, TensorError> {
+        if !(is.len() == js.len() && js.len() == ks.len() && ks.len() == vals.len()) {
+            return Err(TensorError::LengthMismatch {
+                lens: [is.len(), js.len(), ks.len(), vals.len()],
+            });
+        }
+        let entries = (0..is.len())
+            .map(|n| Entry::new(is[n], js[n], ks[n], vals[n]))
+            .collect();
+        Self::try_from_entries(dims, entries)
     }
 
     /// Builds a tensor from parallel coordinate/value slices.
+    ///
+    /// # Panics
+    /// Panics on mismatched slice lengths, out-of-range coordinates, or
+    /// non-finite values.
     pub fn from_triples(
         dims: [usize; NMODES],
         is: &[Idx],
@@ -94,14 +189,10 @@ impl CooTensor {
         ks: &[Idx],
         vals: &[f64],
     ) -> Self {
-        assert!(
-            is.len() == js.len() && js.len() == ks.len() && ks.len() == vals.len(),
-            "coordinate/value slices must have equal length"
-        );
-        let entries = (0..is.len())
-            .map(|n| Entry::new(is[n], js[n], ks[n], vals[n]))
-            .collect();
-        Self::from_entries(dims, entries)
+        match Self::try_from_triples(dims, is, js, ks, vals) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// An empty tensor of the given shape.
@@ -269,6 +360,38 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_panics() {
         CooTensor::from_triples([2, 2, 2], &[2], &[0], &[0], &[1.0]);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        // Formerly-panicking input classes now come back as values.
+        assert_eq!(
+            CooTensor::try_from_triples([2, 2, 2], &[2], &[0], &[0], &[1.0]),
+            Err(TensorError::CoordOutOfRange {
+                mode: 0,
+                coord: 2,
+                dim: 2
+            })
+        );
+        assert_eq!(
+            CooTensor::try_from_triples([2, 2, 2], &[0], &[0], &[0], &[f64::NAN]),
+            Err(TensorError::NonFiniteValue { entry: 0 })
+        );
+        assert_eq!(
+            CooTensor::try_from_triples([2, 2, 2], &[0, 1], &[0], &[0], &[1.0]),
+            Err(TensorError::LengthMismatch { lens: [2, 1, 1, 1] })
+        );
+        // Valid input still round-trips, duplicates still summed.
+        let t =
+            CooTensor::try_from_triples([2, 2, 2], &[1, 1], &[0, 0], &[1, 1], &[2.0, 3.0]).unwrap();
+        assert_eq!(t.nnz(), 1);
+        assert_eq!(t.entries()[0].val, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_value_panics() {
+        CooTensor::from_triples([2, 2, 2], &[0], &[0], &[0], &[f64::INFINITY]);
     }
 
     #[test]

@@ -42,6 +42,12 @@ impl From<std::io::Error> for TnsError {
 ///
 /// Coordinates in the file are 1-based (FROSTT convention) and converted to
 /// 0-based. Dimensions are the per-mode maxima of the coordinates.
+///
+/// Input is validated, never trusted: zero or `Idx`-overflowing
+/// coordinates, non-finite values (`nan`/`inf`), missing fields, and
+/// trailing fields are all rejected with a [`TnsError::Parse`] naming the
+/// line. Lines repeating a coordinate triple are coalesced by summing
+/// their values (the [`CooTensor`] duplicate semantics).
 pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
     let reader = BufReader::new(reader);
     let mut entries: Vec<Entry> = Vec::new();
@@ -73,6 +79,17 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
                     msg: "coordinates are 1-based; found 0".into(),
                 });
             }
+            // A plain `as Idx` cast here would silently truncate huge
+            // coordinates (wrapping them onto valid slices); reject instead.
+            if c - 1 > Idx::MAX as u64 {
+                return Err(TnsError::Parse {
+                    line: line_no,
+                    msg: format!(
+                        "coordinate {c} exceeds the index limit {}",
+                        Idx::MAX as u64 + 1
+                    ),
+                });
+            }
             *slot = (c - 1) as Idx;
             dims[m] = dims[m].max(c as usize);
         }
@@ -84,6 +101,12 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
             line: line_no,
             msg: format!("invalid value `{vtok}`"),
         })?;
+        if !val.is_finite() {
+            return Err(TnsError::Parse {
+                line: line_no,
+                msg: format!("non-finite value `{vtok}` (kernels require finite data)"),
+            });
+        }
         if it.next().is_some() {
             return Err(TnsError::Parse {
                 line: line_no,
@@ -92,7 +115,14 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
         }
         entries.push(Entry { idx, val });
     }
-    Ok(CooTensor::from_entries(dims, entries))
+    // Coordinates were bounds-checked against the running maxima above and
+    // values are finite, so construction cannot fail — but route through the
+    // fallible constructor anyway so a future invariant change surfaces as a
+    // parse error, not a panic on user input.
+    CooTensor::try_from_entries(dims, entries).map_err(|e| TnsError::Parse {
+        line: 0,
+        msg: e.to_string(),
+    })
 }
 
 /// Reads a `.tns` file from disk.
@@ -165,6 +195,52 @@ mod tests {
         assert!(read_tns("1 1 1".as_bytes()).is_err());
         assert!(read_tns("1 1 1 abc".as_bytes()).is_err());
         assert!(read_tns("1 1 1 1 1".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_values_naming_the_line() {
+        for bad in ["nan", "NaN", "inf", "-inf", "infinity"] {
+            let text = format!("1 1 1 2.0\n2 2 2 {bad}\n");
+            let err = read_tns(text.as_bytes()).unwrap_err();
+            match err {
+                TnsError::Parse { line, msg } => {
+                    assert_eq!(line, 2, "{bad}");
+                    assert!(msg.contains("non-finite"), "{msg}");
+                }
+                other => panic!("expected Parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_coordinates_overflowing_idx() {
+        // 2^32 + 1 (1-based) would wrap to slice 0 under a silent cast.
+        let text = format!("{} 1 1 2.0\n", (1u64 << 32) + 1);
+        let err = read_tns(text.as_bytes()).unwrap_err();
+        match err {
+            TnsError::Parse { line: 1, msg } => {
+                assert!(msg.contains("index limit"), "{msg}")
+            }
+            other => panic!("expected Parse at line 1, got {other:?}"),
+        }
+        // The largest representable coordinate is fine.
+        let ok = format!("{} 1 1 2.0\n", 1u64 << 32);
+        let t = read_tns(ok.as_bytes()).unwrap();
+        assert_eq!(t.dims()[0], 1usize << 32);
+        assert_eq!(t.entries()[0].idx[0], u32::MAX);
+    }
+
+    #[test]
+    fn duplicate_coordinates_coalesce_by_summing() {
+        let text = "2 1 1 1.5\n2 1 1 2.5\n2 1 1 -1.0\n1 1 1 4.0\n";
+        let t = read_tns(text.as_bytes()).unwrap();
+        assert_eq!(t.nnz(), 2);
+        let merged = t
+            .entries()
+            .iter()
+            .find(|e| e.idx == [1, 0, 0])
+            .expect("coalesced entry present");
+        assert_eq!(merged.val, 3.0);
     }
 
     #[test]

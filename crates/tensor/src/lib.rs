@@ -34,7 +34,7 @@ pub mod splatt;
 pub mod stats;
 pub mod validate;
 
-pub use coo::{CooTensor, Entry};
+pub use coo::{CooTensor, Entry, TensorError};
 pub use csf::CsfTensor;
 pub use dense::{DenseMatrix, StripMatrix};
 pub use nd::NdCooTensor;

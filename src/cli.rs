@@ -12,6 +12,8 @@
 //! * `serve` — start the in-process decomposition service (TCP),
 //! * `check <file>` — run every kernel once in checked execution mode
 //!   (blocking-invariant oracles + write-set race detection),
+//! * `fuzz` — differential edge-case fuzzing of the ingest/kernel/tuner
+//!   boundary with minimized repro output,
 //! * `lint <root>` — run the zero-dependency workspace lint.
 //!
 //! `tune` and `decompose` accept `--plan-cache <path>` to share tuned
@@ -134,6 +136,7 @@ USAGE:
   tenblock serve --addr <host:port> [--workers N] [--queue N]
                  [--plan-cache <path>]
   tenblock check <file> [--rank R]
+  tenblock fuzz [--seeds N] [--seed BASE] [--corpus dir]
   tenblock lint [root]
 
 Files: .tns (FROSTT text) or .tnsb (tenblock binary).
@@ -145,6 +148,11 @@ https://ui.perfetto.dev.
 `check` runs every kernel once under ExecPolicy::checked(): blocking
 invariants are validated and each parallel task's output-row write set is
 checked for races before the launch; violations print a structured report.
+`fuzz` runs N deterministic seeds of adversarial tensors and mutated .tns
+byte streams through every kernel, the tuner, the planners, and the dense
+reference; mismatches and panics print minimized repros (and are written
+to --corpus, whose .tns files are replayed first on later runs). Exits
+nonzero on any finding.
 `lint` scans `root` (default `.`) for workspace rule violations (unwrap in
 serve/core, deprecated constructors, undocumented core pub fns,
 lock().unwrap() outside shims) and exits nonzero on findings.
@@ -419,6 +427,22 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 Ok(lines.join("\n"))
             }
         }
+        "fuzz" => {
+            let opts = tenblock_fuzz::FuzzOptions {
+                seeds: args.flag_or("seeds", 200u64),
+                base_seed: args.flag_or("seed", 0x7eb0u64),
+                corpus: args
+                    .flag("corpus")
+                    .filter(|p| !p.is_empty())
+                    .map(std::path::PathBuf::from),
+            };
+            let report = tenblock_fuzz::run(&opts);
+            if report.is_clean() {
+                Ok(format!("{report}"))
+            } else {
+                Err(format!("{report}"))
+            }
+        }
         "lint" => {
             let root = args.positional.first().map(String::as_str).unwrap_or(".");
             let report = tenblock_core::check::lint_workspace(Path::new(root))
@@ -578,6 +602,15 @@ mod tests {
         assert!(json.contains("cpd/als/iter"));
         assert!(json.contains("mttkrp/SPLATT"));
         assert!(json.contains("tensor_bytes"));
+    }
+
+    #[test]
+    fn fuzz_smoke_is_clean() {
+        let mut args = Args::default();
+        args.flags.push(("seeds".into(), "15".into()));
+        let msg = run("fuzz", &args).unwrap();
+        assert!(msg.contains("no findings"), "{msg}");
+        assert!(msg.contains("15 seed(s)"), "{msg}");
     }
 
     #[test]

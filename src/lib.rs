@@ -16,6 +16,8 @@
 //!   ([`tenblock_dist`])
 //! * [`check`] — race detection, blocking-invariant oracles, workspace lint
 //!   ([`tenblock_check`])
+//! * [`fuzz`] — structure-aware differential fuzzer for the input boundary
+//!   ([`tenblock_fuzz`])
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -26,4 +28,5 @@ pub use tenblock_check as check;
 pub use tenblock_core as core;
 pub use tenblock_cpd as cpd;
 pub use tenblock_dist as dist;
+pub use tenblock_fuzz as fuzz;
 pub use tenblock_tensor as tensor;

@@ -17,6 +17,19 @@ fn arb_tensor() -> impl Strategy<Value = CooTensor> {
     })
 }
 
+/// Strategy adapter: drives the structure-aware fuzz generator from the
+/// proptest shim's RNG stream, so the adversarial tensor classes (empty,
+/// single-slice, all-duplicates, hyper-sparse long-tail, reg-block-edge)
+/// become property-test inputs alongside `arb_tensor`'s uniform ones.
+struct ArbFuzzCase;
+
+impl Strategy for ArbFuzzCase {
+    type Value = tenblock::fuzz::FuzzCase;
+    fn generate(&self, rng: &mut proptest::TestRng) -> Self::Value {
+        tenblock::fuzz::arb_case(&mut tenblock::fuzz::FuzzRng::new(rng.next_u64()))
+    }
+}
+
 /// Deterministic pseudo-random factors derived from a seed.
 fn seeded_factors(dims: [usize; 3], rank: usize, seed: u64) -> Vec<DenseMatrix> {
     (0..3)
@@ -67,6 +80,95 @@ proptest! {
                 "{kind:?} mode {mode} grid {grid:?} strip {strip}: max diff {}",
                 expect.max_abs_diff(&out)
             );
+        }
+    }
+
+    #[test]
+    fn adversarial_cases_with_off_block_ranks_match_dense(
+        case in ArbFuzzCase,
+        rank_pick in 0usize..3,
+        mode in 0usize..3,
+        ga in 1usize..4,
+        gb in 1usize..4,
+        gc in 1usize..4,
+        strip in 1usize..24,
+        seed in proptest::num::u64::ANY,
+    ) {
+        // Ranks deliberately off the REG_BLOCK (16) multiple: the register
+        // loop's remainder path runs on every strip.
+        let rank = [15usize, 17, 37][rank_pick];
+        let x = case.coo;
+        let dims = x.dims();
+        let factors = seeded_factors(dims, rank, seed);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        let expect = dense_mttkrp(&x, &fs, mode);
+
+        let perm = tenblock::tensor::coo::perm_for_mode(mode);
+        let grid = [
+            ga.min(dims[perm[0]].max(1)),
+            gb.min(dims[perm[1]].max(1)),
+            gc.min(dims[perm[2]].max(1)),
+        ];
+        let cfg = KernelConfig { grid, strip_width: strip, ..Default::default() };
+        for kind in KernelKind::ALL {
+            let k = build_kernel(kind, &x, mode, &cfg);
+            let mut out = DenseMatrix::zeros(dims[mode], rank);
+            k.mttkrp(&fs, &mut out);
+            prop_assert!(
+                expect.approx_eq(&out, 1e-9),
+                "{kind:?} ({}) mode {mode} rank {rank} grid {grid:?} strip {strip}: max diff {}",
+                case.label,
+                expect.max_abs_diff(&out)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_output_slices_stay_zero_in_every_kernel(
+        case in ArbFuzzCase,
+        mode in 0usize..3,
+        seed in proptest::num::u64::ANY,
+    ) {
+        // Hollow out the output mode: drop every entry whose output-mode
+        // coordinate is even, so those rows have no contributing nonzeros.
+        let dims = case.coo.dims();
+        let entries: Vec<Entry> = case
+            .coo
+            .entries()
+            .iter()
+            .copied()
+            .filter(|e| e.idx[mode] % 2 == 1)
+            .collect();
+        let x = CooTensor::from_entries(dims, entries);
+        let rank = 17; // off the register-block multiple on purpose
+        let factors = seeded_factors(dims, rank, seed);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        let expect = dense_mttkrp(&x, &fs, mode);
+
+        let perm = tenblock::tensor::coo::perm_for_mode(mode);
+        let grid = [
+            2usize.min(dims[perm[0]].max(1)),
+            2usize.min(dims[perm[1]].max(1)),
+            2usize.min(dims[perm[2]].max(1)),
+        ];
+        let cfg = KernelConfig { grid, strip_width: 8, ..Default::default() };
+        for kind in KernelKind::ALL {
+            let k = build_kernel(kind, &x, mode, &cfg);
+            let mut out = DenseMatrix::zeros(dims[mode], rank);
+            k.mttkrp(&fs, &mut out);
+            prop_assert!(
+                expect.approx_eq(&out, 1e-9),
+                "{kind:?} ({}) mode {mode}: max diff {}",
+                case.label,
+                expect.max_abs_diff(&out)
+            );
+            for r in (0..dims[mode]).step_by(2) {
+                prop_assert!(
+                    out.row(r).iter().all(|&v| v == 0.0),
+                    "{kind:?} ({}) mode {mode}: wrote into empty slice {r}",
+                    case.label
+                );
+            }
         }
     }
 
