@@ -10,7 +10,7 @@
 //! violation before any task runs.
 
 use tenblock_check::{Violation, WriteSet};
-use tenblock_tensor::{CsfTensor, SplattTensor};
+use tenblock_tensor::{BcooTensor, CsfTensor, SplattTensor};
 
 /// Write sets for output rows handed out `chunk` rows at a time over a
 /// SPLATT tensor — the partitioning of the SPLATT kernel's
@@ -50,6 +50,25 @@ pub(crate) fn block_row_write_sets<'a>(
         let mut ws = WriteSet::new(a, w[0]..w[1]);
         for t in row_blocks(a) {
             ws = ws.touch_all((0..t.n_slices()).map(|s| t.slice_global(s)));
+        }
+        sets.push(ws);
+    }
+    sets
+}
+
+/// Write sets for the BCOO kernel, parallel over slice-axis block rows:
+/// task `a` owns `bounds0[a]..bounds0[a+1]` and touches the global output
+/// row of every nonzero in every block of row `a`. Touches decode as
+/// `block origin + stored local offset` — independent of the bounds
+/// arithmetic — so a drifted boundary shows up as an overlap against the
+/// neighboring task's claim.
+pub(crate) fn bcoo_row_write_sets(t: &BcooTensor) -> Vec<WriteSet> {
+    let bounds0 = t.bounds(0);
+    let mut sets = Vec::new();
+    for (a, w) in bounds0.windows(2).enumerate() {
+        let mut ws = WriteSet::new(a, w[0]..w[1]);
+        for i in t.row_blocks(a) {
+            ws = ws.touch_all(t.block_slice_rows(i));
         }
         sets.push(ws);
     }

@@ -2,7 +2,7 @@
 
 use crate::block::{MbKernel, MbRankBKernel, RankBKernel};
 use crate::exec::ExecPolicy;
-use crate::mttkrp::{CooKernel, Csf3Kernel, SplattKernel};
+use crate::mttkrp::{BcooKernel, CooKernel, Csf3Kernel, SplattKernel};
 use tenblock_check::RaceReport;
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
 
@@ -67,18 +67,36 @@ pub enum KernelKind {
     /// Compressed sparse fiber (the higher-order format of ref. [12]),
     /// with rank blocking.
     Csf,
+    /// Block-native coordinate storage with the register-tiled dense
+    /// micro-kernel (Section V-A as a data layout).
+    Bcoo,
 }
 
 impl KernelKind {
     /// All kinds, in paper presentation order.
-    pub const ALL: [KernelKind; 6] = [
+    pub const ALL: [KernelKind; 7] = [
         KernelKind::Coo,
         KernelKind::Splatt,
         KernelKind::Mb,
         KernelKind::RankB,
         KernelKind::MbRankB,
         KernelKind::Csf,
+        KernelKind::Bcoo,
     ];
+
+    /// Canonical lowercase name, as accepted by the CLI and serve
+    /// `kernel` parameters and stored in cached plans.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelKind::Coo => "coo",
+            KernelKind::Splatt => "splatt",
+            KernelKind::Mb => "mb",
+            KernelKind::RankB => "rankb",
+            KernelKind::MbRankB => "mbrankb",
+            KernelKind::Csf => "csf",
+            KernelKind::Bcoo => "bcoo",
+        }
+    }
 }
 
 /// Blocking and execution parameters for [`build_kernel`].
@@ -251,6 +269,7 @@ fn build_validated(
                 .with_strip_width(strip)
                 .with_exec(exec),
         ),
+        KernelKind::Bcoo => Box::new(BcooKernel::new(coo, mode, cfg.grid, strip).with_exec(exec)),
     }
 }
 

@@ -2,12 +2,15 @@
 //! (Algorithm 1), and a dense reference implementation.
 
 mod allmode;
+mod bcoo;
 mod coo;
 mod csf;
 mod dense_ref;
+mod micro;
 mod splatt;
 
 pub use allmode::AllModeKernel;
+pub use bcoo::BcooKernel;
 pub use coo::CooKernel;
 pub use csf::{nd_mttkrp_reference, Csf3Kernel, CsfKernel};
 pub use dense_ref::dense_mttkrp;
@@ -18,6 +21,18 @@ use tenblock_tensor::{DenseMatrix, SplattTensor, StripMatrix};
 /// Register-block width: 16 doubles = 128 bytes = one POWER8 cache line,
 /// the paper's `N_RegB = 16` (Algorithm 2).
 pub const REG_BLOCK: usize = 16;
+
+/// The full [`REG_BLOCK`]-wide chunk of `row` starting at `col`.
+///
+/// Shared by every register loop so the one infallible slice-to-array
+/// conversion (and its lint waiver) lives in a single place. Callers
+/// guarantee `col + REG_BLOCK <= row.len()`.
+#[inline(always)]
+pub(crate) fn reg_chunk(row: &[f64], col: usize) -> &[f64; REG_BLOCK] {
+    // Infallible: the slice is exactly REG_BLOCK long, and the hot loops
+    // must stay branch-free.
+    row[col..col + REG_BLOCK].try_into().unwrap() // lint: allow(no-unwrap)
+}
 
 /// A read-only view of one column window of a factor matrix, by row.
 ///
@@ -151,16 +166,12 @@ pub(crate) fn process_block_rankb<B: RowWindow, C: RowWindow>(
                 let mut reg = [0.0f64; REG_BLOCK];
                 for n in nz.clone() {
                     let v = vals[n];
-                    let brow = b.window(j_idx[n] as usize);
-                    // Infallible: the slice is exactly REG_BLOCK long, and
-                    // the hot loop must stay branch-free.
-                    let bchunk: &[f64; REG_BLOCK] = brow[col..col + REG_BLOCK].try_into().unwrap(); // lint: allow(no-unwrap)
+                    let bchunk = reg_chunk(b.window(j_idx[n] as usize), col);
                     for l in 0..REG_BLOCK {
                         reg[l] += v * bchunk[l];
                     }
                 }
-                // Infallible for the same reason as `bchunk` above.
-                let cchunk: &[f64; REG_BLOCK] = crow[col..col + REG_BLOCK].try_into().unwrap(); // lint: allow(no-unwrap)
+                let cchunk = reg_chunk(crow, col);
                 let orow = &mut out_rows[obase + col..obase + col + REG_BLOCK];
                 for l in 0..REG_BLOCK {
                     orow[l] += reg[l] * cchunk[l];

@@ -12,13 +12,19 @@
 //!   particular mode" is always a candidate (the search starts from one
 //!   block).
 //!
+//! * **Storage layout**: once the grid and strip are settled, the winner
+//!   competes against the BCOO kernel at the same configuration — the
+//!   block-native layout wins when the blocks are dense enough to amortize
+//!   its per-block factor gather, and the selected [`KernelKind`] is part
+//!   of the result.
+//!
 //! The search cost is `O(log2 I_n)` per mode, "relatively inexpensive
 //! compared to the 10–1000s of iterations required for decomposition".
 
 use crate::block::MbRankBKernel;
 use crate::exec::ExecPolicy;
-use crate::kernel::MttkrpKernel;
-use crate::mttkrp::REG_BLOCK;
+use crate::kernel::{KernelKind, MttkrpKernel};
+use crate::mttkrp::{BcooKernel, REG_BLOCK};
 use std::time::Instant;
 use tenblock_tensor::coo::perm_for_mode;
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
@@ -106,6 +112,8 @@ impl TuneOptions {
 /// One timed candidate configuration.
 #[derive(Debug, Clone)]
 pub struct TuneSample {
+    /// Kernel family of the candidate.
+    pub kind: KernelKind,
     /// MB grid (kernel axes) of the candidate.
     pub grid: [usize; NMODES],
     /// RankB strip width of the candidate.
@@ -117,6 +125,9 @@ pub struct TuneSample {
 /// Result of the heuristic search.
 #[derive(Debug, Clone)]
 pub struct TuneResult {
+    /// Selected kernel family ([`KernelKind::MbRankB`] or
+    /// [`KernelKind::Bcoo`]).
+    pub kind: KernelKind,
     /// Selected MB grid (kernel axes: slice, `j`, `k`).
     pub grid: [usize; NMODES],
     /// Selected RankB strip width in columns.
@@ -185,10 +196,12 @@ fn timing_factors(coo: &CooTensor, rank: usize, seed: u64) -> Vec<DenseMatrix> {
         .collect()
 }
 
-/// Times one configuration: best of `reps` runs of a freshly built
-/// MB+RankB kernel (construction cost excluded, as the paper amortizes it
-/// over the CPD iterations).
+/// Times one configuration: best of `reps` runs of a freshly built kernel
+/// of the candidate family (construction cost excluded, as the paper
+/// amortizes it over the CPD iterations).
+#[allow(clippy::too_many_arguments)]
 fn time_config(
+    kind: KernelKind,
     coo: &CooTensor,
     mode: usize,
     grid: [usize; NMODES],
@@ -203,7 +216,10 @@ fn time_config(
         threads: opts.exec.threads,
         ..ExecPolicy::default()
     };
-    let kernel = MbRankBKernel::new(coo, mode, grid, strip_width).with_exec(exec);
+    let kernel: Box<dyn MttkrpKernel> = match kind {
+        KernelKind::Bcoo => Box::new(BcooKernel::new(coo, mode, grid, strip_width).with_exec(exec)),
+        _ => Box::new(MbRankBKernel::new(coo, mode, grid, strip_width).with_exec(exec)),
+    };
     let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
     let mut best = f64::INFINITY;
     for _ in 0..opts.reps.max(1) {
@@ -267,29 +283,32 @@ fn tune_validated(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResul
     let tune_span = opts.exec.recorder.span("tune");
     tune_span.annotate_num("mode", mode as f64);
 
-    let mut eval = |grid: [usize; NMODES], strip: usize, history: &mut Vec<TuneSample>| {
-        let span = opts.exec.recorder.span("tune/candidate");
-        let secs = time_config(coo, mode, grid, strip, &factors, &mut out, opts);
-        if span.active() {
-            span.annotate_str("grid", &format!("{}x{}x{}", grid[0], grid[1], grid[2]));
-            span.annotate_num("strip_width", strip as f64);
-            span.annotate_num("secs", secs);
-        }
-        history.push(TuneSample {
-            grid,
-            strip_width: strip,
-            secs,
-        });
-        secs
-    };
+    let mut eval =
+        |kind: KernelKind, grid: [usize; NMODES], strip: usize, history: &mut Vec<TuneSample>| {
+            let span = opts.exec.recorder.span("tune/candidate");
+            let secs = time_config(kind, coo, mode, grid, strip, &factors, &mut out, opts);
+            if span.active() {
+                span.annotate_str("kernel", kind.as_str());
+                span.annotate_str("grid", &format!("{}x{}x{}", grid[0], grid[1], grid[2]));
+                span.annotate_num("strip_width", strip as f64);
+                span.annotate_num("secs", secs);
+            }
+            history.push(TuneSample {
+                kind,
+                grid,
+                strip_width: strip,
+                secs,
+            });
+            secs
+        };
 
     // --- Phase 1: rank strip width, 16-column increments, stop when the
     // time stops improving. Width == rank means a single strip.
     let mut best_strip = opts.rank.max(1);
-    let mut best_secs = eval([1, 1, 1], best_strip, &mut history);
+    let mut best_secs = eval(KernelKind::MbRankB, [1, 1, 1], best_strip, &mut history);
     let mut width = REG_BLOCK;
     while width < opts.rank {
-        let secs = eval([1, 1, 1], width, &mut history);
+        let secs = eval(KernelKind::MbRankB, [1, 1, 1], width, &mut history);
         if secs < best_secs {
             best_secs = secs;
             best_strip = width;
@@ -316,7 +335,7 @@ fn tune_validated(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResul
             }
             let mut cand = grid;
             cand[ax] = next;
-            let secs = eval(cand, best_strip, &mut history);
+            let secs = eval(KernelKind::MbRankB, cand, best_strip, &mut history);
             if secs < best_secs {
                 best_secs = secs;
                 grid = cand;
@@ -327,7 +346,17 @@ fn tune_validated(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResul
         }
     }
 
+    // --- Phase 3: storage layout. The MB+RankB winner competes against the
+    // block-native BCOO kernel at the same grid and strip width.
+    let mut kind = KernelKind::MbRankB;
+    let secs = eval(KernelKind::Bcoo, grid, best_strip, &mut history);
+    if secs < best_secs {
+        best_secs = secs;
+        kind = KernelKind::Bcoo;
+    }
+
     TuneResult {
+        kind,
         grid,
         strip_width: best_strip,
         best_secs,
@@ -360,6 +389,10 @@ mod tests {
         assert!(r.best_secs.is_finite());
         // best time must appear in history
         assert!(r.history.iter().any(|s| s.secs <= r.best_secs + 1e-12));
+        // the layout phase always runs, so a BCOO candidate is in history
+        // and the selected kind is one of the two finalists
+        assert!(r.history.iter().any(|s| s.kind == KernelKind::Bcoo));
+        assert!(matches!(r.kind, KernelKind::MbRankB | KernelKind::Bcoo));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! Each tensor class targets a boundary the kernels or the tuner have
 //! historically mishandled elsewhere: empty tensors, degenerate (length-0
 //! or length-1) modes, all-duplicate coordinates, hyper-sparse long-tail
-//! dimensions, and ranks straddling the register-block width. The `.tns`
+//! dimensions, ranks straddling the register-block width, and clustered
+//! dense blocks (the BCOO micro-kernel's target profile). The `.tns`
 //! mutator starts from a well-formed file and injects the malformations
 //! the parser must reject (or survive) without panicking.
 
@@ -47,7 +48,7 @@ fn entries_in(rng: &mut FuzzRng, dims: [usize; NMODES], n: usize) -> Vec<Entry> 
 /// coordinates are the `.tns` mutator's job and stay in the parse stage.
 pub fn arb_case(rng: &mut FuzzRng) -> FuzzCase {
     let rank = *rng.pick(&RANKS);
-    let (label, coo) = match rng.below(8) {
+    let (label, coo) = match rng.below(9) {
         0 => {
             // Empty tensor; modes may be zero-length.
             let dims = std::array::from_fn(|_| rng.below(6));
@@ -107,12 +108,43 @@ pub fn arb_case(rng: &mut FuzzRng) -> FuzzCase {
             let entries = entries_in(rng, dims, n);
             ("uniform", CooTensor::from_entries(dims, entries))
         }
-        _ => {
+        7 => {
             // Mode lengths straddling the register-block width (16).
             let dims = std::array::from_fn(|_| 15 + rng.below(4));
             let n = rng.below(120);
             let entries = entries_in(rng, dims, n);
             ("reg-block-edge", CooTensor::from_entries(dims, entries))
+        }
+        _ => {
+            // Clustered blocks: a few dense boxes on a sparse background —
+            // the occupancy profile the BCOO dense micro-kernel targets
+            // (its gather path runs on the boxes, the direct path on the
+            // background).
+            let dims: [usize; NMODES] = std::array::from_fn(|_| 8 + rng.below(57));
+            let background = rng.below(25);
+            let mut entries = entries_in(rng, dims, background);
+            for _ in 0..1 + rng.below(4) {
+                let side: [usize; NMODES] = std::array::from_fn(|m| 1 + rng.below(dims[m].min(6)));
+                let base: [usize; NMODES] =
+                    std::array::from_fn(|m| rng.below(dims[m] - side[m] + 1));
+                for i in 0..side[0] {
+                    for j in 0..side[1] {
+                        for k in 0..side[2] {
+                            if rng.below(4) != 0 {
+                                entries.push(Entry {
+                                    idx: [
+                                        (base[0] + i) as Idx,
+                                        (base[1] + j) as Idx,
+                                        (base[2] + k) as Idx,
+                                    ],
+                                    val: rng.signed_unit(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            ("clustered-blocks", CooTensor::from_entries(dims, entries))
         }
     };
     FuzzCase { label, coo, rank }
@@ -282,7 +314,7 @@ mod tests {
         for _ in 0..400 {
             seen.insert(arb_case(&mut rng).label);
         }
-        assert!(seen.len() >= 7, "only saw {seen:?}");
+        assert!(seen.len() >= 8, "only saw {seen:?}");
     }
 
     #[test]

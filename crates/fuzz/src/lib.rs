@@ -5,8 +5,9 @@
 //!
 //! 1. **Differential stage** — an adversarial [`CooTensor`] (empty
 //!    tensors, single-slice/single-fiber shapes, all-duplicate
-//!    coordinates, hyper-sparse long-tail dimensions, ranks straddling
-//!    the register block) runs through all six MTTKRP kernels, the
+//!    coordinates, hyper-sparse long-tail dimensions, clustered dense
+//!    blocks, ranks straddling the register block) runs through all
+//!    seven MTTKRP kernels, the BCOO storage round-trip, the
 //!    block-size tuner, and (sampled) the distributed executors. Results
 //!    are cross-checked against the dense reference and the
 //!    `tenblock-check` oracles; invalid requests must come back as typed

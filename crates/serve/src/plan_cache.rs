@@ -44,6 +44,10 @@ impl PlanKey {
 /// A memoized tuning decision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TunedPlan {
+    /// Kernel kind the tuner selected (e.g. `"mbrankb"`, `"bcoo"`).
+    /// Files written before this field existed load as `"mbrankb"`, which
+    /// was the only kernel the tuner could pick back then.
+    pub kernel: String,
     /// Selected MB grid (kernel axes).
     pub grid: [usize; NMODES],
     /// Selected RankB strip width in columns.
@@ -60,6 +64,7 @@ impl TunedPlan {
                 Json::str(format!("{:016x}", key.fingerprint)),
             ),
             ("rank", Json::usize(key.rank)),
+            ("kernel", Json::str(self.kernel.clone())),
             (
                 "grid",
                 Json::Arr(self.grid.iter().map(|&g| Json::usize(g)).collect()),
@@ -72,6 +77,7 @@ impl TunedPlan {
     fn from_json(v: &Json) -> Option<(PlanKey, TunedPlan)> {
         let fingerprint = u64::from_str_radix(v.get_str("fingerprint")?, 16).ok()?;
         let rank = v.get_usize("rank")?;
+        let kernel = v.get_str("kernel").unwrap_or("mbrankb").to_string();
         let grid_arr = match v.get("grid") {
             Some(Json::Arr(items)) if items.len() == NMODES => items,
             _ => return None,
@@ -88,6 +94,7 @@ impl TunedPlan {
         Some((
             PlanKey { fingerprint, rank },
             TunedPlan {
+                kernel,
                 grid,
                 strip_width,
                 best_secs,
@@ -286,6 +293,7 @@ mod tests {
 
     fn plan(g: usize) -> TunedPlan {
         TunedPlan {
+            kernel: "mbrankb".to_string(),
             grid: [g, 2, 1],
             strip_width: 16,
             best_secs: 0.25,
@@ -380,12 +388,32 @@ mod tests {
         let cache = PlanCache::open(&path).unwrap();
         assert_eq!(cache.len(), 1, "the good entry survives");
         assert_eq!(cache.skipped(), 2);
-        assert!(cache
+        let loaded = cache
             .lookup(PlanKey {
                 fingerprint: 0xab,
-                rank: 16
+                rank: 16,
             })
-            .is_some());
+            .unwrap();
+        assert_eq!(
+            loaded.kernel, "mbrankb",
+            "pre-kernel-field entries load with the historical default"
+        );
+    }
+
+    #[test]
+    fn kernel_kind_round_trips() {
+        let path = tmpdir().join("plans_kernel.json");
+        let _ = std::fs::remove_file(&path);
+        let cache = PlanCache::open(&path).unwrap();
+        let key = PlanKey {
+            fingerprint: 0x1234,
+            rank: 16,
+        };
+        let mut p = plan(4);
+        p.kernel = "bcoo".to_string();
+        cache.insert(key, p.clone()).unwrap();
+        let reloaded = PlanCache::open(&path).unwrap();
+        assert_eq!(reloaded.lookup(key), Some(p));
     }
 
     #[test]

@@ -139,6 +139,7 @@ fn kernel_by_name(name: &str) -> Option<KernelKind> {
         "rankb" => Some(KernelKind::RankB),
         "mbrankb" | "mb+rankb" => Some(KernelKind::MbRankB),
         "csf" => Some(KernelKind::Csf),
+        "bcoo" => Some(KernelKind::Bcoo),
         _ => None,
     }
 }
@@ -240,6 +241,7 @@ fn run_traced(core: &ServiceCore, rec: &Rec, payload: JobPayload) -> Result<Json
                     // job with a typed message instead of panicking a worker.
                     let r = try_tune(&entry.coo, 0, &opts).map_err(|e| format!("tune: {e}"))?;
                     Ok(TunedPlan {
+                        kernel: r.kind.as_str().to_string(),
                         grid: r.grid,
                         strip_width: r.strip_width,
                         best_secs: r.best_secs,
@@ -254,6 +256,7 @@ fn run_traced(core: &ServiceCore, rec: &Rec, payload: JobPayload) -> Result<Json
             Ok(Json::obj([
                 ("tensor", Json::str(tensor)),
                 ("rank", Json::usize(rank)),
+                ("kernel", Json::str(plan.kernel.clone())),
                 (
                     "grid",
                     Json::Arr(plan.grid.iter().map(|&g| Json::usize(g)).collect()),

@@ -7,6 +7,9 @@
 //!
 //! * [`CooTensor`] — the coordinate format of Figure 1a of the paper,
 //! * [`SplattTensor`] — the fiber-compressed SPLATT format of Figure 1b,
+//! * [`BcooTensor`] — block-native coordinate storage: a table of nonempty
+//!   blocks, each a mini-tensor of byte-wide local offsets (Section V-A as
+//!   a data layout rather than an iteration order),
 //! * [`DenseMatrix`] / [`StripMatrix`] — row-major factor matrices and the
 //!   rank-strip layout used by rank blocking (Section V-B),
 //! * [`io`] — FROSTT `.tns` reading/writing,
@@ -22,6 +25,7 @@
 // crate (triangular solves, coordinate walks); silence the style lint.
 #![allow(clippy::needless_range_loop)]
 
+pub mod bcoo;
 pub mod coo;
 pub mod csf;
 pub mod dense;
@@ -34,6 +38,7 @@ pub mod splatt;
 pub mod stats;
 pub mod validate;
 
+pub use bcoo::BcooTensor;
 pub use coo::{CooTensor, Entry, TensorError};
 pub use csf::CsfTensor;
 pub use dense::{DenseMatrix, StripMatrix};

@@ -80,6 +80,46 @@ impl TensorStats {
     }
 }
 
+/// Nonzeros per nonempty block of the mode-`mode` kernel grid, sorted
+/// descending — the occupancy profile that predicts when the BCOO layout
+/// pays off (a few hot, dense blocks amortize the per-block factor gather;
+/// a uniform scatter of near-empty blocks does not).
+pub fn block_occupancy(t: &CooTensor, mode: usize, grid: [usize; NMODES]) -> Vec<usize> {
+    let b = crate::bcoo::BcooTensor::from_coo(t, mode, grid);
+    let mut counts: Vec<usize> = (0..b.n_blocks()).map(|i| b.block_range(i).len()).collect();
+    counts.sort_unstable_by(|x, y| y.cmp(x));
+    counts
+}
+
+/// Renders block-occupancy counts as a power-of-two histogram, one line
+/// per bucket: `nnz/block` range, block count, and a proportional bar.
+pub fn occupancy_histogram(counts: &[usize]) -> String {
+    if counts.is_empty() {
+        return "  (no nonempty blocks)\n".to_string();
+    }
+    // Bucket b holds counts in [2^b, 2^(b+1)).
+    let max = *counts.iter().max().unwrap_or(&1);
+    let n_buckets = usize::BITS as usize - max.max(1).leading_zeros() as usize;
+    let mut buckets = vec![0usize; n_buckets];
+    for &c in counts {
+        buckets[usize::BITS as usize - 1 - c.max(1).leading_zeros() as usize] += 1;
+    }
+    let tallest = *buckets.iter().max().unwrap_or(&1);
+    let mut out = String::new();
+    for (b, &n) in buckets.iter().enumerate() {
+        let lo = 1usize << b;
+        let hi = (1usize << (b + 1)) - 1;
+        let range = if lo == hi {
+            format!("{lo}")
+        } else {
+            format!("{lo}-{hi}")
+        };
+        let bar = "#".repeat((n * 40).div_ceil(tallest.max(1)).min(40));
+        out.push_str(&format!("  {range:>13} nnz/block {n:>7} blocks {bar}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +150,27 @@ mod tests {
         assert_eq!(s.sparsity, 0.0);
         assert_eq!(s.fibers, [0, 0, 0]);
         assert_eq!(s.nnz_per_fiber, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn block_occupancy_counts_and_histogram() {
+        // A dense 2x2x2 corner plus one far-away nonzero: one block of 8
+        // and one block of 1 under a 2x2x2 grid.
+        let mut entries = Vec::new();
+        for i in 0..2u32 {
+            for j in 0..2u32 {
+                for k in 0..2u32 {
+                    entries.push(crate::Entry::new(i, j, k, 1.0));
+                }
+            }
+        }
+        entries.push(crate::Entry::new(7, 7, 7, 1.0));
+        let t = CooTensor::from_entries([8, 8, 8], entries);
+        let counts = block_occupancy(&t, 0, [2, 2, 2]);
+        assert_eq!(counts, vec![8, 1]);
+        let h = occupancy_histogram(&counts);
+        assert!(h.contains("1 nnz/block"), "{h}");
+        assert!(h.contains("8-15 nnz/block"), "{h}");
+        assert!(occupancy_histogram(&[]).contains("no nonempty blocks"));
     }
 }

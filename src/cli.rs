@@ -116,6 +116,7 @@ pub fn kernel_by_name(name: &str) -> Option<KernelKind> {
         "rankb" => Some(KernelKind::RankB),
         "mbrankb" | "mb+rankb" => Some(KernelKind::MbRankB),
         "csf" => Some(KernelKind::Csf),
+        "bcoo" => Some(KernelKind::Bcoo),
         _ => None,
     }
 }
@@ -125,13 +126,14 @@ pub const USAGE: &str =
     "tenblock — blocking-optimized sparse tensor kernels (IPDPS'18 reproduction)
 
 USAGE:
-  tenblock stats <file>
+  tenblock stats <file> [--grid AxBxC]
   tenblock convert <in> <out>
   tenblock gen <dataset> <out> [--nnz N] [--seed S]
-  tenblock bench <file> [--rank R] [--reps N] [--trace [path]]
+  tenblock bench <file> [--rank R] [--reps N] [--grid AxBxC] [--strip W]
+                       [--trace [path]]
   tenblock tune <file> [--rank R] [--plan-cache <path>] [--trace [path]]
   tenblock decompose <file> [--rank R] [--iters N] [--method als|apr]
-                            [--kernel splatt|mb|rankb|mbrankb]
+                            [--kernel splatt|mb|rankb|mbrankb|bcoo]
                             [--plan-cache <path>] [--trace [path]]
   tenblock serve --addr <host:port> [--workers N] [--queue N]
                  [--plan-cache <path>]
@@ -140,6 +142,10 @@ USAGE:
   tenblock lint [root]
 
 Files: .tns (FROSTT text) or .tnsb (tenblock binary).
+`stats --grid AxBxC` additionally prints a block-occupancy histogram of
+the mode-1 BCOO blocking under that grid (how many nonzeros each
+nonempty block holds — the profile that decides whether the BCOO
+dense micro-kernel pays off).
 Datasets: Poisson1-3, NELL2, Netflix, Reddit, Amazon (scaled analogues).
 --trace records execution spans (kernel calls, ALS iterations, tune
 candidates) with Section IV byte/flop counters and writes chrome://tracing
@@ -157,6 +163,23 @@ nonzero on any finding.
 serve/core, deprecated constructors, undocumented core pub fns,
 lock().unwrap() outside shims) and exits nonzero on findings.
 The serve protocol is line-delimited JSON; see crates/serve/README.md.";
+
+/// Parses a `--grid AxBxC` spec, clamping each axis into `1..=dim` so
+/// oversized requests on small tensors degrade to coarser grids instead
+/// of erroring.
+fn parse_grid(spec: &str, dims: [usize; 3]) -> Result<[usize; 3], String> {
+    let parts: Vec<usize> = spec
+        .split(['x', 'X'])
+        .map(|p| p.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("bad --grid `{spec}` (expected AxBxC, e.g. 4x4x2)"))?;
+    if parts.len() != 3 || parts.contains(&0) {
+        return Err(format!(
+            "bad --grid `{spec}` (expected three positive axes AxBxC)"
+        ));
+    }
+    Ok(std::array::from_fn(|ax| parts[ax].min(dims[ax].max(1))))
+}
 
 /// Resolves `--trace [path]`: present without a value means `trace.json`.
 fn trace_path(args: &Args) -> Option<std::path::PathBuf> {
@@ -206,6 +229,18 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 s.fibers,
                 s.nnz_per_fiber.map(|v| (v * 100.0).round() / 100.0)
             ));
+            if let Some(spec) = args.flag("grid") {
+                let grid = parse_grid(spec, t.dims())?;
+                let counts = tenblock_tensor::stats::block_occupancy(&t, 0, grid);
+                out.push_str(&format!(
+                    "\nblock occupancy (mode-1 BCOO, grid {}x{}x{}): {} nonempty blocks\n",
+                    grid[0],
+                    grid[1],
+                    grid[2],
+                    counts.len()
+                ));
+                out.push_str(&tenblock_tensor::stats::occupancy_histogram(&counts));
+            }
             Ok(out)
         }
         "convert" => {
@@ -245,15 +280,24 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let mut out = DenseMatrix::zeros(t.dims()[0], rank);
             let trace = trace_path(args);
             let tracer = Arc::new(TraceRecorder::new());
+            let grid = match args.flag("grid") {
+                Some(spec) => parse_grid(spec, t.dims())?,
+                None => [4, 4, 2],
+            };
             let cfg = KernelConfig {
-                grid: [4, 4, 2],
-                strip_width: 16,
+                grid,
+                strip_width: args.flag_or("strip", 16),
                 exec: with_tracing(ExecPolicy::serial(), &trace, &tracer),
             };
             let mut lines = vec![format!(
-                "mode-1 MTTKRP on {path}: nnz {}, rank {rank} (best of {reps})",
-                t.nnz()
+                "mode-1 MTTKRP on {path}: nnz {}, rank {rank}, grid {}x{}x{}, strip {} (best of {reps})",
+                t.nnz(),
+                cfg.grid[0],
+                cfg.grid[1],
+                cfg.grid[2],
+                cfg.strip_width,
             )];
+            let nnz = t.nnz().max(1) as f64;
             for kind in KernelKind::ALL {
                 let k = build_kernel(kind, &t, 0, &cfg);
                 let mut best = f64::INFINITY;
@@ -262,7 +306,12 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                     k.mttkrp(&fs, &mut out);
                     best = best.min(t0.elapsed().as_secs_f64());
                 }
-                lines.push(format!("  {:<10} {:>10.4} s", k.name(), best));
+                lines.push(format!(
+                    "  {:<10} {:>10.4} s   {:>6.1} tensor B/nnz",
+                    k.name(),
+                    best,
+                    k.tensor_bytes() as f64 / nnz
+                ));
             }
             let mut msg = lines.join("\n");
             if let Some(p) = trace {
@@ -278,8 +327,13 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let key = PlanKey::of(&TensorStats::of(&t), rank);
             if let Some(plan) = cache.as_ref().and_then(|c| c.lookup(key)) {
                 return Ok(format!(
-                    "plan cache hit: grid {}x{}x{}, strip width {} ({:.4} s/MTTKRP when tuned)",
-                    plan.grid[0], plan.grid[1], plan.grid[2], plan.strip_width, plan.best_secs
+                    "plan cache hit: kernel {}, grid {}x{}x{}, strip width {} ({:.4} s/MTTKRP when tuned)",
+                    plan.kernel,
+                    plan.grid[0],
+                    plan.grid[1],
+                    plan.grid[2],
+                    plan.strip_width,
+                    plan.best_secs
                 ));
             }
             let trace = trace_path(args);
@@ -290,6 +344,7 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let r = tune(&t, 0, &opts);
             if let Some(cache) = &cache {
                 let plan = TunedPlan {
+                    kernel: r.kind.as_str().to_string(),
                     grid: r.grid,
                     strip_width: r.strip_width,
                     best_secs: r.best_secs,
@@ -299,7 +354,8 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                     .map_err(|e| format!("plan cache write failed: {e}"))?;
             }
             let mut msg = format!(
-                "selected grid {}x{}x{}, strip width {} ({:.4} s/MTTKRP, {} candidates tried)",
+                "selected kernel {}, grid {}x{}x{}, strip width {} ({:.4} s/MTTKRP, {} candidates tried)",
+                r.kind.as_str(),
                 r.grid[0],
                 r.grid[1],
                 r.grid[2],
@@ -317,16 +373,23 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let rank: usize = args.flag_or("rank", 16);
             let iters: usize = args.flag_or("iters", 20);
             let method = args.flag("method").unwrap_or("als");
-            let kernel = kernel_by_name(args.flag("kernel").unwrap_or("mbrankb"))
-                .ok_or("unknown kernel name")?;
             let t = load_tensor(path)?;
             // A cached plan for this tensor's shape and rank beats the
-            // fixed default grid; a miss keeps the default (no tuning run
-            // is triggered implicitly).
+            // fixed default grid (and, when `--kernel` is not given, its
+            // tuned kernel kind beats the default); a miss keeps the
+            // defaults (no tuning run is triggered implicitly).
             let trace = trace_path(args);
             let tracer = Arc::new(TraceRecorder::new());
-            let mut cfg = open_plan_cache(args)?
-                .and_then(|c| c.lookup(PlanKey::of(&TensorStats::of(&t), rank)))
+            let plan = open_plan_cache(args)?
+                .and_then(|c| c.lookup(PlanKey::of(&TensorStats::of(&t), rank)));
+            let kernel = match args.flag("kernel") {
+                Some(name) => kernel_by_name(name).ok_or("unknown kernel name")?,
+                None => plan
+                    .as_ref()
+                    .and_then(|p| kernel_by_name(&p.kernel))
+                    .unwrap_or(KernelKind::MbRankB),
+            };
+            let mut cfg = plan
                 .map(|p| KernelConfig {
                     grid: p.grid,
                     strip_width: p.strip_width,
@@ -518,6 +581,17 @@ mod tests {
 
         let stats = run("stats", &Args::parse(std::slice::from_ref(&tns))).unwrap();
         assert!(stats.contains("fibers per mode"));
+        assert!(!stats.contains("block occupancy"), "histogram is opt-in");
+
+        let mut gridded = Args::parse(std::slice::from_ref(&tns));
+        gridded.flags.push(("grid".into(), "4x4x2".into()));
+        let stats = run("stats", &gridded).unwrap();
+        assert!(stats.contains("block occupancy"), "{stats}");
+        assert!(stats.contains("nnz/block"), "{stats}");
+
+        let mut bad = Args::parse(std::slice::from_ref(&tns));
+        bad.flags.push(("grid".into(), "4x0x2".into()));
+        assert!(run("stats", &bad).is_err(), "zero axis must be rejected");
 
         let tnsb = tmpfile("gen.tnsb");
         let msg = run("convert", &Args::parse(&[tns.clone(), tnsb.clone()])).unwrap();
@@ -540,9 +614,11 @@ mod tests {
         let bench = run("bench", &bargs).unwrap();
         assert!(bench.contains("SPLATT"));
         assert!(bench.contains("MB+RankB"));
+        assert!(bench.contains("BCOO"));
 
         let tune_out = run("tune", &bargs).unwrap();
-        assert!(tune_out.contains("selected grid"));
+        assert!(tune_out.contains("selected kernel"));
+        assert!(tune_out.contains("grid"));
 
         let mut dargs = Args::parse(std::slice::from_ref(&tns));
         dargs.flags.push(("rank".into(), "4".into()));
@@ -567,7 +643,7 @@ mod tests {
         targs.flags.push(("rank".into(), "8".into()));
         targs.flags.push(("plan-cache".into(), cache.clone()));
         let first = run("tune", &targs).unwrap();
-        assert!(first.contains("selected grid"), "{first}");
+        assert!(first.contains("selected kernel"), "{first}");
         let second = run("tune", &targs).unwrap();
         assert!(second.contains("plan cache hit"), "{second}");
 

@@ -183,7 +183,7 @@ proptest! {
             .map(|m| DenseMatrix::from_fn(dims[m], rank, |r, c| ((r * 7 + c * 3 + m) % 11) as f64 * 0.2 - 1.0))
             .collect();
         let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
-        for kind in [KernelKind::Splatt, KernelKind::Mb, KernelKind::RankB, KernelKind::MbRankB] {
+        for kind in [KernelKind::Splatt, KernelKind::Mb, KernelKind::RankB, KernelKind::MbRankB, KernelKind::Bcoo] {
             let cfg_seq = KernelConfig { grid: [2, 2, 2], strip_width: 8, exec: ExecPolicy::serial() };
             let cfg_par = KernelConfig { exec: ExecPolicy::auto(), ..cfg_seq.clone() };
             let perm = tenblock::tensor::coo::perm_for_mode(mode);
@@ -200,6 +200,46 @@ proptest! {
             k_seq.mttkrp(&fs, &mut a);
             k_par.mttkrp(&fs, &mut b);
             prop_assert!(a.approx_eq(&b, 1e-12), "{kind:?} parallel mismatch");
+        }
+    }
+
+    #[test]
+    fn bcoo_matches_dense_across_modes_and_reg_block_edges(
+        case in ArbFuzzCase,
+        rank_pick in 0usize..3,
+        ga in 1usize..5,
+        gb in 1usize..5,
+        gc in 1usize..5,
+        strip in 1usize..24,
+        seed in proptest::num::u64::ANY,
+    ) {
+        // BCOO gets its own sweep: ranks straddling REG_BLOCK (16) so the
+        // micro-kernel's full-chunk and remainder column paths both run,
+        // every mode, and grids coarse enough that the gather heuristic
+        // takes both its branches across the fuzz case classes.
+        let rank = [15usize, 16, 17][rank_pick];
+        let x = case.coo;
+        let dims = x.dims();
+        let factors = seeded_factors(dims, rank, seed);
+        let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
+        for mode in 0..3 {
+            let expect = dense_mttkrp(&x, &fs, mode);
+            let perm = tenblock::tensor::coo::perm_for_mode(mode);
+            let grid = [
+                ga.min(dims[perm[0]].max(1)),
+                gb.min(dims[perm[1]].max(1)),
+                gc.min(dims[perm[2]].max(1)),
+            ];
+            let cfg = KernelConfig { grid, strip_width: strip, ..Default::default() };
+            let k = build_kernel(KernelKind::Bcoo, &x, mode, &cfg);
+            let mut out = DenseMatrix::zeros(dims[mode], rank);
+            k.mttkrp(&fs, &mut out);
+            prop_assert!(
+                expect.approx_eq(&out, 1e-9),
+                "BCOO ({}) mode {mode} rank {rank} grid {grid:?} strip {strip}: max diff {}",
+                case.label,
+                expect.max_abs_diff(&out)
+            );
         }
     }
 
