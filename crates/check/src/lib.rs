@@ -15,8 +15,8 @@
 //!    tuner output (block counts achievable for the tensor shape).
 //! 3. **Workspace lint** ([`lint`]): a zero-dependency, line-oriented lint
 //!    enforcing repo rules (no `unwrap()`/`expect()` in non-test serve and
-//!    core code, no deprecated pre-ExecPolicy constructors, doc comments on
-//!    core `pub fn`s, no `lock().unwrap()` outside the shims).
+//!    core code, doc comments on core `pub fn`s, no `lock().unwrap()`
+//!    outside the shims).
 //!
 //! The crate has no dependencies (not even on `tenblock-tensor`), so
 //! `tenblock-core` can depend on it without a cycle: kernels translate

@@ -8,9 +8,6 @@
 //! * [`Rule::NoUnwrap`] — no `.unwrap()` / `.expect(` in non-test
 //!   `crates/serve` and `crates/core` code; production paths return typed
 //!   errors.
-//! * [`Rule::NoDeprecatedExec`] — no calls to the `#[deprecated]`
-//!   pre-`ExecPolicy` constructors (`.with_parallel(...)`) outside test
-//!   code.
 //! * [`Rule::PubFnDoc`] — every `pub fn` in `crates/core` carries a doc
 //!   comment.
 //! * [`Rule::NoLockUnwrap`] — no `lock().unwrap()` outside the shims; a
@@ -35,8 +32,6 @@ use std::path::{Path, PathBuf};
 pub enum Rule {
     /// No `.unwrap()` / `.expect(` in non-test serve/core code.
     NoUnwrap,
-    /// No deprecated pre-ExecPolicy constructors outside tests.
-    NoDeprecatedExec,
     /// Every `pub fn` in `crates/core` has a doc comment.
     PubFnDoc,
     /// No `lock().unwrap()` outside the shims.
@@ -50,7 +45,6 @@ impl Rule {
     pub fn name(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "no-unwrap",
-            Rule::NoDeprecatedExec => "no-deprecated-exec",
             Rule::PubFnDoc => "pub-fn-doc",
             Rule::NoLockUnwrap => "no-lock-unwrap",
             Rule::NoPanicIngest => "no-panic-ingest",
@@ -390,9 +384,6 @@ fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
             if scope.unwrap_scope && (code.contains(".unwrap()") || code.contains(".expect(")) {
                 push(Rule::NoUnwrap);
             }
-            if code.contains(".with_parallel(") {
-                push(Rule::NoDeprecatedExec);
-            }
             if code.contains("lock().unwrap()") {
                 push(Rule::NoLockUnwrap);
             }
@@ -490,7 +481,7 @@ mod tests {
 
     #[test]
     fn tests_directories_are_exempt() {
-        let src = "fn f() { x.unwrap(); m.lock().unwrap(); y.with_parallel(true); }\n";
+        let src = "fn f() { x.unwrap(); m.lock().unwrap(); }\n";
         assert!(lint_source("tests/a.rs", src).is_empty());
         assert!(lint_source("crates/serve/tests/a.rs", src).is_empty());
     }
@@ -536,17 +527,6 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::NoLockUnwrap);
         assert!(lint_source("shims/rayon/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn deprecated_exec_constructors_flagged_outside_tests() {
-        let src = "fn f(k: K) { let _ = k.with_parallel(true); }\n";
-        let f = lint_source("crates/cpd/src/als.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, Rule::NoDeprecatedExec);
-        // The definition site (no leading dot) is not a call.
-        let def = "pub fn with_parallel(mut self, p: bool) -> Self { self }\n";
-        assert!(lint_source("crates/cpd/src/als.rs", def).is_empty());
     }
 
     #[test]

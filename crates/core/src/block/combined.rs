@@ -53,13 +53,6 @@ impl MbRankBKernel {
         self
     }
 
-    /// Enables or disables rayon parallelism over block rows.
-    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
-        self
-    }
-
     /// The underlying grid.
     pub fn grid(&self) -> &BlockGrid {
         &self.grid
@@ -241,9 +234,14 @@ mod tests {
 
         for layout in [RankbLayout::Plain, RankbLayout::Strip] {
             for parallel in [false, true] {
+                let exec = if parallel {
+                    ExecPolicy::auto()
+                } else {
+                    ExecPolicy::serial()
+                };
                 let k = MbRankBKernel::new(&x, 0, [4, 2, 3], 16)
                     .with_layout(layout)
-                    .with_exec(ExecPolicy::from_parallel(parallel));
+                    .with_exec(exec);
                 let mut out = DenseMatrix::zeros(150, rank);
                 k.mttkrp(&fs, &mut out);
                 assert!(

@@ -79,13 +79,6 @@ impl MbKernel {
         self
     }
 
-    /// Enables or disables rayon parallelism over block rows.
-    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
-        self
-    }
-
     /// Selects the block traversal order (ablation knob).
     pub fn with_traversal(mut self, traversal: Traversal) -> Self {
         self.traversal = traversal;

@@ -67,13 +67,6 @@ impl RankBKernel {
         self
     }
 
-    /// Enables or disables rayon parallelism over slices within a strip.
-    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
-        self
-    }
-
     /// The configured strip width.
     pub fn strip_width(&self) -> usize {
         self.strip_width

@@ -4,9 +4,9 @@
 //!
 //! [`ExecPolicy`] is carried by [`crate::KernelConfig`], accepted by every
 //! kernel's `with_exec`, and threaded through [`crate::tune`] and the CPD
-//! solvers. The old per-kernel `.with_parallel(bool)` builders and
-//! `TuneOptions.parallel` remain as `#[deprecated]` shims that forward
-//! here.
+//! solvers. It is the only way to select threading: the pre-`ExecPolicy`
+//! `.with_parallel(bool)` builders went through a `#[deprecated]` cycle
+//! and are gone.
 
 use tenblock_obs::Rec;
 
@@ -95,15 +95,6 @@ impl ExecPolicy {
         }
     }
 
-    /// The policy the old `parallel: bool` flag meant.
-    pub fn from_parallel(parallel: bool) -> Self {
-        if parallel {
-            ExecPolicy::auto()
-        } else {
-            ExecPolicy::serial()
-        }
-    }
-
     /// Attaches a recorder.
     pub fn with_recorder(mut self, recorder: Rec) -> Self {
         self.recorder = recorder;
@@ -162,9 +153,7 @@ mod tests {
     }
 
     #[test]
-    fn from_parallel_matches_legacy_flag() {
-        assert!(ExecPolicy::from_parallel(true).is_parallel());
-        assert!(!ExecPolicy::from_parallel(false).is_parallel());
+    fn default_policy_is_serial_and_unrecorded() {
         assert!(!ExecPolicy::default().is_parallel());
         assert!(!ExecPolicy::default().recorder.enabled());
     }

@@ -52,12 +52,14 @@ mod checked;
 pub mod exec;
 pub mod kernel;
 pub mod mttkrp;
+pub mod stream;
 pub mod tune;
 
 pub use exec::{ExecPolicy, Threads};
 pub use kernel::{
     build_kernel, try_build_kernel, KernelConfig, KernelError, KernelKind, MttkrpKernel,
 };
+pub use stream::{StreamError, StreamingMttkrp};
 pub use tune::{try_tune, tune, TuneError, TuneOptions, TuneResult};
 
 // Re-export the observability vocabulary so downstream crates don't need a

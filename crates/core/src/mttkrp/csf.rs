@@ -49,13 +49,6 @@ impl CsfKernel {
         self
     }
 
-    /// Enables or disables rayon parallelism over root-node chunks.
-    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
-        self
-    }
-
     /// Enables rank blocking with the given strip width (Section V-B
     /// applied to the higher-order kernel: the whole tree is traversed once
     /// per strip, shrinking every level's factor working set).
@@ -301,13 +294,6 @@ impl Csf3Kernel {
     /// Sets the execution policy on the wrapped kernel.
     pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
         self.inner = self.inner.with_exec(exec);
-        self
-    }
-
-    /// Enables rayon parallelism on the wrapped kernel.
-    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.inner.exec.threads = ExecPolicy::from_parallel(parallel).threads;
         self
     }
 }

@@ -6,7 +6,7 @@ mod bcoo;
 mod coo;
 mod csf;
 mod dense_ref;
-mod micro;
+pub(crate) mod micro;
 mod splatt;
 
 pub use allmode::AllModeKernel;

@@ -51,13 +51,6 @@ impl SplattKernel {
         self
     }
 
-    /// Enables or disables rayon parallelism over slices.
-    #[deprecated(note = "use with_exec(ExecPolicy::auto()/serial())")]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
-        self
-    }
-
     /// The underlying SPLATT tensor.
     pub fn tensor(&self) -> &SplattTensor {
         &self.t

@@ -1,0 +1,512 @@
+//! Out-of-core streaming MTTKRP over a [`TensorSource`].
+//!
+//! [`StreamingMttkrp`] runs one mode's MTTKRP by iterating grid tiles
+//! instead of holding a layout: a prefetch thread loads and re-sorts the
+//! next tile while the compute thread runs the BCOO micro-kernel on the
+//! current one (rendezvous channel — classic double buffering, at most
+//! two tiles resident). The result is **bit-for-bit identical** to the
+//! in-memory MB and BCOO kernels in serial mode, which pins down three
+//! invariants this module must never break:
+//!
+//! 1. tiles execute sorted by kernel-axis cell id — the order the BCOO
+//!    block table stores and the MB kernel's block-major loop visits;
+//! 2. entries within a tile execute in `(slice, k, j)` local order — the
+//!    sort `BcooTensor::from_coo` applies (unique coordinates, so the
+//!    unstable sort is deterministic);
+//! 3. tile extents come from the same `uniform_bounds` arithmetic, so
+//!    per-column accumulation order matches term for term.
+//!
+//! Checked mode keeps PR 3's write-set discipline without a second pass:
+//! each slice-axis band owns its bounds-derived row range, the rows each
+//! tile actually decodes are accumulated *during* the stream, and the
+//! usual disjointness/coverage verdict runs once at the end.
+
+use crate::exec::ExecPolicy;
+use crate::mttkrp::micro::{process_block_bcoo, GatherBuf};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::time::Instant;
+use tenblock_check::{write_set_violations, RaceReport, WriteSet};
+use tenblock_obs::{KernelCounters, StreamStats};
+use tenblock_tensor::coo::perm_for_mode;
+use tenblock_tensor::io_bin::BinError;
+use tenblock_tensor::{DenseMatrix, SourceTile, TensorSource, NMODES};
+
+/// Why a streaming pass stopped.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The source failed to produce a tile (I/O or framing).
+    Load(BinError),
+    /// Checked mode refused the result: a tile decoded rows outside its
+    /// band's bounds-derived claim.
+    Race(RaceReport),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Load(e) => write!(f, "tile load failed: {e}"),
+            StreamError::Race(r) => write!(f, "streaming write-set check failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<BinError> for StreamError {
+    fn from(e: BinError) -> Self {
+        StreamError::Load(e)
+    }
+}
+
+/// One prefetched tile, already re-sorted and permuted into kernel axes.
+struct KernelTile {
+    /// Slice-axis grid cell (for checked-mode band accounting).
+    slice_cell: usize,
+    origin: [usize; NMODES],
+    spans: [usize; NMODES],
+    offs: Vec<[u32; NMODES]>,
+    vals: Vec<f64>,
+    bytes: u64,
+}
+
+/// Streaming MTTKRP driver for one mode over any [`TensorSource`].
+pub struct StreamingMttkrp<'a> {
+    src: &'a dyn TensorSource,
+    mode: usize,
+    strip_width: usize,
+    exec: ExecPolicy,
+    stats: Arc<StreamStats>,
+}
+
+impl<'a> StreamingMttkrp<'a> {
+    /// A driver for the mode-`mode` MTTKRP with `strip_width`-column rank
+    /// strips (0 means whole-rank), matching `BcooKernel`'s convention.
+    pub fn new(src: &'a dyn TensorSource, mode: usize, strip_width: usize) -> Self {
+        StreamingMttkrp {
+            src,
+            mode,
+            strip_width: if strip_width == 0 {
+                usize::MAX
+            } else {
+                strip_width
+            },
+            exec: ExecPolicy::serial(),
+            stats: Arc::new(StreamStats::new()),
+        }
+    }
+
+    /// Sets the execution policy. Checked mode enables the per-band
+    /// write-set verdict; the compute loop itself is single-threaded (the
+    /// parallelism is the prefetch overlap).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Shares a stats sink (e.g. one per serve registry entry or CLI
+    /// run) instead of the driver's private one.
+    pub fn with_stats(mut self, stats: Arc<StreamStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The stream counters this driver updates.
+    pub fn stats(&self) -> &Arc<StreamStats> {
+        &self.stats
+    }
+
+    /// The mode this driver computes.
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Runs the mode-`self.mode` MTTKRP into `out`, streaming tiles from
+    /// the source with one prefetch thread.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches (wrong `out` rows, factor rank
+    /// disagreement) — same contract as the in-memory kernels. I/O and
+    /// checked-mode failures come back as typed [`StreamError`]s.
+    pub fn run(
+        &self,
+        factors: &[&DenseMatrix; NMODES],
+        out: &mut DenseMatrix,
+    ) -> Result<(), StreamError> {
+        let perm = perm_for_mode(self.mode);
+        let dims = self.src.dims();
+        let grid = self.src.grid();
+        let b = factors[perm[1]];
+        let c = factors[perm[2]];
+        let rank = out.cols();
+        assert_eq!(out.rows(), dims[self.mode], "output rows != mode length");
+        assert_eq!(b.cols(), rank, "factor rank mismatch");
+        assert_eq!(c.cols(), rank, "factor rank mismatch");
+
+        let span = self.exec.recorder.span("mttkrp/STREAM");
+        if span.active() {
+            span.annotate_num("mode", self.mode as f64);
+            span.annotate_num("tiles", self.src.n_tiles() as f64);
+            span.counters(
+                &KernelCounters::coo_model(self.src.nnz() as u64, rank as u64)
+                    .with_blocks(self.src.n_tiles() as u64),
+            );
+        }
+        out.fill_zero();
+
+        // Invariant 1: kernel-axis cell order — the BCOO block-id order.
+        let mut order: Vec<usize> = (0..self.src.n_tiles()).collect();
+        order.sort_unstable_by_key(|&i| {
+            let cell = self.src.tile_cell(i);
+            [cell[perm[0]], cell[perm[1]], cell[perm[2]]]
+        });
+
+        // Grid bounds per original axis — the shared `uniform_bounds`
+        // contract every source obeys. Spans fed to the micro-kernel come
+        // from here (invariant 3), not from the decoded offsets, so the
+        // per-block gather heuristic sees exactly what `BcooKernel` sees.
+        let bounds: [Vec<usize>; NMODES] = [
+            tenblock_tensor::bcoo::uniform_bounds(dims[0], grid[0]),
+            tenblock_tensor::bcoo::uniform_bounds(dims[1], grid[1]),
+            tenblock_tensor::bcoo::uniform_bounds(dims[2], grid[2]),
+        ];
+
+        // Checked mode: decoded slice rows per slice-axis band,
+        // accumulated during the single pass.
+        let n_bands = grid[perm[0]];
+        let bounds0 = &bounds[perm[0]];
+        let mut touched: Vec<Vec<usize>> = vec![Vec::new(); n_bands];
+
+        let src = self.src;
+        let stats = Arc::clone(&self.stats);
+        let mut scratch = GatherBuf::default();
+        let out_rows = out.as_mut_slice();
+
+        std::thread::scope(|scope| -> Result<(), StreamError> {
+            // Rendezvous channel: the handoff blocks until the compute
+            // thread takes the tile, so at most two tiles are ever
+            // resident (one computing, one prefetched).
+            let (tx, rx) = sync_channel::<Result<KernelTile, BinError>>(0);
+            let bounds = &bounds;
+            scope.spawn(move || {
+                for &i in &order {
+                    let msg = src
+                        .load_tile(i)
+                        .map(|t| prepare_tile(t, perm, src.tile_bytes(i), bounds));
+                    let failed = msg.is_err();
+                    if tx.send(msg).is_err() || failed {
+                        return; // compute side hung up, or error delivered
+                    }
+                }
+            });
+
+            loop {
+                let wait = Instant::now();
+                let msg = match rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break, // prefetcher done
+                };
+                stats.add_stall_ns(wait.elapsed().as_nanos() as u64);
+                let tile = msg?;
+                stats.add_tile(tile.bytes);
+                if self.exec.is_checked() {
+                    let band = &mut touched[tile.slice_cell];
+                    let mut prev = usize::MAX;
+                    for o in &tile.offs {
+                        let row = tile.origin[0] + o[0] as usize;
+                        if row != prev {
+                            band.push(row);
+                            prev = row;
+                        }
+                    }
+                }
+                process_block_bcoo(
+                    &tile.offs,
+                    &tile.vals,
+                    b,
+                    c,
+                    tile.origin,
+                    tile.spans,
+                    out_rows,
+                    0,
+                    rank,
+                    self.strip_width,
+                    &mut scratch,
+                );
+            }
+            Ok(())
+        })?;
+
+        if self.exec.is_checked() {
+            let sets: Vec<WriteSet> = touched
+                .into_iter()
+                .enumerate()
+                .map(|(a, rows)| WriteSet::new(a, bounds0[a]..bounds0[a + 1]).touch_all(rows))
+                .collect();
+            let violations = write_set_violations(dims[self.mode], &sets);
+            RaceReport::check("STREAM", violations).map_err(StreamError::Race)?;
+        }
+        Ok(())
+    }
+}
+
+/// Permutes a loaded tile into kernel axes and applies invariant 2: the
+/// `(slice, k, j)` local entry order the BCOO layout stores. Runs on the
+/// prefetch thread so the sort overlaps compute. `bounds` are the grid
+/// boundaries per *original* axis; spans are bounds-derived so the
+/// micro-kernel's gather heuristic matches the in-memory layout exactly.
+fn prepare_tile(
+    tile: SourceTile,
+    perm: [usize; NMODES],
+    bytes: u64,
+    bounds: &[Vec<usize>; NMODES],
+) -> KernelTile {
+    let n = tile.nnz();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&e| {
+        let l = tile.locals[e as usize];
+        (l[perm[0]], l[perm[2]], l[perm[1]])
+    });
+    let mut offs = Vec::with_capacity(n);
+    let mut vals = Vec::with_capacity(n);
+    for &e in &order {
+        let l = tile.locals[e as usize];
+        offs.push([l[perm[0]], l[perm[1]], l[perm[2]]]);
+        vals.push(tile.vals[e as usize]);
+    }
+    let mut origin = [0usize; NMODES];
+    let mut spans = [0usize; NMODES];
+    for ax in 0..NMODES {
+        let orig_ax = perm[ax];
+        let cell = tile.cell[orig_ax];
+        origin[ax] = tile.origin[orig_ax];
+        spans[ax] = bounds[orig_ax][cell + 1] - bounds[orig_ax][cell];
+    }
+    KernelTile {
+        slice_cell: tile.cell[perm[0]],
+        origin,
+        spans,
+        offs,
+        vals,
+        bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MbKernel;
+    use crate::kernel::MttkrpKernel;
+    use crate::mttkrp::BcooKernel;
+    use tenblock_tensor::gen::{clustered_tensor, uniform_tensor, ClusteredConfig};
+    use tenblock_tensor::{BcooSource, BcooTensor, CooSource, CooTensor};
+
+    fn factors_for(x: &CooTensor, rank: usize) -> Vec<DenseMatrix> {
+        x.dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| {
+                DenseMatrix::from_fn(d, rank, |r, c| {
+                    (((r * 13 + c * 5 + m) % 23) as f64 - 11.0) * 0.05
+                })
+            })
+            .collect()
+    }
+
+    /// Exact (not approximate) equality — the bit-for-bit contract.
+    fn assert_bits_equal(a: &DenseMatrix, b: &DenseMatrix, what: &str) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: element {i} differs: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_bcoo_bit_for_bit_every_mode() {
+        let cfg = ClusteredConfig::new([60, 45, 30], 2_500);
+        let x = clustered_tensor(&cfg, 5);
+        let grid_orig = [4, 3, 2];
+        let rank = 17; // not a multiple of the strip width
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        let src = CooSource::new(&x, grid_orig);
+        for mode in 0..NMODES {
+            let perm = perm_for_mode(mode);
+            let grid_kernel = [grid_orig[perm[0]], grid_orig[perm[1]], grid_orig[perm[2]]];
+            for strip in [0, 8, 16] {
+                let k = BcooKernel::new(&x, mode, grid_kernel, strip);
+                let mut expect = DenseMatrix::zeros(x.dims()[mode], rank);
+                k.mttkrp(&fs, &mut expect);
+                let mut got = DenseMatrix::zeros(x.dims()[mode], rank);
+                StreamingMttkrp::new(&src, mode, strip)
+                    .run(&fs, &mut got)
+                    .unwrap();
+                assert_bits_equal(&expect, &got, &format!("mode {mode} strip {strip}"));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_mb_bit_for_bit() {
+        let x = uniform_tensor([48, 32, 24], 1_800, 31);
+        let grid_orig = [3, 2, 2];
+        let rank = 16;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        let src = CooSource::new(&x, grid_orig);
+        for mode in 0..NMODES {
+            let perm = perm_for_mode(mode);
+            let grid_kernel = [grid_orig[perm[0]], grid_orig[perm[1]], grid_orig[perm[2]]];
+            let k = MbKernel::new(&x, mode, grid_kernel);
+            let mut expect = DenseMatrix::zeros(x.dims()[mode], rank);
+            k.mttkrp(&fs, &mut expect);
+            // Whole-rank strips: the plain per-entry update order.
+            let mut got = DenseMatrix::zeros(x.dims()[mode], rank);
+            StreamingMttkrp::new(&src, mode, 0)
+                .run(&fs, &mut got)
+                .unwrap();
+            assert_bits_equal(&expect, &got, &format!("MB mode {mode}"));
+        }
+    }
+
+    #[test]
+    fn bcoo_source_streams_identically_to_coo_source() {
+        let cfg = ClusteredConfig::new([40, 40, 40], 1_500);
+        let x = clustered_tensor(&cfg, 9);
+        let grid_orig = [2, 4, 2];
+        let rank = 9;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        // BCOO layout built for mode 1 — the source must still serve
+        // modes 0 and 2 correctly through the perm translation.
+        let bcoo_grid = [grid_orig[1], grid_orig[2], grid_orig[0]];
+        let bsrc = BcooSource::new(BcooTensor::from_coo(&x, 1, bcoo_grid));
+        let csrc = CooSource::new(&x, grid_orig);
+        assert_eq!(TensorSource::grid(&bsrc), grid_orig);
+        for mode in 0..NMODES {
+            let mut a = DenseMatrix::zeros(x.dims()[mode], rank);
+            let mut b = DenseMatrix::zeros(x.dims()[mode], rank);
+            StreamingMttkrp::new(&csrc, mode, 16)
+                .run(&fs, &mut a)
+                .unwrap();
+            StreamingMttkrp::new(&bsrc, mode, 16)
+                .run(&fs, &mut b)
+                .unwrap();
+            assert_bits_equal(&a, &b, &format!("source kind, mode {mode}"));
+        }
+    }
+
+    #[test]
+    fn stats_count_tiles_and_bytes_per_pass() {
+        let x = uniform_tensor([30, 30, 30], 900, 3);
+        let src = CooSource::new(&x, [3, 3, 3]);
+        let rank = 4;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        let driver = StreamingMttkrp::new(&src, 0, 16);
+        let mut out = DenseMatrix::zeros(30, rank);
+        driver.run(&fs, &mut out).unwrap();
+        driver.run(&fs, &mut out).unwrap();
+        let snap = driver.stats().snapshot();
+        assert_eq!(snap.tiles_loaded, 2 * src.n_tiles() as u64);
+        assert_eq!(snap.bytes_streamed, 2 * src.total_tile_bytes());
+    }
+
+    #[test]
+    fn checked_streaming_passes_on_healthy_sources() {
+        let x = uniform_tensor([25, 20, 15], 700, 77);
+        let src = CooSource::new(&x, [3, 2, 2]);
+        let rank = 6;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        for mode in 0..NMODES {
+            let mut out = DenseMatrix::zeros(x.dims()[mode], rank);
+            StreamingMttkrp::new(&src, mode, 16)
+                .with_exec(ExecPolicy::checked())
+                .run(&fs, &mut out)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn checked_streaming_refuses_rows_outside_the_band() {
+        /// A source whose single tile claims cell 0 but decodes rows in
+        /// the second band — the streamed analogue of a corrupted block
+        /// table.
+        struct LyingSource {
+            inner: CooSource,
+        }
+        impl TensorSource for LyingSource {
+            fn dims(&self) -> [usize; NMODES] {
+                self.inner.dims()
+            }
+            fn nnz(&self) -> usize {
+                self.inner.nnz()
+            }
+            fn grid(&self) -> [usize; NMODES] {
+                self.inner.grid()
+            }
+            fn n_tiles(&self) -> usize {
+                self.inner.n_tiles()
+            }
+            fn tile_cell(&self, i: usize) -> [usize; NMODES] {
+                self.inner.tile_cell(i)
+            }
+            fn tile_nnz(&self, i: usize) -> usize {
+                self.inner.tile_nnz(i)
+            }
+            fn load_tile(&self, i: usize) -> Result<SourceTile, BinError> {
+                let mut t = self.inner.load_tile(i)?;
+                if t.cell[0] == 0 {
+                    // Shift the tile into the next band's rows without
+                    // updating the cell claim.
+                    t.origin[0] += self.dims()[0] / 2;
+                }
+                Ok(t)
+            }
+        }
+        let x = uniform_tensor([16, 10, 10], 300, 5);
+        let src = LyingSource {
+            inner: CooSource::new(&x, [2, 1, 1]),
+        };
+        let rank = 3;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        let mut out = DenseMatrix::zeros(16, rank);
+        let err = StreamingMttkrp::new(&src, 0, 16)
+            .with_exec(ExecPolicy::checked())
+            .run(&fs, &mut out)
+            .unwrap_err();
+        assert!(matches!(err, StreamError::Race(_)), "got: {err}");
+    }
+
+    #[test]
+    fn budget_grid_is_deterministic_and_respects_the_budget() {
+        let dims = [200usize, 150, 90];
+        let nnz = 50_000;
+        for budget in [1u64 << 14, 1 << 17, 1 << 20, u64::MAX] {
+            let grid = crate::tune::grid_for_tile_budget(dims, nnz, budget);
+            assert_eq!(grid, crate::tune::grid_for_tile_budget(dims, nnz, budget));
+            for ax in 0..NMODES {
+                assert!(grid[ax] >= 1 && grid[ax] <= dims[ax]);
+            }
+            let cells = grid.iter().product::<usize>() as u64;
+            let expected = (nnz as u64 * 20).div_ceil(cells);
+            // Either the expected tile fits half the budget or the grid
+            // saturated at one index per tile on every axis.
+            assert!(
+                expected <= (budget / 2).max(20) || grid == dims,
+                "budget {budget}: grid {grid:?} expected tile {expected}"
+            );
+        }
+        // Unconstrained budgets stream the whole tensor as one tile.
+        assert_eq!(
+            crate::tune::grid_for_tile_budget(dims, nnz, u64::MAX),
+            [1, 1, 1]
+        );
+    }
+}

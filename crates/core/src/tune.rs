@@ -100,13 +100,6 @@ impl TuneOptions {
             seed: 0x7e9b10c4,
         }
     }
-
-    /// Enables or disables rayon parallelism for candidate timing.
-    #[deprecated(note = "set `exec` (ExecPolicy::auto()/serial()) instead")]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.exec.threads = ExecPolicy::from_parallel(parallel).threads;
-        self
-    }
 }
 
 /// One timed candidate configuration.
@@ -148,12 +141,6 @@ impl TuneResult {
             strip_width: self.strip_width,
             exec,
         }
-    }
-
-    /// The selected configuration as a [`crate::KernelConfig`].
-    #[deprecated(note = "use config_with(ExecPolicy::auto()/serial())")]
-    pub fn config(&self, parallel: bool) -> crate::KernelConfig {
-        self.config_with(ExecPolicy::from_parallel(parallel))
     }
 
     /// Runs the tuner oracle: the selected block counts must be achievable
@@ -270,6 +257,50 @@ pub fn tune(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResult {
     match try_tune(coo, mode, opts) {
         Ok(r) => r,
         Err(e) => panic!("{e}"),
+    }
+}
+
+/// Picks a tile grid (original axes) so the streaming working set fits a
+/// byte budget: the expected tile — `nnz / cells` entries at the 20-byte
+/// tile encoding — must cost at most `budget / 2`, because the
+/// double-buffered driver holds two tiles at once.
+///
+/// Deterministic halving-by-doubling: start at `[1, 1, 1]` and repeatedly
+/// double the axis with the largest per-tile span (ties to the lowest
+/// axis), so tiles stay near-cubical — the same shape preference as the
+/// paper's MB grids. Degenerate budgets saturate at one-index spans
+/// rather than erroring: streaming still works, one slab at a time.
+///
+/// ```
+/// use tenblock_core::tune::grid_for_tile_budget;
+/// // 10k entries * 20 B = 200 kB of tile payload; an 80 kB budget needs
+/// // tiles of <= 40 kB, so at least 5 cells (rounded up by doubling).
+/// let grid = grid_for_tile_budget([100, 100, 100], 10_000, 80_000);
+/// let cells = grid.iter().product::<usize>();
+/// assert!(200_000usize.div_ceil(cells) <= 40_000);
+/// ```
+pub fn grid_for_tile_budget(
+    dims: [usize; NMODES],
+    nnz: usize,
+    budget_bytes: u64,
+) -> [usize; NMODES] {
+    let entry = tenblock_tensor::tile_store::TILE_ENTRY_BYTES;
+    let target = (budget_bytes / 2).max(entry);
+    let mut grid = [1usize; NMODES];
+    loop {
+        let cells = grid.iter().product::<usize>() as u64;
+        let expected = (nnz as u64 * entry).div_ceil(cells.max(1));
+        if expected <= target {
+            return grid;
+        }
+        // Widest per-tile span that can still split, ties to axis 0.
+        let growable = (0..NMODES).filter(|&ax| grid[ax] < dims[ax].max(1));
+        let Some(ax) =
+            growable.max_by_key(|&ax| (dims[ax].div_ceil(grid[ax]), std::cmp::Reverse(ax)))
+        else {
+            return grid; // every axis at one index per tile: done
+        };
+        grid[ax] = (grid[ax] * 2).min(dims[ax].max(1));
     }
 }
 

@@ -86,6 +86,7 @@ pub(crate) fn check_kernels(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<Finding> 
                 case: format!("{}/dense-ref", case.label),
                 detail: format!("dense reference panicked: {p}"),
                 repro: Some(repro_text(coo, mode, rank, &cfg)),
+                repro_bin: None,
             });
             return findings;
         }
@@ -126,6 +127,7 @@ pub(crate) fn check_kernels(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<Finding> 
                 case: format!("{}/{kind:?}", case.label),
                 detail: format!("{kind:?} kernel {detail}"),
                 repro: Some(repro_text(&small, mode, rank, &cfg)),
+                repro_bin: None,
             });
         }
     }
@@ -162,6 +164,7 @@ fn check_bcoo_round_trip(case: &FuzzCase, mode: usize, cfg: &KernelConfig) -> Ve
                 case: format!("{}/bcoo-round-trip", case.label),
                 detail,
                 repro: Some(repro_text(&small, mode, case.rank, cfg)),
+                repro_bin: None,
             }
         })
         .into_iter()
@@ -246,12 +249,14 @@ pub(crate) fn check_invalid_configs(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<F
                     case: format!("{}/{label}", case.label),
                     detail: format!("{kind:?} panicked on an invalid request: {p}"),
                     repro: Some(repro_text(coo, mode, case.rank, &cfg)),
+                    repro_bin: None,
                 }),
                 Ok(None) => findings.push(Finding {
                     seed: 0,
                     case: format!("{}/{label}", case.label),
                     detail: format!("{kind:?} accepted an invalid request"),
                     repro: Some(repro_text(coo, mode, case.rank, &cfg)),
+                    repro_bin: None,
                 }),
                 Ok(Some(_)) => {}
             }
@@ -299,6 +304,7 @@ pub(crate) fn check_tuner(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<Finding> {
             case: format!("{}/tune", case.label),
             detail: format!("tuner panicked: {p}"),
             repro: Some(render_tns(coo)),
+            repro_bin: None,
         }),
         Ok(Ok(r)) => {
             if degenerate {
@@ -307,6 +313,7 @@ pub(crate) fn check_tuner(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<Finding> {
                     case: format!("{}/tune", case.label),
                     detail: "tuner accepted degenerate input".to_string(),
                     repro: Some(render_tns(coo)),
+                    repro_bin: None,
                 });
             } else if let Err(e) = r.validate(coo.dims(), mode, case.rank) {
                 findings.push(Finding {
@@ -314,6 +321,7 @@ pub(crate) fn check_tuner(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<Finding> {
                     case: format!("{}/tune", case.label),
                     detail: format!("selected configuration fails the tuning oracle: {e}"),
                     repro: Some(render_tns(coo)),
+                    repro_bin: None,
                 });
             }
         }
@@ -330,6 +338,7 @@ pub(crate) fn check_tuner(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<Finding> {
                     case: format!("{}/tune", case.label),
                     detail: format!("tuner rejected valid input: {e}"),
                     repro: Some(render_tns(coo)),
+                    repro_bin: None,
                 });
             }
         }
@@ -358,6 +367,7 @@ pub(crate) fn check_dist(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<Finding> {
                 case: format!("{}/{what}", case.label),
                 detail: format!("{what} panicked: {p}"),
                 repro: Some(render_tns(coo)),
+                repro_bin: None,
             }),
             Ok(r) => {
                 if !r.total_secs.is_finite() || r.total_secs < 0.0 || r.imbalance < 1.0 {
@@ -369,6 +379,7 @@ pub(crate) fn check_dist(case: &FuzzCase, rng: &mut FuzzRng) -> Vec<Finding> {
                             r.total_secs, r.imbalance
                         ),
                         repro: Some(render_tns(coo)),
+                        repro_bin: None,
                     });
                 }
             }

@@ -274,6 +274,152 @@ pub fn mutant_tns(rng: &mut FuzzRng) -> (&'static str, Vec<u8>) {
     (label, bytes)
 }
 
+/// Byte offsets inside an order-3 `.tnsb` v2 tile store: the shared
+/// header (magic 4 + version 4 + order 4 + dims 24 + nnz 8), then the
+/// grid, tile count, and 36-byte table records. The mutator edits fields
+/// in place at these offsets, so a well-formed seed becomes a precisely
+/// malformed one rather than random noise.
+const TNSB_HEADER_END: usize = 44;
+const TNSB_VERSION_AT: usize = 4;
+const TNSB_NNZ_AT: usize = 36;
+const TNSB_GRID_AT: usize = TNSB_HEADER_END;
+const TNSB_NTILES_AT: usize = TNSB_GRID_AT + 12;
+const TNSB_TABLE_AT: usize = TNSB_NTILES_AT + 8;
+const TNSB_RECORD: usize = 36;
+
+fn patch_u32(b: &mut [u8], at: usize, v: u32) {
+    b[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn patch_u64_add(b: &mut [u8], at: usize, delta: u64) {
+    let old = u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+    b[at..at + 8].copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
+}
+
+/// A small well-formed tile store with at least one tile, as bytes.
+fn seed_tnsb(rng: &mut FuzzRng) -> Vec<u8> {
+    let dims: [usize; NMODES] = std::array::from_fn(|_| 2 + rng.below(7));
+    let n = 4 + rng.below(20);
+    let mut entries = entries_in(rng, dims, n);
+    // Guarantee a nonzero survivor even if random duplicates coalesce to
+    // zero: the store must have at least one tile for record mutations.
+    entries.push(Entry {
+        idx: [0, 0, 0],
+        val: 1.0,
+    });
+    let coo = CooTensor::from_entries(dims, entries);
+    let grid: [usize; NMODES] = std::array::from_fn(|m| 1 + rng.below(dims[m].min(3)));
+    let mut bytes = Vec::new();
+    tenblock_tensor::TileStore::write_tiles(&coo, grid, &mut bytes)
+        .expect("writing to a Vec cannot fail");
+    bytes
+}
+
+/// Produces a mutated `.tnsb` tile-framing byte stream starting from a
+/// well-formed store. Returns the mutation label and the bytes. Every
+/// mutant must come back from `TileStore::validate_bytes` as `Ok` or a
+/// typed `BinError` — never a panic.
+pub fn mutant_tnsb(rng: &mut FuzzRng) -> (&'static str, Vec<u8>) {
+    let mut b = seed_tnsb(rng);
+    let n_tiles =
+        u64::from_le_bytes(b[TNSB_NTILES_AT..TNSB_NTILES_AT + 8].try_into().unwrap()) as usize;
+    let table_end = TNSB_TABLE_AT + n_tiles * TNSB_RECORD;
+    let rec = TNSB_TABLE_AT + rng.below(n_tiles) * TNSB_RECORD;
+    match rng.below(13) {
+        0 => {
+            // Cut mid-table: the reader must fail typed on the short read.
+            let cut = TNSB_TABLE_AT + rng.below(table_end - TNSB_TABLE_AT);
+            b.truncate(cut.max(1));
+            ("truncated-table", b)
+        }
+        1 => {
+            // Cut inside the payloads: the declared extents outrun the file.
+            let cut = table_end.max(b.len().saturating_sub(1 + rng.below(19)));
+            b.truncate(cut);
+            ("truncated-payload", b)
+        }
+        2 => {
+            // Tile claims one more nonzero than its byte length holds.
+            patch_u64_add(&mut b, rec + 12, 1);
+            ("lying-nnz", b)
+        }
+        3 => {
+            // Byte length grows without the nonzeros to match: either the
+            // nnz/len consistency check or extent tiling must fire.
+            patch_u64_add(&mut b, rec + 28, 20);
+            ("lying-len", b)
+        }
+        4 => {
+            // Overlapping extents: a tile's offset rewinds into its
+            // predecessor (or, with one tile, before the table end).
+            patch_u64_add(&mut b, rec + 20, u64::MAX); // off -= 1
+            ("overlapping-extents", b)
+        }
+        5 => {
+            // Duplicate (or non-increasing) cell ids between records.
+            if n_tiles >= 2 {
+                let (first, second) = b.split_at_mut(TNSB_TABLE_AT + TNSB_RECORD);
+                second[..12].copy_from_slice(&first[TNSB_TABLE_AT..TNSB_TABLE_AT + 12]);
+            } else {
+                // Single tile: make its cell id non-zero-minimal garbage
+                // by pointing at the last grid cell twice over.
+                patch_u32(&mut b, TNSB_TABLE_AT, u32::MAX);
+            }
+            ("duplicate-cell", b)
+        }
+        6 => {
+            // Cell coordinate outside the grid.
+            patch_u32(&mut b, rec + 4 * rng.below(3), u32::MAX);
+            ("cell-out-of-range", b)
+        }
+        7 => {
+            // Grid axis of zero, or far beyond the dimension.
+            let at = TNSB_GRID_AT + 4 * rng.below(3);
+            patch_u32(&mut b, at, if rng.below(2) == 0 { 0 } else { 0x7fff_ffff });
+            ("bad-grid", b)
+        }
+        8 => {
+            // Header nnz disagrees with the per-tile sum.
+            patch_u64_add(&mut b, TNSB_NNZ_AT, 1);
+            ("header-nnz-mismatch", b)
+        }
+        9 => {
+            // Wrong payload version under a valid header (v1 bytes are not
+            // a tile store; v0/v3 are unknown).
+            patch_u32(&mut b, TNSB_VERSION_AT, *rng.pick(&[0u32, 1, 3, 99]));
+            ("bad-version", b)
+        }
+        10 => {
+            // Trailing garbage after the last declared extent.
+            let junk = 1 + rng.below(24);
+            for _ in 0..junk {
+                b.push(rng.below(256) as u8);
+            }
+            ("trailing-garbage", b)
+        }
+        11 => {
+            // Local coordinate outside its tile's span: the payload decode
+            // must reject it (first local of the first tile's first entry).
+            let off = u64::from_le_bytes(
+                b[TNSB_TABLE_AT + 20..TNSB_TABLE_AT + 28]
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            if off + 4 <= b.len() {
+                patch_u32(&mut b, off, u32::MAX);
+            }
+            ("local-out-of-span", b)
+        }
+        _ => {
+            // Single random bit flip anywhere: may survive (a value bit)
+            // or trip any check, but must never panic.
+            let at = rng.below(b.len());
+            b[at] ^= 1 << rng.below(8);
+            ("bit-flip", b)
+        }
+    }
+}
+
 fn join(lines: &[String]) -> Vec<u8> {
     let mut b = Vec::new();
     for l in lines {
@@ -338,6 +484,42 @@ mod tests {
         let mut b = FuzzRng::new(21);
         for _ in 0..100 {
             assert_eq!(mutant_tns(&mut a), mutant_tns(&mut b));
+            assert_eq!(mutant_tnsb(&mut a), mutant_tnsb(&mut b));
+        }
+    }
+
+    #[test]
+    fn tnsb_seed_is_well_formed_and_every_class_appears() {
+        let mut rng = FuzzRng::new(5);
+        // The unmutated seed must validate: mutants start from health.
+        for _ in 0..20 {
+            let bytes = seed_tnsb(&mut rng);
+            tenblock_tensor::TileStore::validate_bytes(&bytes).unwrap();
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..400 {
+            let (label, bytes) = mutant_tnsb(&mut rng);
+            seen.insert(label);
+            // Never panics; outcome is Ok or a typed BinError.
+            let _ = tenblock_tensor::TileStore::validate_bytes(&bytes);
+        }
+        assert!(seen.len() >= 12, "only saw {seen:?}");
+    }
+
+    #[test]
+    fn targeted_tnsb_classes_are_rejected() {
+        // Classes that break structure (everything except bit flips, which
+        // may land in value bytes) must come back as typed errors.
+        let mut rng = FuzzRng::new(77);
+        for _ in 0..300 {
+            let (label, bytes) = mutant_tnsb(&mut rng);
+            if label == "bit-flip" {
+                continue;
+            }
+            assert!(
+                tenblock_tensor::TileStore::validate_bytes(&bytes).is_err(),
+                "{label} mutant was accepted"
+            );
         }
     }
 }

@@ -16,7 +16,11 @@
 //!    zero/overflowing/near-`Idx::MAX` coordinates, truncations, trailing
 //!    fields, non-UTF-8 bytes) goes through `read_tns`, which must return
 //!    `Ok` or a typed `TnsError` — never panic. Accepted mutants small
-//!    enough to allocate factors for are fed back into stage 1.
+//!    enough to allocate factors for are fed back into stage 1. A second
+//!    mutator targets the `.tnsb` tile framing (truncated tile tables,
+//!    lying per-tile lengths, overlapping byte extents, out-of-range
+//!    cells and locals): `TileStore::validate_bytes` must likewise fail
+//!    typed, never panic.
 //!
 //! Every violation becomes a [`Finding`] carrying a delta-debugged
 //! (entry-minimized) `.tns` repro. The whole run is reproduced by its
@@ -30,7 +34,7 @@ pub mod gen;
 pub mod rng;
 
 pub use diff::minimize_entries;
-pub use gen::{arb_case, mutant_tns, render_tns, FuzzCase, RANKS};
+pub use gen::{arb_case, mutant_tns, mutant_tnsb, render_tns, FuzzCase, RANKS};
 pub use rng::FuzzRng;
 
 use std::path::{Path, PathBuf};
@@ -43,8 +47,9 @@ pub struct FuzzOptions {
     /// Base seed; seed `n` of the run derives from `base_seed + n`.
     pub base_seed: u64,
     /// Optional corpus directory: existing `.tns` files in it are replayed
-    /// through the parse + differential stages, and repro files for any
-    /// findings are written back into it.
+    /// through the parse + differential stages and `.tnsb` files through
+    /// the tile-framing validator; repro files for any findings are
+    /// written back into it.
     pub corpus: Option<PathBuf>,
 }
 
@@ -71,6 +76,9 @@ pub struct Finding {
     /// Minimized repro (`.tns` text with a request-parameter header), when
     /// one could be produced.
     pub repro: Option<String>,
+    /// Binary repro (`.tnsb` tile-framing bytes), for findings from the
+    /// binary parse stage where text cannot express the malformation.
+    pub repro_bin: Option<Vec<u8>>,
 }
 
 impl std::fmt::Display for Finding {
@@ -80,6 +88,9 @@ impl std::fmt::Display for Finding {
             for line in repro.lines() {
                 write!(f, "\n    {line}")?;
             }
+        }
+        if let Some(bin) = &self.repro_bin {
+            write!(f, "\n    <{} bytes of .tnsb repro>", bin.len())?;
         }
         Ok(())
     }
@@ -98,6 +109,12 @@ pub struct FuzzReport {
     pub parse_accepted: u64,
     /// Mutants the parser rejected with a typed error.
     pub parse_rejected: u64,
+    /// Mutated `.tnsb` tile-framing streams validated.
+    pub tnsb_cases: u64,
+    /// Tile-framing mutants the validator accepted.
+    pub tnsb_accepted: u64,
+    /// Tile-framing mutants the validator rejected with a typed error.
+    pub tnsb_rejected: u64,
     /// Tuner differential runs.
     pub tuner_runs: u64,
     /// Distributed-executor differential runs.
@@ -126,6 +143,11 @@ impl std::fmt::Display for FuzzReport {
             self.parse_cases,
             self.parse_accepted,
             self.parse_rejected
+        )?;
+        writeln!(
+            f,
+            "      {} tnsb case(s) ({} accepted / {} rejected)",
+            self.tnsb_cases, self.tnsb_accepted, self.tnsb_rejected
         )?;
         writeln!(
             f,
@@ -186,6 +208,29 @@ fn run_seed(seed: u64, report: &mut FuzzReport) {
     let (label, bytes) = gen::mutant_tns(&mut rng);
     report.parse_cases += 1;
     parse_stage(label, &bytes, seed, &mut rng, report);
+
+    let (label, bytes) = gen::mutant_tnsb(&mut rng);
+    report.tnsb_cases += 1;
+    tnsb_stage(label, &bytes, seed, report);
+}
+
+/// Binary parse-stage check: `TileStore::validate_bytes` must return `Ok`
+/// or a typed [`tenblock_tensor::io_bin::BinError`] on every mutated tile
+/// framing — truncated tables, lying lengths, overlapping extents — and
+/// never panic. There is no size guard: validation streams the bytes it
+/// is given and allocates per declared tile, which is itself under test.
+fn tnsb_stage(label: &'static str, bytes: &[u8], seed: u64, report: &mut FuzzReport) {
+    match diff::catch(|| tenblock_tensor::TileStore::validate_bytes(bytes)) {
+        Err(p) => report.findings.push(Finding {
+            seed,
+            case: format!("tnsb/{label}"),
+            detail: format!("validate_bytes panicked: {p}"),
+            repro: None,
+            repro_bin: Some(bytes.to_vec()),
+        }),
+        Ok(Ok(())) => report.tnsb_accepted += 1,
+        Ok(Err(_)) => report.tnsb_rejected += 1,
+    }
 }
 
 /// Parse-stage check: `read_tns` must not panic; accepted tensors small
@@ -205,6 +250,7 @@ fn parse_stage(
             case: format!("tns/{label}"),
             detail: format!("read_tns panicked: {p}"),
             repro: Some(String::from_utf8_lossy(bytes).into_owned()),
+            repro_bin: None,
         }),
         Ok(Ok(t)) => {
             report.parse_accepted += 1;
@@ -242,6 +288,7 @@ fn replay_corpus(dir: &Path, report: &mut FuzzReport) {
                 case: "corpus".to_string(),
                 detail: format!("cannot read corpus dir {}: {e}", dir.display()),
                 repro: None,
+                repro_bin: None,
             });
             return;
         }
@@ -249,7 +296,12 @@ fn replay_corpus(dir: &Path, report: &mut FuzzReport) {
     let mut paths: Vec<PathBuf> = entries
         .filter_map(|e| e.ok())
         .map(|e| e.path())
-        .filter(|p| p.extension().and_then(|x| x.to_str()) == Some("tns"))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|x| x.to_str()),
+                Some("tns") | Some("tnsb")
+            )
+        })
         .collect();
     paths.sort();
     for path in paths {
@@ -262,9 +314,14 @@ fn replay_corpus(dir: &Path, report: &mut FuzzReport) {
         let seed = bytes
             .iter()
             .fold(0xc0f5u64, |h, &b| h.wrapping_mul(31).wrapping_add(b as u64));
-        let mut rng = FuzzRng::new(seed);
-        report.parse_cases += 1;
-        parse_stage("corpus", &bytes, seed, &mut rng, report);
+        if path.extension().and_then(|x| x.to_str()) == Some("tnsb") {
+            report.tnsb_cases += 1;
+            tnsb_stage("corpus", &bytes, seed, report);
+        } else {
+            let mut rng = FuzzRng::new(seed);
+            report.parse_cases += 1;
+            parse_stage("corpus", &bytes, seed, &mut rng, report);
+        }
     }
 }
 
@@ -278,6 +335,10 @@ fn write_repros(dir: &Path, report: &FuzzReport) {
         if let Some(repro) = &f.repro {
             let path = dir.join(format!("repro-{:016x}-{n}.tns", f.seed));
             let _ = std::fs::write(path, repro);
+        }
+        if let Some(bin) = &f.repro_bin {
+            let path = dir.join(format!("repro-{:016x}-{n}.tnsb", f.seed));
+            let _ = std::fs::write(path, bin);
         }
     }
 }
@@ -299,6 +360,11 @@ mod tests {
         assert_eq!(report.tensor_cases, 30);
         assert_eq!(report.parse_cases, 30);
         assert_eq!(report.parse_accepted + report.parse_rejected, 30);
+        assert_eq!(report.tnsb_cases, 30);
+        assert_eq!(report.tnsb_accepted + report.tnsb_rejected, 30);
+        // Nearly every framing mutation is a precise malformation the
+        // validator must catch; only bit flips may land in value bytes.
+        assert!(report.tnsb_rejected > report.tnsb_accepted);
         assert!(report.tuner_runs > 0);
         assert!(report.to_string().contains("no findings"));
     }

@@ -132,6 +132,63 @@ impl KernelCounters {
     }
 }
 
+/// Shared counters for the out-of-core streaming path. The streaming
+/// MTTKRP driver's prefetch and compute threads both update one instance
+/// (hence atomics, relaxed — these are monotonic tallies, not
+/// synchronization), and the CLI report and serve spill tier read
+/// [`StreamStats::snapshot`] at the end of a run.
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    /// Tiles loaded from the source, summed over every pass.
+    pub tiles_loaded: std::sync::atomic::AtomicU64,
+    /// Bytes streamed from the source (tile encoding size), all passes.
+    pub bytes_streamed: std::sync::atomic::AtomicU64,
+    /// Nanoseconds the compute thread spent waiting on the prefetcher —
+    /// the I/O time double buffering failed to hide.
+    pub prefetch_stall_ns: std::sync::atomic::AtomicU64,
+}
+
+impl StreamStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one tile of `bytes` loaded from the source.
+    pub fn add_tile(&self, bytes: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.tiles_loaded.fetch_add(1, Relaxed);
+        self.bytes_streamed.fetch_add(bytes, Relaxed);
+    }
+
+    /// Records compute-side stall time waiting for a prefetched tile.
+    pub fn add_stall_ns(&self, ns: u64) {
+        self.prefetch_stall_ns
+            .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the counters.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        StreamSnapshot {
+            tiles_loaded: self.tiles_loaded.load(Relaxed),
+            bytes_streamed: self.bytes_streamed.load(Relaxed),
+            prefetch_stall_ns: self.prefetch_stall_ns.load(Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`StreamStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// Tiles loaded from the source, summed over every pass.
+    pub tiles_loaded: u64,
+    /// Bytes streamed from the source (tile encoding size), all passes.
+    pub bytes_streamed: u64,
+    /// Compute-thread wait on the prefetcher, in nanoseconds.
+    pub prefetch_stall_ns: u64,
+}
+
 /// The recording sink. Every method has a no-op default so a custom
 /// recorder only implements what it cares about; [`Recorder::enabled`]
 /// gates all instrumentation.

@@ -386,12 +386,23 @@ impl Service {
     /// Builds a service: `workers` job threads behind a queue of
     /// `queue_capacity` slots, with `plans` as the tuned-plan cache.
     pub fn new(workers: usize, queue_capacity: usize, plans: PlanCache) -> Service {
+        Service::with_registry(workers, queue_capacity, plans, Registry::new())
+    }
+
+    /// [`Service::new`] with a caller-built registry (e.g. one configured
+    /// with a spill tier via [`Registry::with_spill`]).
+    pub fn with_registry(
+        workers: usize,
+        queue_capacity: usize,
+        plans: PlanCache,
+        registry: Registry,
+    ) -> Service {
         let metrics = Arc::new(Metrics::default());
         metrics
             .plan_skipped
             .store(plans.skipped(), Ordering::Relaxed);
         let core = Arc::new(ServiceCore {
-            registry: Registry::new(),
+            registry,
             plans,
             metrics: Arc::clone(&metrics),
             last_trace: Mutex::new(None),
@@ -418,17 +429,27 @@ impl Service {
             "load" => self.cmd_load(req),
             "gen" => self.cmd_gen(req),
             "stats" => self.cmd_stats(req),
-            "list" => ok([(
-                "tensors",
-                Json::Arr(
-                    self.core
-                        .registry
-                        .names()
-                        .into_iter()
-                        .map(Json::Str)
-                        .collect(),
-                ),
-            )]),
+            "list" => {
+                let reg = &self.core.registry;
+                let strs = |v: Vec<String>| Json::Arr(v.into_iter().map(Json::Str).collect());
+                let stream = reg.stream_stats().snapshot();
+                ok([
+                    ("tensors", strs(reg.names())),
+                    ("resident", strs(reg.resident_names())),
+                    ("spilled", strs(reg.spilled_names())),
+                    (
+                        "stream",
+                        Json::obj([
+                            ("tiles_loaded", Json::num(stream.tiles_loaded as f64)),
+                            ("bytes_streamed", Json::num(stream.bytes_streamed as f64)),
+                            (
+                                "prefetch_stall_ns",
+                                Json::num(stream.prefetch_stall_ns as f64),
+                            ),
+                        ]),
+                    ),
+                ])
+            }
             "tune" => self.submit_cmd(req, Self::parse_tune),
             "mttkrp" => self.submit_cmd(req, Self::parse_mttkrp),
             "decompose" => self.submit_cmd(req, Self::parse_decompose),
@@ -729,11 +750,45 @@ mod tests {
         assert_eq!(stats.get_str("fingerprint").unwrap().len(), 16);
         let list = s.handle(&req(r#"{"cmd":"list"}"#));
         assert_eq!(list.get("tensors"), Some(&Json::Arr(vec![Json::str("t")])));
+        // Without a spill tier everything is resident and no bytes stream.
+        assert_eq!(list.get("resident"), Some(&Json::Arr(vec![Json::str("t")])));
+        assert_eq!(list.get("spilled"), Some(&Json::Arr(vec![])));
+        let stream = list.get("stream").unwrap();
+        assert_eq!(stream.get_num("tiles_loaded"), Some(0.0));
         // duplicate handle
         let dup = s.handle(&req(
             r#"{"cmd":"gen","name":"t","dataset":"poisson1","nnz":100}"#,
         ));
         assert_eq!(dup.get_str("code"), Some("bad-request"));
+    }
+
+    #[test]
+    fn list_reports_residency_and_spill_reload_counters() {
+        let dir = std::env::temp_dir().join(format!("tenblock_proto_spill_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Service::with_registry(2, 8, PlanCache::in_memory(), Registry::with_spill(&dir, 1));
+        gen_small(&s, "a");
+        gen_small(&s, "b");
+
+        // Cap 1: registering "b" spilled "a", but "a" is still listed.
+        let list = s.handle(&req(r#"{"cmd":"list"}"#));
+        assert_eq!(
+            list.get("tensors"),
+            Some(&Json::Arr(vec![Json::str("a"), Json::str("b")]))
+        );
+        assert_eq!(list.get("resident"), Some(&Json::Arr(vec![Json::str("b")])));
+        assert_eq!(list.get("spilled"), Some(&Json::Arr(vec![Json::str("a")])));
+
+        // Using the spilled tensor streams it back transparently.
+        let stats = s.handle(&req(r#"{"cmd":"stats","tensor":"a"}"#));
+        assert_eq!(stats.get_bool("ok"), Some(true), "{stats:?}");
+        let list = s.handle(&req(r#"{"cmd":"list"}"#));
+        assert_eq!(list.get("resident"), Some(&Json::Arr(vec![Json::str("a")])));
+        assert_eq!(list.get("spilled"), Some(&Json::Arr(vec![Json::str("b")])));
+        let stream = list.get("stream").unwrap();
+        assert!(stream.get_num("tiles_loaded").unwrap() > 0.0, "{list:?}");
+        assert!(stream.get_num("bytes_streamed").unwrap() > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Tensor registry: named, shared, immutable tensor residency.
+//! Tensor registry: named, shared, immutable tensor residency — with an
+//! optional spill tier.
 //!
 //! A decomposition service repeats three expensive steps per request if it
 //! is naive: parse the tensor file, compute statistics, and build the
@@ -8,12 +9,40 @@
 //! registration is first-wins (re-registering an existing handle is an
 //! error rather than a silent replace, so a handle never changes meaning
 //! mid-session).
+//!
+//! # Spill tier
+//!
+//! With [`Registry::with_spill`] the registry caps how many tensors stay
+//! resident. When the cap is exceeded the least-recently-used entry is
+//! serialized to an on-disk [`TileStore`] (the `.tnsb` v2 tile framing)
+//! and its in-memory entry dropped; a later [`Registry::get`] streams the
+//! tiles back and rebuilds the entry transparently, charging the I/O to
+//! the registry's [`StreamStats`]. Two invariants hold regardless of
+//! residency:
+//!
+//! * **Names never shrink.** A spilled tensor still counts for
+//!   [`Registry::contains`] / [`Registry::names`] / [`Registry::len`];
+//!   the protocol layer's first-wins and fail-fast checks rely on a
+//!   handle never disappearing mid-session.
+//! * **Spilling is lossless.** The tile store round-trips exact `f64`
+//!   bits and coordinates, so a reloaded entry has the same fingerprint
+//!   and statistics as the original.
+//!
+//! Eviction is best-effort: if writing the spill file fails, the victim
+//! simply stays resident (correctness over the memory cap).
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use tenblock_core::obs::StreamStats;
+use tenblock_core::tune::grid_for_tile_budget;
 use tenblock_tensor::gen::ALL_DATASETS;
-use tenblock_tensor::{io, io_bin, CooTensor, SplattTensor, TensorStats, NMODES};
+use tenblock_tensor::{io, io_bin, CooTensor, SplattTensor, TensorStats, TileStore, NMODES};
+
+/// Per-tile byte budget used when spilling (the tile grid is chosen so a
+/// reload streams in modest chunks rather than one giant payload).
+const SPILL_TILE_BUDGET: u64 = 8 << 20;
 
 /// One resident tensor with everything derived from it.
 #[derive(Debug)]
@@ -78,16 +107,126 @@ impl std::fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
-/// Thread-safe name → tensor map.
+/// Spill-tier configuration: where evicted tensors go and how many may
+/// stay resident.
+#[derive(Debug, Clone)]
+struct SpillConfig {
+    dir: PathBuf,
+    max_resident: usize,
+}
+
+/// One registered handle: resident, spilled to disk, or (transiently
+/// during a reload) both.
+#[derive(Debug)]
+struct Slot {
+    resident: Option<Arc<TensorEntry>>,
+    /// Tile-store file written by a past eviction. Kept even after a
+    /// reload so a second eviction can drop the entry without rewriting
+    /// the (immutable) file.
+    spill_path: Option<PathBuf>,
+    /// Logical timestamp of the last `get`/registration (LRU ordering).
+    last_used: AtomicU64,
+}
+
+/// Thread-safe name → tensor map with optional LRU spill-to-disk.
 #[derive(Debug, Default)]
 pub struct Registry {
-    entries: RwLock<HashMap<String, Arc<TensorEntry>>>,
+    entries: RwLock<HashMap<String, Slot>>,
+    spill: Option<SpillConfig>,
+    clock: AtomicU64,
+    stream_stats: Arc<StreamStats>,
+}
+
+/// `name`, reduced to filesystem-safe characters for the spill filename.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 impl Registry {
-    /// Empty registry.
+    /// Empty registry; everything stays resident.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Empty registry that keeps at most `max_resident` tensors in
+    /// memory, spilling the least recently used to tile stores in `dir`.
+    pub fn with_spill<P: AsRef<Path>>(dir: P, max_resident: usize) -> Registry {
+        Registry {
+            spill: Some(SpillConfig {
+                dir: dir.as_ref().to_path_buf(),
+                max_resident: max_resident.max(1),
+            }),
+            ..Registry::default()
+        }
+    }
+
+    /// The stream counters charged by spill reloads.
+    pub fn stream_stats(&self) -> &Arc<StreamStats> {
+        &self.stream_stats
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Evicts least-recently-used residents (never `exempt`) until the
+    /// resident count fits the cap. Called with the write lock held; the
+    /// spill write happens under the lock, which is acceptable for a
+    /// registry whose churn is operator-driven, not per-request.
+    fn enforce_residency(&self, map: &mut HashMap<String, Slot>, exempt: &str) {
+        let Some(cfg) = &self.spill else { return };
+        loop {
+            let resident = map.values().filter(|s| s.resident.is_some()).count();
+            if resident <= cfg.max_resident {
+                return;
+            }
+            let victim = map
+                .iter()
+                .filter(|(n, s)| s.resident.is_some() && n.as_str() != exempt)
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(n, _)| n.clone());
+            let Some(name) = victim else { return };
+            let Some(slot) = map.get_mut(&name) else {
+                return;
+            };
+            let Some(entry) = slot.resident.clone() else {
+                return;
+            };
+            // A past eviction already wrote the file; the tensor is
+            // immutable, so dropping the entry suffices.
+            if let Some(p) = &slot.spill_path {
+                if p.exists() {
+                    slot.resident = None;
+                    continue;
+                }
+            }
+            let path = cfg.dir.join(format!(
+                "{}-{:016x}.tnsb",
+                sanitize(&name),
+                entry.fingerprint
+            ));
+            let grid = grid_for_tile_budget(entry.coo.dims(), entry.coo.nnz(), SPILL_TILE_BUDGET);
+            let written = std::fs::create_dir_all(&cfg.dir)
+                .map_err(io_bin::BinError::from)
+                .and_then(|()| TileStore::create_from_coo(&entry.coo, grid, &path));
+            match written {
+                Ok(_) => {
+                    slot.spill_path = Some(path);
+                    slot.resident = None;
+                }
+                // Best-effort: an unevictable tensor stays resident
+                // rather than being lost.
+                Err(_) => return,
+            }
+        }
     }
 
     /// Registers an in-memory tensor under `name`.
@@ -100,7 +239,15 @@ impl Registry {
         if map.contains_key(name) {
             return Err(RegistryError::Exists(name.to_string()));
         }
-        map.insert(name.to_string(), Arc::clone(&entry));
+        map.insert(
+            name.to_string(),
+            Slot {
+                resident: Some(Arc::clone(&entry)),
+                spill_path: None,
+                last_used: AtomicU64::new(self.tick()),
+            },
+        );
+        self.enforce_residency(&mut map, name);
         Ok(entry)
     }
 
@@ -150,27 +297,90 @@ impl Registry {
         self.register(name, coo)
     }
 
-    /// Looks up a tensor by handle.
+    /// Looks up a tensor by handle, streaming it back from the spill tier
+    /// if it was evicted.
     pub fn get(&self, name: &str) -> Result<Arc<TensorEntry>, RegistryError> {
-        crate::sync::read(&self.entries)
-            .get(name)
-            .cloned()
-            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
+        let spill_path = {
+            let map = crate::sync::read(&self.entries);
+            let Some(slot) = map.get(name) else {
+                return Err(RegistryError::NotFound(name.to_string()));
+            };
+            slot.last_used.store(self.tick(), Ordering::Relaxed);
+            if let Some(entry) = &slot.resident {
+                return Ok(Arc::clone(entry));
+            }
+            // Invariant: a registered slot is resident or spilled. Surface
+            // a violation as a typed error instead of panicking a worker.
+            match slot.spill_path.clone() {
+                Some(p) => p,
+                None => {
+                    return Err(RegistryError::Load(format!(
+                        "tensor {name:?} is neither resident nor spilled"
+                    )))
+                }
+            }
+        };
+        // Reload outside the lock: tile streaming plus the SPLATT rebuild
+        // must not block concurrent lookups of other tensors.
+        let store = TileStore::open(&spill_path)
+            .map_err(|e| RegistryError::Load(format!("reloading spilled {name:?}: {e}")))?;
+        for i in 0..store.n_tiles() {
+            self.stream_stats.add_tile(store.tile(i).len);
+        }
+        let coo = store
+            .to_coo()
+            .map_err(|e| RegistryError::Load(format!("reloading spilled {name:?}: {e}")))?;
+        let entry = Arc::new(TensorEntry::build(name, coo));
+        let mut map = crate::sync::write(&self.entries);
+        let Some(slot) = map.get_mut(name) else {
+            return Err(RegistryError::NotFound(name.to_string()));
+        };
+        // First reload wins; a racing thread's entry is as good as ours.
+        if let Some(existing) = &slot.resident {
+            return Ok(Arc::clone(existing));
+        }
+        slot.resident = Some(Arc::clone(&entry));
+        slot.last_used.store(self.tick(), Ordering::Relaxed);
+        self.enforce_residency(&mut map, name);
+        Ok(entry)
     }
 
-    /// Whether `name` is registered.
+    /// Whether `name` is registered (resident or spilled).
     pub fn contains(&self, name: &str) -> bool {
         crate::sync::read(&self.entries).contains_key(name)
     }
 
-    /// Registered handles, sorted.
+    /// Registered handles, sorted. Spilled tensors are included: the set
+    /// of names never shrinks while the registry lives.
     pub fn names(&self) -> Vec<String> {
         let mut v: Vec<_> = crate::sync::read(&self.entries).keys().cloned().collect();
         v.sort();
         v
     }
 
-    /// Number of resident tensors.
+    /// Handles currently resident in memory, sorted.
+    pub fn resident_names(&self) -> Vec<String> {
+        let mut v: Vec<_> = crate::sync::read(&self.entries)
+            .iter()
+            .filter(|(_, s)| s.resident.is_some())
+            .map(|(n, _)| n.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Handles evicted to the spill tier, sorted.
+    pub fn spilled_names(&self) -> Vec<String> {
+        let mut v: Vec<_> = crate::sync::read(&self.entries)
+            .iter()
+            .filter(|(_, s)| s.resident.is_none())
+            .map(|(n, _)| n.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered tensors, resident or spilled.
     pub fn len(&self) -> usize {
         crate::sync::read(&self.entries).len()
     }
@@ -186,6 +396,12 @@ mod tests {
     use super::*;
     use tenblock_tensor::gen::uniform_tensor;
 
+    fn spill_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tenblock_spill_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn register_get_and_first_wins() {
         let reg = Registry::new();
@@ -200,6 +416,9 @@ mod tests {
         assert_eq!(reg.get("a").unwrap().name, "a");
         assert!(matches!(reg.get("b"), Err(RegistryError::NotFound(_))));
         assert_eq!(reg.names(), vec!["a".to_string()]);
+        // Without a spill tier everything is resident.
+        assert_eq!(reg.resident_names(), vec!["a".to_string()]);
+        assert!(reg.spilled_names().is_empty());
     }
 
     #[test]
@@ -257,5 +476,81 @@ mod tests {
         });
         assert_eq!(wins, 1);
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn spill_evicts_lru_and_reload_round_trips() {
+        let dir = spill_dir("lru");
+        let reg = Registry::with_spill(&dir, 1);
+        let ta = uniform_tensor([15, 12, 9], 400, 3);
+        let a = reg.register("a", ta).unwrap();
+        let (a_nnz, a_fp) = (a.coo.nnz(), a.fingerprint);
+        reg.register("b", uniform_tensor([8, 8, 8], 150, 5))
+            .unwrap();
+
+        // "a" was least recently used, so registering "b" spilled it —
+        // but the handle stays registered.
+        assert_eq!(reg.resident_names(), vec!["b".to_string()]);
+        assert_eq!(reg.spilled_names(), vec!["a".to_string()]);
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.contains("a"));
+
+        // Reloading streams the tiles back bit-exact and evicts "b".
+        let a2 = reg.get("a").unwrap();
+        assert_eq!(a2.coo.nnz(), a_nnz);
+        assert_eq!(a2.fingerprint, a_fp);
+        assert_eq!(reg.resident_names(), vec!["a".to_string()]);
+        assert_eq!(reg.spilled_names(), vec!["b".to_string()]);
+
+        let snap = reg.stream_stats().snapshot();
+        assert!(snap.tiles_loaded > 0, "reload must be counted");
+        assert!(snap.bytes_streamed > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_refreshes_lru_order() {
+        let dir = spill_dir("touch");
+        let reg = Registry::with_spill(&dir, 2);
+        reg.register("a", uniform_tensor([10, 10, 10], 100, 1))
+            .unwrap();
+        reg.register("b", uniform_tensor([10, 10, 10], 100, 2))
+            .unwrap();
+        // Touch "a" so "b" becomes the LRU victim.
+        reg.get("a").unwrap();
+        reg.register("c", uniform_tensor([10, 10, 10], 100, 3))
+            .unwrap();
+        assert_eq!(reg.resident_names(), vec!["a".to_string(), "c".to_string()]);
+        assert_eq!(reg.spilled_names(), vec!["b".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_eviction_reuses_the_spill_file() {
+        let dir = spill_dir("reuse");
+        let reg = Registry::with_spill(&dir, 1);
+        reg.register("a", uniform_tensor([12, 12, 12], 300, 4))
+            .unwrap();
+        reg.register("b", uniform_tensor([6, 6, 6], 80, 5)).unwrap();
+        let files = || {
+            let mut v: Vec<_> = std::fs::read_dir(&dir)
+                .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.file_name())).collect())
+                .unwrap_or_default();
+            v.sort();
+            v
+        };
+        let after_first = files();
+        assert_eq!(after_first.len(), 1, "one spill file for \"a\"");
+        // Ping-pong: a back in, b out; then b back in, a out again. The
+        // immutable spill files are written once each and then reused.
+        reg.get("a").unwrap();
+        reg.get("b").unwrap();
+        assert_eq!(files().len(), 2);
+        assert_eq!(reg.spilled_names(), vec!["a".to_string()]);
+        let a = reg.get("a").unwrap();
+        assert_eq!(a.coo.nnz(), 300);
+        assert_eq!(files().len(), 2, "no third file on re-eviction");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

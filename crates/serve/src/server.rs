@@ -26,6 +26,13 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Optional plan-cache file shared with the `tune`/`decompose` CLI.
     pub plan_cache_path: Option<std::path::PathBuf>,
+    /// Cap on in-memory tensors; beyond it the registry spills the least
+    /// recently used to on-disk tile stores. `None` keeps everything
+    /// resident (no spill tier).
+    pub max_resident: Option<usize>,
+    /// Directory for spilled tile stores. Only consulted when
+    /// `max_resident` is set; defaults to a per-process temp directory.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -34,6 +41,8 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 16,
             plan_cache_path: None,
+            max_resident: None,
+            spill_dir: None,
         }
     }
 }
@@ -77,7 +86,21 @@ impl Server {
             Some(path) => PlanCache::open(path)?,
             None => PlanCache::in_memory(),
         };
-        let service = Arc::new(Service::new(config.workers, config.queue_capacity, plans));
+        let registry = match config.max_resident {
+            Some(cap) => {
+                let dir = config.spill_dir.clone().unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!("tenblock-spill-{}", std::process::id()))
+                });
+                crate::registry::Registry::with_spill(dir, cap)
+            }
+            None => crate::registry::Registry::new(),
+        };
+        let service = Arc::new(Service::with_registry(
+            config.workers,
+            config.queue_capacity,
+            plans,
+            registry,
+        ));
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));

@@ -29,7 +29,10 @@ use std::ops::Range;
 
 /// Uniform boundaries splitting `dim` indices into `n` blocks:
 /// block `t` covers `[t*dim/n, (t+1)*dim/n)` (the MB grid convention).
-fn uniform_bounds(dim: usize, n: usize) -> Vec<usize> {
+/// Shared by the MB/BCOO layouts and the out-of-core tile store, which
+/// must agree on cell extents for streamed results to match in-memory
+/// kernels bit-for-bit.
+pub fn uniform_bounds(dim: usize, n: usize) -> Vec<usize> {
     (0..=n).map(|t| t * dim / n).collect()
 }
 

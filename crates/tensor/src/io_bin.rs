@@ -1,27 +1,36 @@
-//! A compact binary tensor format.
+//! A compact binary tensor container with a shared versioned header.
 //!
 //! FROSTT text files parse slowly at hundreds of millions of nonzeros
 //! (Table II scale); this little-endian binary container loads with one
-//! pass and no number parsing:
+//! pass and no number parsing. Every `.tnsb` file — whatever its payload —
+//! starts with the same header:
 //!
 //! ```text
 //! magic  "TNSB"          4 bytes
-//! version u32            currently 1
+//! version u32            1 = COO payload, 2 = tile-store payload
 //! order   u32
 //! dims    u64 * order
-//! nnz     u64
-//! coords  u32 * order * nnz   (entry-major)
-//! vals    f64 * nnz
+//! nnz     u64            total nonzeros in the file
 //! ```
+//!
+//! Version 1 follows the header with a flat COO payload
+//! (`coords u32 * order * nnz` entry-major, then `vals f64 * nnz`); the
+//! version-2 tile framing lives in [`crate::tile_store`] and reuses
+//! [`read_header`]/[`write_header`] plus the integer codecs here. Tensor
+//! types plug into the container through [`BinCodec`], so the
+//! stream/file entry points are written once and shared.
 
 use crate::coo::CooTensor;
 use crate::nd::NdCooTensor;
-use crate::{Entry, Idx, NMODES};
+use crate::{Entry, NMODES};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"TNSB";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"TNSB";
+/// Header version for the flat COO payload.
+pub const VERSION_COO: u32 = 1;
+/// Header version for the tile-store payload ([`crate::tile_store`]).
+pub const VERSION_TILES: u32 = 2;
 
 /// Errors from the binary reader.
 #[derive(Debug)]
@@ -49,128 +58,216 @@ impl From<std::io::Error> for BinError {
     }
 }
 
-fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, BinError> {
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32, BinError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, BinError> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64, BinError> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-/// Writes an N-mode tensor in the binary format.
-pub fn write_bin_nd<W: Write>(t: &NdCooTensor, writer: W) -> std::io::Result<()> {
-    let mut w = BufWriter::new(writer);
-    w.write_all(MAGIC)?;
-    write_u32(&mut w, VERSION)?;
-    write_u32(&mut w, t.order() as u32)?;
-    for &d in t.dims() {
-        write_u64(&mut w, d as u64)?;
-    }
-    write_u64(&mut w, t.nnz() as u64)?;
-    for n in 0..t.nnz() {
-        for &c in t.coord(n) {
-            write_u32(&mut w, c)?;
-        }
-    }
-    for &v in t.values() {
-        w.write_all(&v.to_le_bytes())?;
-    }
-    w.flush()
+/// The header every `.tnsb` file starts with, independent of payload
+/// version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinHeader {
+    /// Payload version ([`VERSION_COO`] or [`VERSION_TILES`]).
+    pub version: u32,
+    /// Mode lengths.
+    pub dims: Vec<usize>,
+    /// Total nonzeros stored in the file.
+    pub nnz: u64,
 }
 
-/// Reads an N-mode tensor from the binary format.
-pub fn read_bin_nd<R: Read>(reader: R) -> Result<NdCooTensor, BinError> {
-    let mut r = BufReader::new(reader);
+impl BinHeader {
+    /// Byte length of the encoded header.
+    pub fn encoded_len(&self) -> usize {
+        4 + 4 + 4 + 8 * self.dims.len() + 8
+    }
+}
+
+/// Writes the shared versioned header.
+pub fn write_header<W: Write>(w: &mut W, h: &BinHeader) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, h.version)?;
+    write_u32(w, h.dims.len() as u32)?;
+    for &d in &h.dims {
+        write_u64(w, d as u64)?;
+    }
+    write_u64(w, h.nnz)
+}
+
+/// Reads and validates the shared header: magic, a plausible order, and
+/// `nnz` within the tensor's cell count. Version dispatch is the caller's
+/// job — every payload reader checks for the version it understands.
+pub fn read_header<R: Read>(r: &mut R) -> Result<BinHeader, BinError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(BinError::Format("bad magic (not a TNSB file)".into()));
     }
-    let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(BinError::Format(format!("unsupported version {version}")));
-    }
-    let order = read_u32(&mut r)? as usize;
+    let version = read_u32(r)?;
+    let order = read_u32(r)? as usize;
     if order == 0 || order > 64 {
         return Err(BinError::Format(format!("implausible order {order}")));
     }
     let mut dims = Vec::with_capacity(order);
     for _ in 0..order {
-        dims.push(read_u64(&mut r)? as usize);
+        dims.push(read_u64(r)? as usize);
     }
-    let nnz = read_u64(&mut r)? as usize;
+    let nnz = read_u64(r)?;
     let cells: u128 = dims.iter().map(|&d| d as u128).product();
     if (nnz as u128) > cells {
         return Err(BinError::Format(format!("nnz {nnz} exceeds tensor cells")));
     }
-    let mut coords: Vec<Idx> = Vec::with_capacity(nnz * order);
-    for _ in 0..nnz * order {
-        coords.push(read_u32(&mut r)?);
-    }
-    let mut vals = Vec::with_capacity(nnz);
-    let mut b = [0u8; 8];
-    for _ in 0..nnz {
-        r.read_exact(&mut b)?;
-        vals.push(f64::from_le_bytes(b));
-    }
-    for (n, chunk) in coords.chunks_exact(order).enumerate() {
-        for (m, &c) in chunk.iter().enumerate() {
-            if c as usize >= dims[m] {
-                return Err(BinError::Format(format!(
-                    "entry {n}: coordinate {c} out of range for mode {m}"
-                )));
+    Ok(BinHeader { version, dims, nnz })
+}
+
+/// Reads just the header of a `.tnsb` file, whatever its payload version —
+/// enough to size buffers or pick a tile grid without loading the tensor.
+pub fn read_bin_header_file<P: AsRef<Path>>(path: P) -> Result<BinHeader, BinError> {
+    read_header(&mut BufReader::new(std::fs::File::open(path)?))
+}
+
+/// A tensor type that can live in the `.tnsb` container. Implementations
+/// define the payload; the header and the stream/file plumbing are shared.
+pub trait BinCodec: Sized {
+    /// Writes the header and payload.
+    fn encode<W: Write>(&self, writer: W) -> std::io::Result<()>;
+    /// Reads the header and payload, failing typed on anything malformed.
+    fn decode<R: Read>(reader: R) -> Result<Self, BinError>;
+}
+
+impl BinCodec for NdCooTensor {
+    fn encode<W: Write>(&self, writer: W) -> std::io::Result<()> {
+        let mut w = BufWriter::new(writer);
+        write_header(
+            &mut w,
+            &BinHeader {
+                version: VERSION_COO,
+                dims: self.dims().to_vec(),
+                nnz: self.nnz() as u64,
+            },
+        )?;
+        for n in 0..self.nnz() {
+            for &c in self.coord(n) {
+                write_u32(&mut w, c)?;
             }
         }
+        for &v in self.values() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        w.flush()
     }
-    Ok(NdCooTensor::from_flat(dims, coords, vals))
+
+    fn decode<R: Read>(reader: R) -> Result<Self, BinError> {
+        let mut r = BufReader::new(reader);
+        let h = read_header(&mut r)?;
+        if h.version != VERSION_COO {
+            return Err(BinError::Format(format!(
+                "unsupported version {}",
+                h.version
+            )));
+        }
+        let (order, nnz) = (h.dims.len(), h.nnz as usize);
+        let mut coords = Vec::with_capacity(nnz * order);
+        for _ in 0..nnz * order {
+            coords.push(read_u32(&mut r)?);
+        }
+        let mut vals = Vec::with_capacity(nnz);
+        let mut b = [0u8; 8];
+        for _ in 0..nnz {
+            r.read_exact(&mut b)?;
+            vals.push(f64::from_le_bytes(b));
+        }
+        for (n, chunk) in coords.chunks_exact(order).enumerate() {
+            for (m, &c) in chunk.iter().enumerate() {
+                if c as usize >= h.dims[m] {
+                    return Err(BinError::Format(format!(
+                        "entry {n}: coordinate {c} out of range for mode {m}"
+                    )));
+                }
+            }
+        }
+        Ok(NdCooTensor::from_flat(h.dims, coords, vals))
+    }
+}
+
+impl BinCodec for CooTensor {
+    fn encode<W: Write>(&self, writer: W) -> std::io::Result<()> {
+        NdCooTensor::from_coo3(self).encode(writer)
+    }
+
+    fn decode<R: Read>(reader: R) -> Result<Self, BinError> {
+        let nd = NdCooTensor::decode(reader)?;
+        if nd.order() != NMODES {
+            return Err(BinError::Format(format!(
+                "expected a 3-mode tensor, file has order {}",
+                nd.order()
+            )));
+        }
+        let dims = [nd.dims()[0], nd.dims()[1], nd.dims()[2]];
+        let entries = (0..nd.nnz())
+            .map(|n| {
+                let c = nd.coord(n);
+                Entry::new(c[0], c[1], c[2], nd.value(n))
+            })
+            .collect();
+        Ok(CooTensor::from_entries(dims, entries))
+    }
+}
+
+/// Writes any [`BinCodec`] tensor to a file path.
+pub fn write_file<T: BinCodec, P: AsRef<Path>>(t: &T, path: P) -> std::io::Result<()> {
+    t.encode(std::fs::File::create(path)?)
+}
+
+/// Reads any [`BinCodec`] tensor from a file path.
+pub fn read_file<T: BinCodec, P: AsRef<Path>>(path: P) -> Result<T, BinError> {
+    T::decode(std::fs::File::open(path)?)
+}
+
+/// Writes an N-mode tensor in the binary format.
+pub fn write_bin_nd<W: Write>(t: &NdCooTensor, writer: W) -> std::io::Result<()> {
+    t.encode(writer)
+}
+
+/// Reads an N-mode tensor from the binary format.
+pub fn read_bin_nd<R: Read>(reader: R) -> Result<NdCooTensor, BinError> {
+    NdCooTensor::decode(reader)
 }
 
 /// Writes a 3-mode tensor in the binary format.
 pub fn write_bin<W: Write>(t: &CooTensor, writer: W) -> std::io::Result<()> {
-    write_bin_nd(&NdCooTensor::from_coo3(t), writer)
+    t.encode(writer)
 }
 
 /// Reads a 3-mode tensor from the binary format.
 ///
 /// Fails if the file's order is not 3.
 pub fn read_bin<R: Read>(reader: R) -> Result<CooTensor, BinError> {
-    let nd = read_bin_nd(reader)?;
-    if nd.order() != NMODES {
-        return Err(BinError::Format(format!(
-            "expected a 3-mode tensor, file has order {}",
-            nd.order()
-        )));
-    }
-    let dims = [nd.dims()[0], nd.dims()[1], nd.dims()[2]];
-    let entries = (0..nd.nnz())
-        .map(|n| {
-            let c = nd.coord(n);
-            Entry::new(c[0], c[1], c[2], nd.value(n))
-        })
-        .collect();
-    Ok(CooTensor::from_entries(dims, entries))
+    CooTensor::decode(reader)
 }
 
-/// File-path conveniences.
+/// Writes a 3-mode binary tensor file.
 pub fn write_bin_file<P: AsRef<Path>>(t: &CooTensor, path: P) -> std::io::Result<()> {
-    write_bin(t, std::fs::File::create(path)?)
+    write_file(t, path)
 }
 
 /// Reads a 3-mode binary tensor file.
 pub fn read_bin_file<P: AsRef<Path>>(path: P) -> Result<CooTensor, BinError> {
-    read_bin(std::fs::File::open(path)?)
+    read_file(path)
 }
 
 #[cfg(test)]
@@ -236,5 +333,48 @@ mod tests {
         let size = std::fs::metadata(&path).unwrap().len() as usize;
         // header + 12 bytes coords + 8 bytes value per entry
         assert_eq!(size, 4 + 4 + 4 + 3 * 8 + 8 + 1_000 * (12 + 8));
+    }
+
+    #[test]
+    fn header_roundtrip_and_peek() {
+        let h = BinHeader {
+            version: VERSION_TILES,
+            dims: vec![100, 20, 3],
+            nnz: 77,
+        };
+        let mut buf = Vec::new();
+        write_header(&mut buf, &h).unwrap();
+        assert_eq!(buf.len(), h.encoded_len());
+        let back = read_header(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, h);
+
+        // File peek sees the header of a v1 file without reading the body.
+        let t = uniform_tensor([9, 8, 7], 40, 5);
+        let dir = std::env::temp_dir().join("tenblock_bin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("peek.tnsb");
+        write_bin_file(&t, &path).unwrap();
+        let peek = read_bin_header_file(&path).unwrap();
+        assert_eq!(peek.version, VERSION_COO);
+        assert_eq!(peek.dims, vec![9, 8, 7]);
+        assert_eq!(peek.nnz, t.nnz() as u64);
+    }
+
+    #[test]
+    fn header_rejects_overflowing_nnz() {
+        let mut buf = Vec::new();
+        write_header(
+            &mut buf,
+            &BinHeader {
+                version: VERSION_COO,
+                dims: vec![2, 2, 2],
+                nnz: 9,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_header(&mut buf.as_slice()),
+            Err(BinError::Format(_))
+        ));
     }
 }

@@ -34,8 +34,10 @@ pub mod io;
 pub mod io_bin;
 pub mod nd;
 pub mod reorder;
+pub mod source;
 pub mod splatt;
 pub mod stats;
+pub mod tile_store;
 pub mod validate;
 
 pub use bcoo::BcooTensor;
@@ -43,8 +45,10 @@ pub use coo::{CooTensor, Entry, TensorError};
 pub use csf::CsfTensor;
 pub use dense::{DenseMatrix, StripMatrix};
 pub use nd::NdCooTensor;
+pub use source::{BcooSource, CooSource, SourceTile, TensorSource};
 pub use splatt::SplattTensor;
 pub use stats::TensorStats;
+pub use tile_store::{TileMeta, TileStore};
 
 /// Coordinate index type. `u32` comfortably covers every data set in the
 /// paper (largest mode length: 4.8M for Amazon) while halving index traffic

@@ -1,0 +1,742 @@
+//! The on-disk tile store: a `.tnsb` v2 payload holding a tensor as a
+//! grid of MB-aligned COO tiles, loadable one tile at a time.
+//!
+//! The grid partitions the *original* axes with the same
+//! [`uniform_bounds`] arithmetic the MB/BCOO layouts use, so one store
+//! serves all three MTTKRP orientations: mode `m`'s kernel grid is just
+//! the original grid read through `perm_for_mode(m)`. Entries inside a
+//! tile are stored block-local (`u32` offset per axis + `f64` value, 20
+//! bytes an entry), which is what lets a streaming driver hand a loaded
+//! tile straight to the BCOO micro-kernel after a per-mode re-sort.
+//!
+//! Layout after the shared versioned header ([`crate::io_bin`],
+//! `version = 2`):
+//!
+//! ```text
+//! grid     u32 * 3                 tiles per original axis
+//! n_tiles  u64                     nonempty tiles only
+//! table    (cell u32*3, nnz u64, off u64, len u64) * n_tiles
+//! payload  (local u32*3, val f64) * nnz   per tile, contiguous
+//! ```
+//!
+//! The reader is an input boundary: tiles must be sorted by linear cell
+//! id with no duplicates, payloads must be contiguous and exactly sized
+//! (`len == nnz * 20`, offsets tiling the rest of the file), per-tile
+//! `nnz` must fit the cell volume, and every local offset must fall
+//! inside its tile's span. Anything else is a typed [`BinError`], never
+//! a panic — the fuzzer's tile-framing mutants hold it to that.
+
+use crate::bcoo::uniform_bounds;
+use crate::coo::CooTensor;
+use crate::io_bin::{
+    read_header, read_u32, read_u64, write_header, write_u32, write_u64, BinError, BinHeader,
+    VERSION_COO, VERSION_TILES,
+};
+use crate::source::SourceTile;
+use crate::{Entry, Idx, NMODES};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Bytes per stored tile entry: three `u32` locals plus the `f64` value.
+pub const TILE_ENTRY_BYTES: u64 = 20;
+
+/// Bytes per tile-table record: cell, nnz, offset, length.
+const TABLE_RECORD_BYTES: u64 = 12 + 8 + 8 + 8;
+
+/// One tile's table record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileMeta {
+    /// Grid cell per original axis.
+    pub cell: [u32; NMODES],
+    /// Nonzeros in the tile.
+    pub nnz: u64,
+    /// Absolute file offset of the tile's payload.
+    pub off: u64,
+    /// Payload length in bytes (`nnz * TILE_ENTRY_BYTES`).
+    pub len: u64,
+}
+
+/// The parsed, validated structure of a tile store (header + table).
+#[derive(Debug, Clone)]
+struct StoreMeta {
+    dims: [usize; NMODES],
+    grid: [usize; NMODES],
+    nnz: u64,
+    tiles: Vec<TileMeta>,
+    bounds: [Vec<usize>; NMODES],
+}
+
+/// A spillable on-disk tensor: the table lives in memory (36 bytes per
+/// nonempty tile), the payloads stay on disk until [`TileStore::load_tile`].
+#[derive(Debug, Clone)]
+pub struct TileStore {
+    path: PathBuf,
+    meta: StoreMeta,
+}
+
+/// The linear cell id ordering tiles in the file: original-axes
+/// row-major.
+fn cell_id(cell: [u32; NMODES], grid: [usize; NMODES]) -> u64 {
+    (cell[0] as u64 * grid[1] as u64 + cell[1] as u64) * grid[2] as u64 + cell[2] as u64
+}
+
+/// The grid cell containing `idx` under uniform bounds (the inverse of
+/// [`uniform_bounds`], via partition point).
+fn cell_of(bounds: &[usize], idx: usize) -> usize {
+    bounds.partition_point(|&b| b <= idx) - 1
+}
+
+fn check_grid(dims: [usize; NMODES], grid: [usize; NMODES]) -> Result<(), BinError> {
+    for ax in 0..NMODES {
+        if grid[ax] == 0 || grid[ax] > dims[ax].max(1) {
+            return Err(BinError::Format(format!(
+                "tile grid count {} invalid for axis {ax} of length {}",
+                grid[ax], dims[ax]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Parses and validates the header + grid + tile table of a v2 store.
+/// `total_len` is the byte length of the whole stream; payload offsets
+/// must tile `[table_end, total_len)` exactly, in order.
+fn parse_meta<R: Read>(r: &mut R, total_len: u64) -> Result<StoreMeta, BinError> {
+    let h = read_header(r)?;
+    if h.version != VERSION_TILES {
+        return Err(BinError::Format(format!(
+            "unsupported tile-store version {}",
+            h.version
+        )));
+    }
+    if h.dims.len() != NMODES {
+        return Err(BinError::Format(format!(
+            "tile store requires a 3-mode tensor, file has order {}",
+            h.dims.len()
+        )));
+    }
+    let dims = [h.dims[0], h.dims[1], h.dims[2]];
+    let mut grid = [0usize; NMODES];
+    for g in grid.iter_mut() {
+        *g = read_u32(r)? as usize;
+    }
+    check_grid(dims, grid)?;
+    let bounds = [
+        uniform_bounds(dims[0], grid[0]),
+        uniform_bounds(dims[1], grid[1]),
+        uniform_bounds(dims[2], grid[2]),
+    ];
+    let n_tiles = read_u64(r)?;
+    let cells = grid.iter().map(|&g| g as u64).product::<u64>();
+    if n_tiles > cells {
+        return Err(BinError::Format(format!(
+            "tile table lists {n_tiles} tiles but the grid has {cells} cells"
+        )));
+    }
+    let table_end = h.encoded_len() as u64 + 12 + 8 + n_tiles * TABLE_RECORD_BYTES;
+    if table_end > total_len {
+        return Err(BinError::Format("truncated tile table".into()));
+    }
+
+    let mut tiles = Vec::with_capacity(n_tiles as usize);
+    let mut prev_id = None;
+    let mut expected_off = table_end;
+    let mut total_nnz: u64 = 0;
+    for t in 0..n_tiles {
+        let mut cell = [0u32; NMODES];
+        for c in cell.iter_mut() {
+            *c = read_u32(r)?;
+        }
+        for ax in 0..NMODES {
+            if cell[ax] as usize >= grid[ax] {
+                return Err(BinError::Format(format!(
+                    "tile {t}: cell {} out of grid range on axis {ax}",
+                    cell[ax]
+                )));
+            }
+        }
+        let id = cell_id(cell, grid);
+        if prev_id.is_some_and(|p| id <= p) {
+            return Err(BinError::Format(format!(
+                "tile {t}: cell {cell:?} duplicates or reorders an earlier tile extent"
+            )));
+        }
+        prev_id = Some(id);
+        let nnz = read_u64(r)?;
+        let off = read_u64(r)?;
+        let len = read_u64(r)?;
+        if len != nnz.saturating_mul(TILE_ENTRY_BYTES) {
+            return Err(BinError::Format(format!(
+                "tile {t}: length {len} disagrees with nnz {nnz}"
+            )));
+        }
+        let volume: u128 = (0..NMODES)
+            .map(|ax| {
+                let c = cell[ax] as usize;
+                (bounds[ax][c + 1] - bounds[ax][c]) as u128
+            })
+            .product();
+        if nnz as u128 > volume {
+            return Err(BinError::Format(format!(
+                "tile {t}: nnz {nnz} exceeds the cell volume {volume}"
+            )));
+        }
+        if off != expected_off {
+            return Err(BinError::Format(format!(
+                "tile {t}: payload offset {off} overlaps or skips bytes (expected {expected_off})"
+            )));
+        }
+        expected_off = off + len;
+        total_nnz += nnz;
+        tiles.push(TileMeta {
+            cell,
+            nnz,
+            off,
+            len,
+        });
+    }
+    if expected_off != total_len {
+        return Err(BinError::Format(format!(
+            "payloads end at {expected_off} but the file has {total_len} bytes"
+        )));
+    }
+    if total_nnz != h.nnz {
+        return Err(BinError::Format(format!(
+            "tile nnz sum {total_nnz} disagrees with header nnz {}",
+            h.nnz
+        )));
+    }
+    Ok(StoreMeta {
+        dims,
+        grid,
+        nnz: h.nnz,
+        tiles,
+        bounds,
+    })
+}
+
+/// Decodes one tile's payload bytes into a [`SourceTile`], validating
+/// every local offset against the tile's span.
+fn decode_tile(meta: &StoreMeta, t: usize, payload: &[u8]) -> Result<SourceTile, BinError> {
+    let tm = &meta.tiles[t];
+    if payload.len() as u64 != tm.len {
+        return Err(BinError::Format(format!(
+            "tile {t}: payload has {} bytes, table says {}",
+            payload.len(),
+            tm.len
+        )));
+    }
+    let mut origin = [0usize; NMODES];
+    let mut span = [0usize; NMODES];
+    for ax in 0..NMODES {
+        let c = tm.cell[ax] as usize;
+        origin[ax] = meta.bounds[ax][c];
+        span[ax] = meta.bounds[ax][c + 1] - meta.bounds[ax][c];
+    }
+    let n = tm.nnz as usize;
+    let mut locals = Vec::with_capacity(n);
+    let mut vals = Vec::with_capacity(n);
+    for (e, rec) in payload.chunks_exact(TILE_ENTRY_BYTES as usize).enumerate() {
+        let mut l = [0u32; NMODES];
+        for ax in 0..NMODES {
+            l[ax] = u32::from_le_bytes([
+                rec[4 * ax],
+                rec[4 * ax + 1],
+                rec[4 * ax + 2],
+                rec[4 * ax + 3],
+            ]);
+            if l[ax] as usize >= span[ax] {
+                return Err(BinError::Format(format!(
+                    "tile {t} entry {e}: local offset {} outside span {} on axis {ax}",
+                    l[ax], span[ax]
+                )));
+            }
+        }
+        let v = f64::from_le_bytes([
+            rec[12], rec[13], rec[14], rec[15], rec[16], rec[17], rec[18], rec[19],
+        ]);
+        locals.push(l);
+        vals.push(v);
+    }
+    Ok(SourceTile {
+        cell: tm.cell.map(|c| c as usize),
+        origin,
+        locals,
+        vals,
+    })
+}
+
+impl TileStore {
+    /// Opens and validates an existing tile-store file. Only the header
+    /// and tile table are read into memory.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, BinError> {
+        let file = std::fs::File::open(&path)?;
+        let total_len = file.metadata()?.len();
+        let mut r = BufReader::new(file);
+        let meta = parse_meta(&mut r, total_len)?;
+        Ok(TileStore {
+            path: path.as_ref().to_path_buf(),
+            meta,
+        })
+    }
+
+    /// Fully validates an in-memory tile-store image: structure plus a
+    /// decode of every tile. This is the fuzzer's entry point — it must
+    /// return a typed error on any malformation, never panic.
+    pub fn validate_bytes(bytes: &[u8]) -> Result<(), BinError> {
+        let mut r = bytes;
+        let meta = parse_meta(&mut r, bytes.len() as u64)?;
+        for t in 0..meta.tiles.len() {
+            let tm = &meta.tiles[t];
+            let payload = &bytes[tm.off as usize..(tm.off + tm.len) as usize];
+            decode_tile(&meta, t, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes `coo` as a tile store over `grid` (original axes) into
+    /// any writer. Sequential — no seeking — so it also targets sockets
+    /// and in-memory buffers.
+    pub fn write_tiles<W: Write>(
+        coo: &CooTensor,
+        grid: [usize; NMODES],
+        writer: W,
+    ) -> Result<(), BinError> {
+        let dims = coo.dims();
+        check_grid(dims, grid)?;
+        let bounds = [
+            uniform_bounds(dims[0], grid[0]),
+            uniform_bounds(dims[1], grid[1]),
+            uniform_bounds(dims[2], grid[2]),
+        ];
+        let mut tagged: Vec<(u64, &Entry)> = coo
+            .entries()
+            .iter()
+            .map(|e| {
+                let cell = [
+                    cell_of(&bounds[0], e.idx[0] as usize) as u32,
+                    cell_of(&bounds[1], e.idx[1] as usize) as u32,
+                    cell_of(&bounds[2], e.idx[2] as usize) as u32,
+                ];
+                (cell_id(cell, grid), e)
+            })
+            .collect();
+        tagged.sort_unstable_by_key(|&(id, e)| (id, e.idx));
+
+        // Tile table: one record per nonempty cell, payloads contiguous.
+        let mut tiles: Vec<(u64, u64)> = Vec::new(); // (cell id, nnz)
+        for &(id, _) in &tagged {
+            match tiles.last_mut() {
+                Some((last, n)) if *last == id => *n += 1,
+                _ => tiles.push((id, 1)),
+            }
+        }
+        let header = BinHeader {
+            version: VERSION_TILES,
+            dims: dims.to_vec(),
+            nnz: coo.nnz() as u64,
+        };
+        let mut w = BufWriter::new(writer);
+        write_header(&mut w, &header)?;
+        for &g in &grid {
+            write_u32(&mut w, g as u32)?;
+        }
+        write_u64(&mut w, tiles.len() as u64)?;
+        let mut off =
+            header.encoded_len() as u64 + 12 + 8 + tiles.len() as u64 * TABLE_RECORD_BYTES;
+        for &(id, nnz) in &tiles {
+            let cell = [
+                (id / (grid[1] as u64 * grid[2] as u64)) as u32,
+                ((id / grid[2] as u64) % grid[1] as u64) as u32,
+                (id % grid[2] as u64) as u32,
+            ];
+            for &c in &cell {
+                write_u32(&mut w, c)?;
+            }
+            let len = nnz * TILE_ENTRY_BYTES;
+            write_u64(&mut w, nnz)?;
+            write_u64(&mut w, off)?;
+            write_u64(&mut w, len)?;
+            off += len;
+        }
+        for &(id, e) in &tagged {
+            let cell = [
+                (id / (grid[1] as u64 * grid[2] as u64)) as usize,
+                ((id / grid[2] as u64) % grid[1] as u64) as usize,
+                (id % grid[2] as u64) as usize,
+            ];
+            for ax in 0..NMODES {
+                write_u32(&mut w, e.idx[ax] - bounds[ax][cell[ax]] as Idx)?;
+            }
+            w.write_all(&e.val.to_le_bytes())?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Writes `coo` as a tile-store file and opens it (which re-validates
+    /// the bytes just written).
+    pub fn create_from_coo<P: AsRef<Path>>(
+        coo: &CooTensor,
+        grid: [usize; NMODES],
+        path: P,
+    ) -> Result<Self, BinError> {
+        Self::write_tiles(coo, grid, std::fs::File::create(&path)?)?;
+        Self::open(path)
+    }
+
+    /// Converts a v1 (flat COO) `.tnsb` file into a tile store at `dst`
+    /// in bounded memory: two streaming passes over the source — count
+    /// nonzeros per cell, then scatter entries through small per-tile
+    /// write buffers — so neither tensor is ever fully resident.
+    pub fn build_from_tnsb<P: AsRef<Path>, Q: AsRef<Path>>(
+        src: P,
+        grid: [usize; NMODES],
+        dst: Q,
+    ) -> Result<Self, BinError> {
+        let src = src.as_ref();
+        let (header, coords_at) = read_v1_prelude(src)?;
+        let dims = [header.dims[0], header.dims[1], header.dims[2]];
+        check_grid(dims, grid)?;
+        let bounds = [
+            uniform_bounds(dims[0], grid[0]),
+            uniform_bounds(dims[1], grid[1]),
+            uniform_bounds(dims[2], grid[2]),
+        ];
+        let nnz = header.nnz as usize;
+        let cells = grid[0] * grid[1] * grid[2];
+
+        // Pass 1: per-cell nonzero counts, O(cells) memory.
+        let mut counts = vec![0u64; cells];
+        {
+            let mut f = std::fs::File::open(src)?;
+            f.seek(SeekFrom::Start(coords_at))?;
+            let mut coords = BufReader::new(f);
+            for n in 0..nnz {
+                let idx = read_coord3(&mut coords, dims, n)?;
+                let cell = [
+                    cell_of(&bounds[0], idx[0]) as u32,
+                    cell_of(&bounds[1], idx[1]) as u32,
+                    cell_of(&bounds[2], idx[2]) as u32,
+                ];
+                counts[cell_id(cell, grid) as usize] += 1;
+            }
+        }
+
+        // Table: nonempty cells in id order, contiguous payload offsets.
+        let n_tiles = counts.iter().filter(|&&c| c > 0).count() as u64;
+        let table_end = header.encoded_len() as u64 + 12 + 8 + n_tiles * TABLE_RECORD_BYTES;
+        let mut cursor = vec![0u64; cells]; // per-cell write position
+        let mut out = std::fs::File::create(dst.as_ref())?;
+        {
+            let mut w = BufWriter::new(&mut out);
+            write_header(
+                &mut w,
+                &BinHeader {
+                    version: VERSION_TILES,
+                    dims: header.dims.clone(),
+                    nnz: header.nnz,
+                },
+            )?;
+            for &g in &grid {
+                write_u32(&mut w, g as u32)?;
+            }
+            write_u64(&mut w, n_tiles)?;
+            let mut off = table_end;
+            for (id, &count) in counts.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                let id = id as u64;
+                let cell = [
+                    (id / (grid[1] as u64 * grid[2] as u64)) as u32,
+                    ((id / grid[2] as u64) % grid[1] as u64) as u32,
+                    (id % grid[2] as u64) as u32,
+                ];
+                for &c in &cell {
+                    write_u32(&mut w, c)?;
+                }
+                let len = count * TILE_ENTRY_BYTES;
+                write_u64(&mut w, count)?;
+                write_u64(&mut w, off)?;
+                write_u64(&mut w, len)?;
+                cursor[id as usize] = off;
+                off += len;
+            }
+            w.flush()?;
+        }
+
+        // Pass 2: scatter entries to their tiles through small flush
+        // buffers — bounded by FLUSH_AT bytes per nonempty tile.
+        const FLUSH_AT: usize = 4096;
+        let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); cells];
+        let mut coords = {
+            let mut f = std::fs::File::open(src)?;
+            f.seek(SeekFrom::Start(coords_at))?;
+            BufReader::new(f)
+        };
+        let mut vals = {
+            let mut f = std::fs::File::open(src)?;
+            f.seek(SeekFrom::Start(coords_at + 12 * nnz as u64))?;
+            BufReader::new(f)
+        };
+        let flush = |out: &mut std::fs::File,
+                     id: usize,
+                     buf: &mut Vec<u8>,
+                     cursor: &mut [u64]|
+         -> Result<(), BinError> {
+            out.seek(SeekFrom::Start(cursor[id]))?;
+            out.write_all(buf)?;
+            cursor[id] += buf.len() as u64;
+            buf.clear();
+            Ok(())
+        };
+        for n in 0..nnz {
+            let idx = read_coord3(&mut coords, dims, n)?;
+            let mut v = [0u8; 8];
+            vals.read_exact(&mut v)?;
+            let cell = [
+                cell_of(&bounds[0], idx[0]),
+                cell_of(&bounds[1], idx[1]),
+                cell_of(&bounds[2], idx[2]),
+            ];
+            let id = cell_id([cell[0] as u32, cell[1] as u32, cell[2] as u32], grid) as usize;
+            let buf = &mut bufs[id];
+            for ax in 0..NMODES {
+                buf.extend_from_slice(&((idx[ax] - bounds[ax][cell[ax]]) as u32).to_le_bytes());
+            }
+            buf.extend_from_slice(&v);
+            if buf.len() >= FLUSH_AT {
+                flush(&mut out, id, buf, &mut cursor)?;
+            }
+        }
+        for (id, buf) in bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                flush(&mut out, id, buf, &mut cursor)?;
+            }
+        }
+        out.flush()?;
+        drop(out);
+        Self::open(dst)
+    }
+
+    /// Tensor dimensions (original mode order).
+    pub fn dims(&self) -> [usize; NMODES] {
+        self.meta.dims
+    }
+
+    /// Tile counts per original axis.
+    pub fn grid(&self) -> [usize; NMODES] {
+        self.meta.grid
+    }
+
+    /// Total nonzeros across all tiles.
+    pub fn nnz(&self) -> usize {
+        self.meta.nnz as usize
+    }
+
+    /// Number of nonempty tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.meta.tiles.len()
+    }
+
+    /// The `i`-th tile's table record.
+    pub fn tile(&self, i: usize) -> TileMeta {
+        self.meta.tiles[i]
+    }
+
+    /// Tile boundaries along original axis `ax` (length `grid[ax] + 1`).
+    pub fn bounds(&self, ax: usize) -> &[usize] {
+        &self.meta.bounds[ax]
+    }
+
+    /// Payload bytes of the largest tile — what a double-buffered reader
+    /// must be able to hold twice.
+    pub fn max_tile_bytes(&self) -> u64 {
+        self.meta.tiles.iter().map(|t| t.len).max().unwrap_or(0)
+    }
+
+    /// The file this store reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads and decodes one tile from disk.
+    pub fn load_tile(&self, i: usize) -> Result<SourceTile, BinError> {
+        let tm = self.meta.tiles[i];
+        let mut f = std::fs::File::open(&self.path)?;
+        f.seek(SeekFrom::Start(tm.off))?;
+        let mut payload = vec![0u8; tm.len as usize];
+        f.read_exact(&mut payload)?;
+        decode_tile(&self.meta, i, &payload)
+    }
+
+    /// Reassembles the whole tensor (one tile at a time). This is the
+    /// spill tier's reload path and the round-trip test hook — it holds
+    /// the full entry list, so only call it when the tensor is meant to
+    /// become resident again.
+    pub fn to_coo(&self) -> Result<CooTensor, BinError> {
+        let mut entries = Vec::with_capacity(self.nnz());
+        for i in 0..self.n_tiles() {
+            let tile = self.load_tile(i)?;
+            for (l, &v) in tile.locals.iter().zip(&tile.vals) {
+                entries.push(Entry {
+                    idx: [
+                        (tile.origin[0] + l[0] as usize) as Idx,
+                        (tile.origin[1] + l[1] as usize) as Idx,
+                        (tile.origin[2] + l[2] as usize) as Idx,
+                    ],
+                    val: v,
+                });
+            }
+        }
+        Ok(CooTensor::from_entries(self.dims(), entries))
+    }
+}
+
+/// Reads a v1 `.tnsb` header and returns it with the byte offset of the
+/// coordinate section.
+fn read_v1_prelude(path: &Path) -> Result<(BinHeader, u64), BinError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let h = read_header(&mut r)?;
+    if h.version != VERSION_COO {
+        return Err(BinError::Format(format!(
+            "expected a v1 COO .tnsb file, found version {}",
+            h.version
+        )));
+    }
+    if h.dims.len() != NMODES {
+        return Err(BinError::Format(format!(
+            "tile store requires a 3-mode tensor, file has order {}",
+            h.dims.len()
+        )));
+    }
+    let at = h.encoded_len() as u64;
+    Ok((h, at))
+}
+
+/// Reads one 3-mode coordinate triple, validating range.
+fn read_coord3<R: Read>(
+    r: &mut R,
+    dims: [usize; NMODES],
+    n: usize,
+) -> Result<[usize; NMODES], BinError> {
+    let mut idx = [0usize; NMODES];
+    for (ax, i) in idx.iter_mut().enumerate() {
+        let c = read_u32(r)? as usize;
+        if c >= dims[ax] {
+            return Err(BinError::Format(format!(
+                "entry {n}: coordinate {c} out of range for mode {ax}"
+            )));
+        }
+        *i = c;
+    }
+    Ok(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform_tensor;
+    use crate::io_bin::write_bin_file;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tenblock_tiles_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn store_round_trips_through_tiles() {
+        let t = uniform_tensor([40, 30, 20], 900, 3);
+        let dir = tmpdir("roundtrip");
+        let store = TileStore::create_from_coo(&t, [4, 3, 2], dir.join("t.tnsb")).unwrap();
+        assert_eq!(store.dims(), t.dims());
+        assert_eq!(store.nnz(), t.nnz());
+        assert!(store.n_tiles() >= 1);
+        assert_eq!(store.to_coo().unwrap(), t);
+        // Tile cells are sorted and nnz sums to the total.
+        let sum: u64 = (0..store.n_tiles()).map(|i| store.tile(i).nnz).sum();
+        assert_eq!(sum, t.nnz() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_from_v1_matches_in_memory_build() {
+        let t = uniform_tensor([64, 48, 32], 2_000, 11);
+        let dir = tmpdir("fromv1");
+        let v1 = dir.join("src.tnsb");
+        write_bin_file(&t, &v1).unwrap();
+        let streamed = TileStore::build_from_tnsb(&v1, [3, 2, 2], dir.join("a.tnsb")).unwrap();
+        let direct = TileStore::create_from_coo(&t, [3, 2, 2], dir.join("b.tnsb")).unwrap();
+        assert_eq!(streamed.n_tiles(), direct.n_tiles());
+        for i in 0..streamed.n_tiles() {
+            let (a, b) = (streamed.tile(i), direct.tile(i));
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.nnz, b.nnz);
+        }
+        assert_eq!(streamed.to_coo().unwrap(), t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_tensor_has_no_tiles() {
+        let t = CooTensor::empty([5, 5, 5]);
+        let dir = tmpdir("empty");
+        let store = TileStore::create_from_coo(&t, [2, 2, 2], dir.join("e.tnsb")).unwrap();
+        assert_eq!(store.n_tiles(), 0);
+        assert_eq!(store.to_coo().unwrap(), t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_bytes_accepts_well_formed_and_rejects_mutants() {
+        let t = uniform_tensor([16, 16, 16], 200, 5);
+        let mut bytes = Vec::new();
+        TileStore::write_tiles(&t, [2, 2, 2], &mut bytes).unwrap();
+        TileStore::validate_bytes(&bytes).unwrap();
+
+        // Truncated tile table.
+        assert!(matches!(
+            TileStore::validate_bytes(&bytes[..60]),
+            Err(BinError::Format(_)) | Err(BinError::Io(_))
+        ));
+        // Lying length: corrupt the first tile's nnz field.
+        let mut lying = bytes.clone();
+        let nnz_at = 4 + 4 + 4 + 3 * 8 + 8 + 12 + 8 + 12; // first record's nnz
+        lying[nnz_at] ^= 0xff;
+        assert!(TileStore::validate_bytes(&lying).is_err());
+        // Trailing garbage breaks the extent tiling.
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(&[0u8; 7]);
+        assert!(matches!(
+            TileStore::validate_bytes(&trailing),
+            Err(BinError::Format(_))
+        ));
+        // A v1 file is not a tile store.
+        let mut v1 = Vec::new();
+        crate::io_bin::write_bin(&t, &mut v1).unwrap();
+        assert!(matches!(
+            TileStore::validate_bytes(&v1),
+            Err(BinError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn tile_locals_stay_inside_spans() {
+        let t = uniform_tensor([33, 17, 9], 400, 13);
+        let dir = tmpdir("spans");
+        let store = TileStore::create_from_coo(&t, [5, 3, 2], dir.join("t.tnsb")).unwrap();
+        for i in 0..store.n_tiles() {
+            let tile = store.load_tile(i).unwrap();
+            for ax in 0..NMODES {
+                let c = tile.cell[ax];
+                let span = store.bounds(ax)[c + 1] - store.bounds(ax)[c];
+                assert!(tile.locals.iter().all(|l| (l[ax] as usize) < span));
+                assert_eq!(tile.origin[ax], store.bounds(ax)[c]);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

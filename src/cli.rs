@@ -22,11 +22,12 @@
 use std::path::Path;
 use std::sync::Arc;
 use tenblock_core::obs::{Rec, TraceRecorder};
+use tenblock_core::tune::grid_for_tile_budget;
 use tenblock_core::{build_kernel, tune, ExecPolicy, KernelConfig, KernelKind, TuneOptions};
-use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAprOptions};
+use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAlsStream, CpAprOptions};
 use tenblock_serve::{PlanCache, PlanKey, Server, ServerConfig, TunedPlan};
 use tenblock_tensor::gen::{Dataset, ALL_DATASETS};
-use tenblock_tensor::{io, io_bin, CooTensor, DenseMatrix, TensorStats};
+use tenblock_tensor::{io, io_bin, CooTensor, DenseMatrix, TensorStats, TileStore};
 
 /// A parsed command line: positional arguments and `--key value` flags.
 #[derive(Debug, Default, Clone)]
@@ -135,8 +136,10 @@ USAGE:
   tenblock decompose <file> [--rank R] [--iters N] [--method als|apr]
                             [--kernel splatt|mb|rankb|mbrankb|bcoo]
                             [--plan-cache <path>] [--trace [path]]
+                            [--stream [--tile-budget BYTES] [--store <path>]
+                             [--checked] [--assert-peak-rss BYTES]]
   tenblock serve --addr <host:port> [--workers N] [--queue N]
-                 [--plan-cache <path>]
+                 [--plan-cache <path>] [--max-resident N] [--spill-dir <dir>]
   tenblock check <file> [--rank R]
   tenblock fuzz [--seeds N] [--seed BASE] [--corpus dir]
   tenblock lint [root]
@@ -154,14 +157,24 @@ https://ui.perfetto.dev.
 `check` runs every kernel once under ExecPolicy::checked(): blocking
 invariants are validated and each parallel task's output-row write set is
 checked for races before the launch; violations print a structured report.
-`fuzz` runs N deterministic seeds of adversarial tensors and mutated .tns
-byte streams through every kernel, the tuner, the planners, and the dense
-reference; mismatches and panics print minimized repros (and are written
-to --corpus, whose .tns files are replayed first on later runs). Exits
-nonzero on any finding.
+`fuzz` runs N deterministic seeds of adversarial tensors plus mutated .tns
+and .tnsb (tile-framing) byte streams through every kernel, the tuner, the
+planners, the parsers, and the dense reference; mismatches and panics
+print minimized repros (and are written to --corpus, whose .tns/.tnsb
+files are replayed first on later runs). Exits nonzero on any finding.
 `lint` scans `root` (default `.`) for workspace rule violations (unwrap in
-serve/core, deprecated constructors, undocumented core pub fns,
-lock().unwrap() outside shims) and exits nonzero on findings.
+serve/core, undocumented core pub fns, lock().unwrap() outside shims)
+and exits nonzero on findings.
+`decompose --stream` runs CP-ALS out of core: the tensor is served from an
+on-disk tile store (built on the fly for v1/.tns inputs, sized so two
+tiles fit --tile-budget) and streamed per MTTKRP with double-buffered
+prefetch; the factors match the in-memory path. --checked verifies each
+tile's decoded rows against its bounds-derived band; --assert-peak-rss
+fails the run if VmHWM exceeded the given bytes.
+`serve --max-resident N` caps in-memory tensors: beyond N the registry
+spills the least recently used to tile stores in --spill-dir (default a
+temp dir) and streams them back on demand; {\"cmd\":\"list\"} reports
+resident vs spilled handles and the stream counters.
 The serve protocol is line-delimited JSON; see crates/serve/README.md.";
 
 /// Parses a `--grid AxBxC` spec, clamping each axis into `1..=dim` so
@@ -214,6 +227,122 @@ fn write_trace(tracer: &TraceRecorder, path: &Path) -> Result<String, String> {
         tracer.snapshot().len(),
         path.display()
     ))
+}
+
+/// Peak resident set size (VmHWM) of this process in bytes, from
+/// `/proc/self/status`. `None` off Linux or if the field is missing.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Where `decompose --stream` materializes the tile store when the input
+/// is not already one: `--store <path>` or `<input>.tiles.tnsb`.
+fn store_path(args: &Args, input: &Path) -> std::path::PathBuf {
+    args.flag("store")
+        .filter(|v| !v.is_empty())
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| input.with_extension("tiles.tnsb"))
+}
+
+/// `decompose --stream`: CP-ALS over a spilled tile store, never holding
+/// the full tensor. A v2 `.tnsb` input is opened as-is; a v1 `.tnsb` is
+/// re-tiled on disk in bounded memory (two streaming passes); a `.tns`
+/// text file is loaded once to build the store (text has no random
+/// access). The tile grid comes from `--tile-budget` via the tuner's
+/// budget heuristic: expected tile ≤ budget/2, two tiles in flight.
+fn decompose_stream(
+    args: &Args,
+    path: &str,
+    rank: usize,
+    iters: usize,
+    method: &str,
+) -> Result<String, String> {
+    if method != "als" {
+        return Err("--stream supports --method als only".to_string());
+    }
+    let budget: u64 = args.flag_or("tile-budget", 64u64 << 20);
+    if budget == 0 {
+        return Err("--tile-budget must be positive".to_string());
+    }
+    let trace = trace_path(args);
+    let tracer = Arc::new(TraceRecorder::new());
+    let base_exec = if args.flag("checked").is_some() {
+        ExecPolicy::checked()
+    } else {
+        ExecPolicy::serial()
+    };
+    let exec = with_tracing(base_exec, &trace, &tracer);
+
+    let p = Path::new(path);
+    let (store, store_note) = match p.extension().and_then(|e| e.to_str()) {
+        Some("tnsb") => {
+            let hdr = io_bin::read_bin_header_file(p).map_err(|e| e.to_string())?;
+            if hdr.version == io_bin::VERSION_TILES {
+                let store = TileStore::open(p).map_err(|e| e.to_string())?;
+                (store, format!("opened tile store {path}"))
+            } else {
+                if hdr.dims.len() != 3 {
+                    return Err(format!(
+                        "--stream needs a 3-mode tensor, {path} has order {}",
+                        hdr.dims.len()
+                    ));
+                }
+                let dims = [hdr.dims[0], hdr.dims[1], hdr.dims[2]];
+                let grid = grid_for_tile_budget(dims, hdr.nnz as usize, budget);
+                let dst = store_path(args, p);
+                let store = TileStore::build_from_tnsb(p, grid, &dst).map_err(|e| e.to_string())?;
+                (store, format!("tiled {path} -> {}", dst.display()))
+            }
+        }
+        _ => {
+            let t = load_tensor(path)?;
+            let grid = grid_for_tile_budget(t.dims(), t.nnz(), budget);
+            let dst = store_path(args, p);
+            let store = TileStore::create_from_coo(&t, grid, &dst).map_err(|e| e.to_string())?;
+            (store, format!("tiled {path} -> {}", dst.display()))
+        }
+    };
+
+    let mut opts = CpAlsOptions::new(rank);
+    opts.max_iters = iters;
+    opts.kernel_cfg.strip_width = args.flag_or("strip", 16);
+    opts.kernel_cfg.exec = exec;
+    let solver = CpAlsStream::new(&store, opts);
+    let result = solver.run().map_err(|e| e.to_string())?;
+    let snap = solver.stats().snapshot();
+    let n_tiles = store.n_tiles().max(1) as u64;
+    let mut msg = format!(
+        "CP-ALS (streamed) rank {rank}: fit {:.5} after {} iterations (converged: {})\n\
+         {store_note}: {} tiles, grid {:?}, max tile {} B, budget {budget} B\n\
+         streamed {} tiles / {} B in {} passes, prefetch stall {:.2} ms",
+        result.fit_history.last().unwrap_or(&0.0),
+        result.iterations,
+        result.converged,
+        store.n_tiles(),
+        store.grid(),
+        store.max_tile_bytes(),
+        snap.tiles_loaded,
+        snap.bytes_streamed,
+        snap.tiles_loaded / n_tiles,
+        snap.prefetch_stall_ns as f64 / 1e6,
+    );
+    if let Some(cap) = args.flag("assert-peak-rss") {
+        let cap: u64 = cap
+            .parse()
+            .map_err(|_| format!("bad --assert-peak-rss `{cap}` (expected bytes)"))?;
+        let rss = peak_rss_bytes().ok_or("peak RSS unavailable on this platform")?;
+        if rss > cap {
+            return Err(format!("peak RSS {rss} B exceeds the asserted cap {cap} B"));
+        }
+        msg.push_str(&format!("\npeak RSS {rss} B (under the {cap} B cap)"));
+    }
+    if let Some(tp) = trace {
+        msg.push_str(&write_trace(&tracer, &tp)?);
+    }
+    Ok(msg)
 }
 
 /// Runs one subcommand; returns the text to print or an error message.
@@ -373,6 +502,9 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let rank: usize = args.flag_or("rank", 16);
             let iters: usize = args.flag_or("iters", 20);
             let method = args.flag("method").unwrap_or("als");
+            if args.flag("stream").is_some() {
+                return decompose_stream(args, path, rank, iters, method);
+            }
             let t = load_tensor(path)?;
             // A cached plan for this tensor's shape and rank beats the
             // fixed default grid (and, when `--kernel` is not given, its
@@ -441,6 +573,14 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 workers: args.flag_or("workers", 2),
                 queue_capacity: args.flag_or("queue", 16),
                 plan_cache_path: args.flag("plan-cache").map(std::path::PathBuf::from),
+                max_resident: match args.flag("max-resident") {
+                    Some(v) => Some(
+                        v.parse::<usize>()
+                            .map_err(|_| format!("--max-resident: invalid count `{v}`"))?,
+                    ),
+                    None => None,
+                },
+                spill_dir: args.flag("spill-dir").map(std::path::PathBuf::from),
             };
             let server = Server::bind(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
             // Announce before blocking: `run` only returns output after the
@@ -628,6 +768,69 @@ mod tests {
         dargs.flags.push(("method".into(), "apr".into()));
         let apr = run("decompose", &dargs).unwrap();
         assert!(apr.contains("CP-APR"));
+    }
+
+    fn parse_fit(msg: &str) -> f64 {
+        let at = msg.find("fit ").expect("fit in output") + 4;
+        msg[at..]
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .expect("numeric fit")
+    }
+
+    #[test]
+    fn decompose_stream_matches_in_memory_and_reports_counters() {
+        let tnsb = tmpfile("stream_src.tnsb");
+        let mut gargs = Args::parse(&["Poisson1".to_string(), tnsb.clone()]);
+        gargs.flags.push(("nnz".into(), "4000".into()));
+        gargs.flags.push(("seed".into(), "11".into()));
+        run("gen", &gargs).unwrap();
+
+        let mut mem = Args::parse(std::slice::from_ref(&tnsb));
+        mem.flags.push(("rank".into(), "4".into()));
+        mem.flags.push(("iters".into(), "5".into()));
+        let in_memory = run("decompose", &mem).unwrap();
+
+        // Tile budget far below the tensor's entry footprint forces a
+        // real multi-tile grid; checked mode and the RSS assertion ride
+        // along.
+        let store = tmpfile("stream_src.tiles.tnsb");
+        let mut st = mem.clone();
+        st.flags.push(("stream".into(), String::new()));
+        st.flags.push(("tile-budget".into(), "16384".into()));
+        st.flags.push(("store".into(), store.clone()));
+        st.flags.push(("checked".into(), String::new()));
+        st.flags
+            .push(("assert-peak-rss".into(), (1u64 << 40).to_string()));
+        let streamed = run("decompose", &st).unwrap();
+        assert!(streamed.contains("CP-ALS (streamed)"), "{streamed}");
+        assert!(streamed.contains("passes"), "{streamed}");
+        assert!(streamed.contains("peak RSS"), "{streamed}");
+        assert!(
+            (parse_fit(&streamed) - parse_fit(&in_memory)).abs() < 1e-4,
+            "streamed vs in-memory fit:\n{streamed}\n{in_memory}"
+        );
+        // 5 iterations x 3 modes + the norm pass = 16 passes.
+        assert!(streamed.contains("in 16 passes"), "{streamed}");
+
+        // The materialized store is a valid v2 input on its own.
+        let mut reopened = Args::parse(std::slice::from_ref(&store));
+        reopened.flags.push(("rank".into(), "4".into()));
+        reopened.flags.push(("iters".into(), "5".into()));
+        reopened.flags.push(("stream".into(), String::new()));
+        let again = run("decompose", &reopened).unwrap();
+        assert!(again.contains("opened tile store"), "{again}");
+        assert!(
+            (parse_fit(&again) - parse_fit(&streamed)).abs() < 1e-12,
+            "same store, same fit:\n{again}\n{streamed}"
+        );
+
+        // APR has no streaming path: typed refusal, not a panic.
+        let mut apr = st.clone();
+        apr.flags.push(("method".into(), "apr".into()));
+        assert!(run("decompose", &apr).is_err());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! the bytes a traced MTTKRP reports must match `RooflineInputs` (Eq. 1
 //! at `alpha = 0`) computed independently from the tensor, for every mode.
 //!
-//! Also exercises the deprecated `parallel: bool` shims, which must keep
-//! their old meaning until removed.
+//! Also exercises the `ExecPolicy` entry points, which are the only way
+//! to select threading since the `parallel: bool` shims were retired.
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -74,8 +74,7 @@ fn traced_mttkrp_bytes_match_section_iv_model() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_parallel_shims_keep_their_meaning() {
+fn exec_policy_is_the_single_threading_entry_point() {
     use tenblock::core::mttkrp::SplattKernel;
     use tenblock::core::{tune, MttkrpKernel, TuneOptions};
 
@@ -88,23 +87,23 @@ fn legacy_parallel_shims_keep_their_meaning() {
         .collect();
     let fs: [&DenseMatrix; 3] = [&factors[0], &factors[1], &factors[2]];
 
-    // with_parallel(true) still selects the parallel path and the result
-    // matches the serial kernel.
+    // ExecPolicy::auto() selects the parallel path and the result matches
+    // the serial kernel.
     let serial = SplattKernel::new(&t, 0);
-    let shimmed = SplattKernel::new(&t, 0).with_parallel(true);
+    let auto = SplattKernel::new(&t, 0).with_exec(ExecPolicy::auto());
     let mut a = DenseMatrix::zeros(t.dims()[0], rank);
     let mut b = DenseMatrix::zeros(t.dims()[0], rank);
     serial.mttkrp(&fs, &mut a);
-    shimmed.mttkrp(&fs, &mut b);
+    auto.mttkrp(&fs, &mut b);
     assert!(a.approx_eq(&b, 1e-12));
 
-    // TuneOptions::with_parallel and TuneResult::config still work and map
-    // onto the ExecPolicy they deprecate in favor of.
-    let mut opts = TuneOptions::new(rank).with_parallel(false);
+    // The tuner threads ExecPolicy through and config_with carries the
+    // caller's policy into the selected KernelConfig.
+    let mut opts = TuneOptions::new(rank);
     opts.reps = 1;
     opts.max_blocks = 4;
     let r = tune(&t, 0, &opts);
-    assert!(r.config(true).exec.is_parallel());
-    assert!(!r.config(false).exec.is_parallel());
-    assert_eq!(r.config(true).grid, r.grid);
+    assert!(r.config_with(ExecPolicy::auto()).exec.is_parallel());
+    assert!(!r.config_with(ExecPolicy::serial()).exec.is_parallel());
+    assert_eq!(r.config_with(ExecPolicy::auto()).grid, r.grid);
 }

@@ -93,7 +93,7 @@ fn capacity_one_queue_rejects_with_typed_error() {
     let config = ServerConfig {
         workers: 1,
         queue_capacity: 1,
-        plan_cache_path: None,
+        ..ServerConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", config).unwrap();
     let mut c = Client::connect(server.addr());
