@@ -13,20 +13,33 @@
 //!    nonzero sits inside exactly one block), a RankB strip plan (strips
 //!    tile `[0, rank)`, register chunks never exceed `N_RegB`), and a
 //!    tuner output (block counts achievable for the tensor shape).
-//! 3. **Workspace lint** ([`lint`]): a zero-dependency, line-oriented lint
-//!    enforcing repo rules (no `unwrap()`/`expect()` in non-test serve and
-//!    core code, doc comments on core `pub fn`s, no `lock().unwrap()`
-//!    outside the shims).
+//! 3. **Workspace lint** ([`lint`]): a zero-dependency static-analysis
+//!    framework. A token-level Rust lexer ([`lexer`]) feeds a lightweight
+//!    item parser ([`items`]) and a conservative intra-workspace call
+//!    graph ([`callgraph`]); rule passes ([`passes`]) run on top of the
+//!    shared token streams: the four line-rules ported from v1
+//!    (`no-unwrap`, `pub-fn-doc`, `no-lock-unwrap`, `pub-fn-doc`'s scope)
+//!    plus panic-reachability with call-chain witnesses, lock-discipline
+//!    (no I/O under a `sync.rs` guard, global lock order), kernel-contract
+//!    completeness over `KernelKind`, and index-overflow checking in the
+//!    tensor crate's block arithmetic.
 //!
 //! The crate has no dependencies (not even on `tenblock-tensor`), so
 //! `tenblock-core` can depend on it without a cycle: kernels translate
 //! their internal state into the plain-data vocabulary here.
 
+pub mod callgraph;
+pub mod items;
+pub mod lexer;
 pub mod lint;
 pub mod oracle;
+pub mod passes;
 pub mod writeset;
 
-pub use lint::{lint_workspace, Finding, LintReport, Rule};
+pub use lint::{
+    baseline_json, diff_baseline, lint_sources, lint_workspace, parse_baseline_keys, to_json,
+    BaselineDiff, ChainHop, Finding, LintReport, Rule,
+};
 pub use oracle::{
     check_bounds_tiling, check_grid_blocks, check_strip_plan, check_tune_grid, GridBlock,
     OracleError,

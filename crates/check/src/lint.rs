@@ -1,55 +1,101 @@
-//! Zero-dependency, line-oriented workspace lint.
+//! Workspace static-analysis driver.
 //!
-//! In the spirit of the `shims/` philosophy (exactly the surface we need,
-//! no `syn`), this is a token scan over the workspace's `.rs` files with
-//! just enough state to strip strings/comments and to recognize trailing
-//! `#[cfg(test)]` modules. Enforced rules:
+//! v2 of the lint: instead of a line-oriented scan with ad-hoc lexical
+//! state, every `.rs` file is lexed once ([`crate::lexer`]), parsed
+//! into `fn` items ([`crate::items`]), and linked into a conservative
+//! call graph ([`crate::callgraph`]); the rule passes
+//! ([`crate::passes`]) run over that shared model. Still zero
+//! dependencies — no `syn`, in the spirit of the `shims/` philosophy.
 //!
-//! * [`Rule::NoUnwrap`] — no `.unwrap()` / `.expect(` in non-test
-//!   `crates/serve` and `crates/core` code; production paths return typed
-//!   errors.
-//! * [`Rule::PubFnDoc`] — every `pub fn` in `crates/core` carries a doc
+//! Enforced rules:
+//!
+//! * `no-unwrap` — no `.unwrap()`/`.expect()` in non-test serve/core
+//!   code; production paths return typed errors.
+//! * `pub-fn-doc` — every `pub fn` in `crates/core` carries a doc
 //!   comment.
-//! * [`Rule::NoLockUnwrap`] — no `lock().unwrap()` outside the shims; a
-//!   poisoned lock must be recovered (`unwrap_or_else(|p| p.into_inner())`)
-//!   so one panicking thread cannot cascade.
-//! * [`Rule::NoPanicIngest`] — no `panic!` / `assert!` / `assert_eq!` /
-//!   `assert_ne!` in the input-boundary files (`crates/tensor/src/io.rs`,
-//!   `crates/serve/src/proto.rs`): ingest code faces untrusted bytes and
-//!   must return typed errors, never abort a worker.
+//! * `no-lock-unwrap` — no `lock().unwrap()` outside the shims; poison
+//!   recovery belongs in `sync.rs`.
+//! * `panic-reach` — declared boundary roots (ingest parsing, tile
+//!   store validation, kernel entries, the serve request loop) must not
+//!   transitively reach a panic site; findings carry the witness chain.
+//!   Replaces v1's file-scoped `no-panic-ingest`.
+//! * `lock-discipline` — no file/socket I/O (direct or transitive)
+//!   while a `sync.rs` guard is live; lock order is registry →
+//!   scheduler → plan-cache.
+//! * `kernel-contract` — every `KernelKind` variant is registered in
+//!   `ALL`, named in `as_str`, dispatched in `build_validated`, and its
+//!   kernel ships a write-set derivation, an obs span, and a fuzz hook.
+//! * `index-overflow` — block-coordinate/tile-extent multiplies in
+//!   `crates/tensor` use `checked_mul` or carry a waiver.
 //!
 //! A finding can be waived in place with a trailing
-//! `// lint: allow(<rule>)` comment; waived findings are reported but do
-//! not fail the lint. The scan keeps just enough lexical state across
-//! lines (block comments, multi-line strings, raw strings) that literals
-//! are never mistaken for code.
+//! `// lint: allow(<rule>[, <rule>…])` comment; waived findings are
+//! reported but do not fail the lint. [`to_json`] renders the stable
+//! machine-readable schema, and the baseline helpers ([`baseline_json`],
+//! [`parse_baseline_keys`], [`diff_baseline`]) implement the CI gate:
+//! new findings fail, disappeared baseline entries warn.
 
+use crate::passes::{self, Workspace};
+use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// The enforced rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
-    /// No `.unwrap()` / `.expect(` in non-test serve/core code.
+    /// No `.unwrap()` / `.expect()` in non-test serve/core code.
     NoUnwrap,
     /// Every `pub fn` in `crates/core` has a doc comment.
     PubFnDoc,
     /// No `lock().unwrap()` outside the shims.
     NoLockUnwrap,
-    /// No panicking macros in the input-boundary (ingest) files.
-    NoPanicIngest,
+    /// Boundary roots must not transitively reach a panic site.
+    PanicReach,
+    /// No I/O under a `sync.rs` guard; global lock order.
+    LockDiscipline,
+    /// Every `KernelKind` variant fully wired.
+    KernelContract,
+    /// Coordinate/extent multiplies in `crates/tensor` are checked.
+    IndexOverflow,
 }
 
 impl Rule {
-    /// Stable rule name, as used in `lint: allow(...)` waivers.
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 7] = [
+        Rule::NoUnwrap,
+        Rule::PubFnDoc,
+        Rule::NoLockUnwrap,
+        Rule::PanicReach,
+        Rule::LockDiscipline,
+        Rule::KernelContract,
+        Rule::IndexOverflow,
+    ];
+
+    /// Stable rule name, as used in `lint: allow(...)` waivers and the
+    /// JSON schema.
     pub fn name(self) -> &'static str {
         match self {
             Rule::NoUnwrap => "no-unwrap",
             Rule::PubFnDoc => "pub-fn-doc",
             Rule::NoLockUnwrap => "no-lock-unwrap",
-            Rule::NoPanicIngest => "no-panic-ingest",
+            Rule::PanicReach => "panic-reach",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::KernelContract => "kernel-contract",
+            Rule::IndexOverflow => "index-overflow",
         }
     }
+}
+
+/// One hop of a call-chain witness (panic-reachability, transitive
+/// I/O-under-lock).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Qualified function name (`Owner::fn` or free `fn`).
+    pub func: String,
+    /// File defining the function, workspace-relative.
+    pub file: String,
+    /// Line of the call into the next hop (last hop: the site itself).
+    pub line: usize,
 }
 
 /// One lint hit.
@@ -61,10 +107,30 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// The offending line, trimmed.
+    /// Containing function (qualified), when the finding sits in one.
+    pub func: Option<String>,
+    /// The offending line (trimmed), or a synthesized description for
+    /// structural findings.
     pub excerpt: String,
+    /// Witness chain from a boundary root to the site (may be empty).
+    pub chain: Vec<ChainHop>,
     /// Whether a `lint: allow(...)` waiver covers this finding.
     pub waived: bool,
+}
+
+impl Finding {
+    /// Stable identity for baseline matching. Deliberately excludes the
+    /// line number so unrelated edits above a legacy finding don't read
+    /// as "new finding" in CI.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.rule.name(),
+            self.file,
+            self.func.as_deref().unwrap_or(""),
+            self.excerpt
+        )
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -77,7 +143,13 @@ impl std::fmt::Display for Finding {
             self.rule.name(),
             if self.waived { ", waived" } else { "" },
             self.excerpt
-        )
+        )?;
+        if self.chain.len() > 1 {
+            for hop in &self.chain {
+                write!(f, "\n    via {}:{}: {}", hop.file, hop.line, hop.func)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -147,465 +219,334 @@ fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Cross-line lexical state for [`strip_code`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-enum Lex {
-    /// Plain code.
-    #[default]
-    Code,
-    /// Inside a `/* */` block comment.
-    BlockComment,
-    /// Inside a `"..."` string literal (may span lines).
-    Str,
-    /// Inside an `r##"..."##` raw string with this many `#`s.
-    RawStr(usize),
-}
-
-/// If a raw string literal starts at byte `i` (`r"`, `r#"`, `br##"`, …),
-/// returns the index of its opening quote and the number of `#`s.
-fn raw_string_at(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
-    let mut j = i;
-    if bytes.get(j) == Some(&b'b') {
-        j += 1;
-    }
-    if bytes.get(j) != Some(&b'r') {
-        return None;
-    }
-    j += 1;
-    let mut hashes = 0;
-    while bytes.get(j) == Some(&b'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (bytes.get(j) == Some(&b'"')).then_some((j, hashes))
-}
-
-/// Strips string literals (keeping quotes), char literals, and comments
-/// from one line; `lex` carries block-comment / multi-line-string / raw
-/// string state across lines.
-fn strip_code(line: &str, lex: &mut Lex) -> String {
-    let mut out = String::with_capacity(line.len());
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        match *lex {
-            Lex::BlockComment => {
-                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                    *lex = Lex::Code;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            Lex::Str => match bytes[i] {
-                b'\\' => i += 2, // escape (a trailing \ continues the line)
-                b'"' => {
-                    out.push('"');
-                    *lex = Lex::Code;
-                    i += 1;
-                }
-                _ => i += 1,
-            },
-            Lex::RawStr(hashes) => {
-                let closes = bytes[i] == b'"'
-                    && bytes.len() - i > hashes
-                    && bytes[i + 1..i + 1 + hashes].iter().all(|&b| b == b'#');
-                if closes {
-                    out.push('"');
-                    *lex = Lex::Code;
-                    i += 1 + hashes;
-                } else {
-                    i += 1;
-                }
-            }
-            Lex::Code => {
-                if let Some((quote, hashes)) = raw_string_at(bytes, i) {
-                    out.push('"');
-                    *lex = Lex::RawStr(hashes);
-                    i = quote + 1;
-                    continue;
-                }
-                match bytes[i] {
-                    b'/' if bytes.get(i + 1) == Some(&b'/') => break, // line comment
-                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                        *lex = Lex::BlockComment;
-                        i += 2;
-                    }
-                    b'"' => {
-                        out.push('"');
-                        *lex = Lex::Str;
-                        i += 1;
-                    }
-                    b'\'' if bytes.get(i + 2) == Some(&b'\'') && bytes[i + 1] != b'\\' => {
-                        // Simple char literal 'x' (lifetimes lack the closing ').
-                        i += 3;
-                    }
-                    b'\'' if bytes.get(i + 1) == Some(&b'\\') => {
-                        // Escaped char literal '\n', '\'', '\\' …
-                        i += 2;
-                        while i < bytes.len() && bytes[i] != b'\'' {
-                            i += 1;
-                        }
-                        i += 1;
-                    }
-                    c => {
-                        out.push(c as char);
-                        i += 1;
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Extracts waived rule names from a `lint: allow(a, b)` marker, if any.
-fn waivers(raw_line: &str) -> Vec<&str> {
-    let Some(pos) = raw_line.find("lint: allow(") else {
-        return Vec::new();
-    };
-    let rest = &raw_line[pos + "lint: allow(".len()..];
-    let Some(end) = rest.find(')') else {
-        return Vec::new();
-    };
-    rest[..end].split(',').map(str::trim).collect()
-}
-
-/// Per-file lint context derived from its workspace-relative path.
-struct FileScope {
-    /// Under `shims/` — exempt from every rule.
-    in_shims: bool,
-    /// Under a `tests/` directory — test code throughout.
-    test_file: bool,
-    /// Under `crates/serve/src` or `crates/core/src` (no-unwrap scope).
-    unwrap_scope: bool,
-    /// Under `crates/core/src` (pub-fn-doc scope).
-    core_src: bool,
-    /// An input-boundary file (no-panic-ingest scope): code that parses
-    /// untrusted bytes or dispatches untrusted requests.
-    ingest_scope: bool,
-}
-
-impl FileScope {
-    fn of(rel: &str) -> FileScope {
-        let test_file = rel.split('/').any(|c| c == "tests");
-        FileScope {
-            in_shims: rel.starts_with("shims/"),
-            test_file,
-            unwrap_scope: rel.starts_with("crates/serve/src") || rel.starts_with("crates/core/src"),
-            core_src: rel.starts_with("crates/core/src"),
-            ingest_scope: rel == "crates/tensor/src/io.rs" || rel == "crates/serve/src/proto.rs",
-        }
+/// Lints `(path, source)` pairs directly — the testable core of
+/// [`lint_workspace`]. Paths should be workspace-relative.
+pub fn lint_sources(sources: &[(String, String)]) -> LintReport {
+    let ws = Workspace::from_sources(sources);
+    let mut findings = Vec::new();
+    findings.extend(passes::line_rules::run(&ws));
+    findings.extend(passes::panic_reach::run(&ws));
+    findings.extend(passes::lock_discipline::run(&ws));
+    findings.extend(passes::kernel_contract::run(&ws));
+    findings.extend(passes::index_overflow::run(&ws));
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
+    });
+    LintReport {
+        findings,
+        files_scanned: sources.len(),
     }
 }
 
-/// Whether `code` invokes the macro `name` (`name` includes the `!(`):
-/// an occurrence not preceded by an identifier character, so `assert!(`
-/// does not match inside `debug_assert!(`.
-fn calls_macro(code: &str, name: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(name) {
-        let at = start + pos;
-        let preceded = code[..at]
-            .chars()
-            .next_back()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if !preceded {
-            return true;
-        }
-        start = at + name.len();
-    }
-    false
-}
-
-/// Whether the raw lines before `idx` document the item at `idx`
-/// (a `///` doc comment or `#[doc]`, possibly behind other attributes).
-fn has_doc_comment(raw: &[&str], idx: usize) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let t = raw[i].trim();
-        if t.starts_with("///") || t.starts_with("#[doc") || t.starts_with("#![doc") {
-            return true;
-        }
-        // Skip other attributes (possibly multi-line: a continuation line
-        // ends with `]` or `)]`).
-        if t.starts_with("#[") || t.ends_with(")]") || t.ends_with("]") && !t.contains('[') {
-            continue;
-        }
-        return false;
-    }
-    false
-}
-
-/// Lints one file's contents; `rel` is the workspace-relative path.
-fn lint_file(rel: &str, text: &str, findings: &mut Vec<Finding>) {
-    let scope = FileScope::of(rel);
-    if scope.in_shims {
-        return;
-    }
-    let raw: Vec<&str> = text.lines().collect();
-
-    let mut lex = Lex::default();
-    let mut depth: i64 = 0;
-    let mut cfg_test_pending = false;
-    let mut test_depth: Option<i64> = None;
-
-    for (idx, raw_line) in raw.iter().enumerate() {
-        let code = strip_code(raw_line, &mut lex);
-        let trimmed = code.trim();
-
-        // --- test-region tracking: a `#[cfg(test)]` item (the trailing
-        // `mod tests` convention) opens a region that ends when its brace
-        // closes.
-        let depth_before = depth;
-        depth += code.matches('{').count() as i64;
-        depth -= code.matches('}').count() as i64;
-        if raw_line.trim().starts_with("#[cfg(test)]") {
-            cfg_test_pending = true;
-        } else if cfg_test_pending && code.contains('{') {
-            test_depth = Some(depth_before);
-            cfg_test_pending = false;
-        }
-        let in_test = scope.test_file || test_depth.is_some();
-
-        let waived_rules = waivers(raw_line);
-        let mut push = |rule: Rule| {
-            findings.push(Finding {
-                rule,
-                file: rel.to_string(),
-                line: idx + 1,
-                excerpt: raw_line.trim().chars().take(120).collect(),
-                waived: waived_rules.contains(&rule.name()),
-            });
-        };
-
-        if !in_test {
-            if scope.unwrap_scope && (code.contains(".unwrap()") || code.contains(".expect(")) {
-                push(Rule::NoUnwrap);
-            }
-            if code.contains("lock().unwrap()") {
-                push(Rule::NoLockUnwrap);
-            }
-            if scope.core_src && trimmed.starts_with("pub fn ") && !has_doc_comment(&raw, idx) {
-                push(Rule::PubFnDoc);
-            }
-            if scope.ingest_scope
-                && ["panic!(", "assert!(", "assert_eq!(", "assert_ne!("]
-                    .iter()
-                    .any(|m| calls_macro(&code, m))
-            {
-                push(Rule::NoPanicIngest);
-            }
-        }
-
-        if let Some(d) = test_depth {
-            if depth <= d {
-                test_depth = None;
-            }
-        }
-    }
-}
-
-/// Lints every `.rs` file under `root` (the workspace directory).
+/// Lints every `.rs` file under `root`.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
-    let mut report = LintReport::default();
+    let mut sources = Vec::new();
     for path in rust_files(root)? {
+        let text = std::fs::read_to_string(&path)?;
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let text = std::fs::read_to_string(&path)?;
-        report.files_scanned += 1;
-        lint_file(&rel, &text, &mut report.findings);
+        sources.push((rel, text));
     }
-    Ok(report)
+    Ok(lint_sources(&sources))
+}
+
+// ---------------------------------------------------------------------
+// JSON output + baseline gate (hand-rolled: the crate stays
+// dependency-free).
+// ---------------------------------------------------------------------
+
+/// Escapes a string for JSON.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the stable machine-readable report schema (version 1):
+///
+/// ```json
+/// {"version":1,"files_scanned":N,"findings":[
+///   {"rule":"…","path":"…","line":N,"func":"…"|null,"excerpt":"…",
+///    "waived":bool,"key":"…","chain":[{"func":"…","path":"…","line":N}]}
+/// ]}
+/// ```
+pub fn to_json(report: &LintReport) -> String {
+    let mut out = String::from("{\"version\":1,");
+    out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
+    out.push_str("\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"func\":{},\"excerpt\":\"{}\",\"waived\":{},\"key\":\"{}\",\"chain\":[",
+            f.rule.name(),
+            esc(&f.file),
+            f.line,
+            match &f.func {
+                Some(n) => format!("\"{}\"", esc(n)),
+                None => "null".to_string(),
+            },
+            esc(&f.excerpt),
+            f.waived,
+            esc(&f.key()),
+        ));
+        for (j, hop) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"func\":\"{}\",\"path\":\"{}\",\"line\":{}}}",
+                esc(&hop.func),
+                esc(&hop.file),
+                hop.line
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders the baseline file for the current report: the keys of every
+/// finding (waived ones included — they stay visible until the waiver
+/// is removed and the baseline shrunk).
+pub fn baseline_json(report: &LintReport) -> String {
+    let mut keys: Vec<String> = report.findings.iter().map(|f| f.key()).collect();
+    keys.sort();
+    keys.dedup();
+    let mut out = String::from("{\"version\":1,\"entries\":[");
+    for (i, k) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n  {{\"key\":\"{}\"}}", esc(k)));
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Extracts the entry keys from a baseline file. Tolerant by design: it
+/// scans for `"key":"…"` pairs and un-escapes the values, so hand edits
+/// that keep that shape keep working.
+pub fn parse_baseline_keys(text: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let needle = b"\"key\"";
+    let mut i = 0usize;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] != needle {
+            i += 1;
+            continue;
+        }
+        i += needle.len();
+        // Skip `:` and whitespace to the opening quote.
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() || bytes.get(i) == Some(&b':') {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'"') {
+            continue;
+        }
+        i += 1;
+        let mut val = String::new();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => break,
+                b'\\' => {
+                    match bytes.get(i + 1) {
+                        Some(b'n') => val.push('\n'),
+                        Some(b't') => val.push('\t'),
+                        Some(b'r') => val.push('\r'),
+                        Some(&c) => val.push(c as char),
+                        None => {}
+                    }
+                    i += 2;
+                    continue;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let s = &text[i..];
+                    let c = s.chars().next().unwrap_or('\u{fffd}');
+                    val.push(c);
+                    i += c.len_utf8();
+                    continue;
+                }
+            }
+        }
+        keys.insert(val);
+        i += 1;
+    }
+    keys
+}
+
+/// Result of diffing a report against the checked-in baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Unwaived findings not present in the baseline — these fail CI.
+    pub new: Vec<Finding>,
+    /// Baseline keys no longer matched by any finding — newly fixed;
+    /// warn so the baseline gets shrunk.
+    pub fixed: Vec<String>,
+}
+
+/// Diffs `report` against `baseline` keys.
+pub fn diff_baseline(report: &LintReport, baseline: &BTreeSet<String>) -> BaselineDiff {
+    let current: BTreeSet<String> = report.findings.iter().map(|f| f.key()).collect();
+    BaselineDiff {
+        new: report
+            .failing()
+            .filter(|f| !baseline.contains(&f.key()))
+            .cloned()
+            .collect(),
+        fixed: baseline.difference(&current).cloned().collect(),
+    }
+}
+
+/// Test helper: builds a [`Workspace`] from `(path, source)` literals.
+#[cfg(test)]
+pub mod test_util {
+    use crate::passes::Workspace;
+
+    /// Builds a workspace from static `(path, source)` pairs.
+    pub fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(
+            &files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect::<Vec<_>>(),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn lint_source(rel: &str, text: &str) -> Vec<Finding> {
-        let mut findings = Vec::new();
-        lint_file(rel, text, &mut findings);
-        findings
+    fn sources(files: &[(&str, &str)]) -> Vec<(String, String)> {
+        files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect()
     }
 
     #[test]
-    fn unwrap_flagged_only_in_scoped_crates() {
-        let src = "fn f() { x.unwrap(); }\n";
-        assert_eq!(lint_source("crates/serve/src/a.rs", src).len(), 1);
-        assert_eq!(lint_source("crates/core/src/a.rs", src).len(), 1);
-        assert!(lint_source("crates/tensor/src/a.rs", src).is_empty());
-        assert!(lint_source("src/cli.rs", src).is_empty());
+    fn report_aggregates_across_passes_in_order() {
+        let report = lint_sources(&sources(&[
+            (
+                "crates/core/src/a.rs",
+                "pub fn undocumented(o: Option<u32>) -> u32 { o.unwrap() }\n",
+            ),
+            (
+                "crates/tensor/src/bcoo.rs",
+                "fn block_id(a: usize, nb: usize) -> usize { a * nb }\n",
+            ),
+        ]));
+        let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.name()).collect();
+        assert_eq!(rules, vec!["no-unwrap", "pub-fn-doc", "index-overflow"]);
+        assert_eq!(report.files_scanned, 2);
+        assert!(!report.is_clean());
     }
 
     #[test]
-    fn unwrap_or_variants_are_not_flagged() {
-        let src = "fn f() { x.unwrap_or_else(|p| p.into_inner()); y.unwrap_or(0); }\n";
-        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
+    fn json_schema_is_stable() {
+        let report = lint_sources(&sources(&[(
+            "crates/core/src/a.rs",
+            "/// D.\npub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n",
+        )]));
+        let json = to_json(&report);
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.contains("\"rule\":\"no-unwrap\""));
+        assert!(json.contains("\"path\":\"crates/core/src/a.rs\""));
+        assert!(json.contains("\"line\":2"));
+        assert!(json.contains("\"func\":\"f\""));
+        assert!(json.contains("\"waived\":false"));
+        assert!(json.contains("\"chain\":[]"));
+        assert!(json.contains("\"key\":\"no-unwrap|crates/core/src/a.rs|f|"));
     }
 
     #[test]
-    fn expect_is_flagged_but_expect_err_is_not() {
-        let hit = lint_source("crates/serve/src/a.rs", "fn f() { x.expect(\"msg\"); }\n");
-        assert_eq!(hit.len(), 1);
-        assert_eq!(hit[0].rule, Rule::NoUnwrap);
-        let ok = lint_source("crates/serve/src/a.rs", "fn f() { x.expect_err(\"m\"); }\n");
-        assert!(ok.is_empty());
+    fn panic_reach_chain_appears_in_json() {
+        let report = lint_sources(&sources(&[(
+            "crates/tensor/src/io.rs",
+            "pub fn read_tns(t: &str) -> u32 { helper(t) }\nfn helper(t: &str) -> u32 { t.parse().unwrap() }\n",
+        )]));
+        let json = to_json(&report);
+        assert!(json.contains("\"rule\":\"panic-reach\""));
+        assert!(json.contains("\"chain\":[{\"func\":\"read_tns\""));
     }
 
     #[test]
-    fn cfg_test_module_is_exempt() {
-        let src = "fn f() {}\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                   fn g() { x.unwrap(); let _ = m.lock().unwrap(); }\n\
-                   }\n";
-        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
+    fn baseline_roundtrip_and_diff() {
+        let report = lint_sources(&sources(&[(
+            "crates/core/src/a.rs",
+            "pub fn undocumented() {}\n",
+        )]));
+        let baseline = parse_baseline_keys(&baseline_json(&report));
+        assert_eq!(baseline.len(), 1);
+        // Same findings → nothing new, nothing fixed.
+        let d = diff_baseline(&report, &baseline);
+        assert!(d.new.is_empty() && d.fixed.is_empty());
+        // Empty report → baseline entry is newly fixed.
+        let clean = lint_sources(&sources(&[("crates/core/src/a.rs", "fn private() {}\n")]));
+        let d = diff_baseline(&clean, &baseline);
+        assert!(d.new.is_empty());
+        assert_eq!(d.fixed.len(), 1);
+        // New finding against empty baseline → fails.
+        let d = diff_baseline(&report, &BTreeSet::new());
+        assert_eq!(d.new.len(), 1);
     }
 
     #[test]
-    fn code_after_test_module_is_back_in_scope() {
-        let src = "#[cfg(test)]\n\
-                   mod tests {\n\
-                   fn g() { x.unwrap(); }\n\
-                   }\n\
-                   fn f() { y.unwrap(); }\n";
-        let findings = lint_source("crates/serve/src/a.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].line, 5);
+    fn baseline_key_survives_line_drift() {
+        let before = lint_sources(&sources(&[(
+            "crates/core/src/a.rs",
+            "pub fn undocumented() {}\n",
+        )]));
+        let after = lint_sources(&sources(&[(
+            "crates/core/src/a.rs",
+            "// a new comment shifting everything down\n\npub fn undocumented() {}\n",
+        )]));
+        assert_eq!(before.findings[0].key(), after.findings[0].key());
+        assert_ne!(before.findings[0].line, after.findings[0].line);
     }
 
     #[test]
-    fn tests_directories_are_exempt() {
-        let src = "fn f() { x.unwrap(); m.lock().unwrap(); }\n";
-        assert!(lint_source("tests/a.rs", src).is_empty());
-        assert!(lint_source("crates/serve/tests/a.rs", src).is_empty());
+    fn json_escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let keys = parse_baseline_keys("{\"entries\":[{\"key\":\"x\\\"y\"}]}");
+        assert!(keys.contains("x\"y"));
     }
 
     #[test]
-    fn strings_and_comments_do_not_trigger() {
-        let src = "fn f() { let s = \".unwrap()\"; } // .unwrap() in comment\n\
-                   /* lock().unwrap() in block\n\
-                   still comment .unwrap()\n\
-                   */ fn g() {}\n";
-        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn multiline_string_literals_are_not_scanned_as_code() {
-        // The forbidden pattern sits inside a string spanning three lines
-        // (like the CLI's USAGE const).
-        let src = "const HELP: &str =\n\
-                   \"first line\n\
-                   mentions lock().unwrap() here\n\
-                   and x.unwrap() too\";\n\
-                   fn f() {}\n";
-        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn raw_strings_with_braces_do_not_break_test_tracking() {
-        // Braces and quotes inside an r#"..."# literal must not skew the
-        // brace depth that scopes the trailing test module.
-        let src = "fn f() {}\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                   fn g() { let t = r#\"{\"a\":\"}}}\",\"b\":1}\"#; }\n\
-                   fn h() { x.unwrap(); }\n\
-                   }\n";
-        assert!(lint_source("crates/serve/src/a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn lock_unwrap_flagged_everywhere_but_shims() {
-        let src = "fn f() { let g = m.lock().unwrap(); }\n";
-        let f = lint_source("crates/obs/src/lib.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, Rule::NoLockUnwrap);
-        assert!(lint_source("shims/rayon/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn pub_fn_without_doc_flagged_in_core_only() {
-        let undocumented = "pub fn naked() {}\n";
-        let f = lint_source("crates/core/src/kernel.rs", undocumented);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, Rule::PubFnDoc);
-        assert!(lint_source("crates/serve/src/a.rs", undocumented).is_empty());
-
-        let documented = "/// Does things.\npub fn clothed() {}\n";
-        assert!(lint_source("crates/core/src/kernel.rs", documented).is_empty());
-        let attr_between = "/// Doc.\n#[inline]\npub fn fast() {}\n";
-        assert!(lint_source("crates/core/src/kernel.rs", attr_between).is_empty());
-    }
-
-    #[test]
-    fn panics_flagged_only_in_ingest_files() {
-        let src = "fn f(n: usize) { assert!(n > 0); panic!(\"no\"); }\n";
-        let f = lint_source("crates/tensor/src/io.rs", src);
-        assert_eq!(f.len(), 1, "one finding per offending line");
-        assert_eq!(f[0].rule, Rule::NoPanicIngest);
-        assert_eq!(lint_source("crates/serve/src/proto.rs", src).len(), 1);
-        // Panicking constructors elsewhere are a different rule's business.
-        assert!(lint_source("crates/tensor/src/coo.rs", src).is_empty());
-        assert!(lint_source("crates/serve/src/registry.rs", src).is_empty());
-    }
-
-    #[test]
-    fn ingest_rule_ignores_tests_debug_asserts_and_waived_lines() {
-        let in_tests = "fn f() {}\n\
-                        #[cfg(test)]\n\
-                        mod tests {\n\
-                        fn g() { assert_eq!(1, 1); panic!(\"boom\"); }\n\
-                        }\n";
-        assert!(lint_source("crates/tensor/src/io.rs", in_tests).is_empty());
-        let debug = "fn f(n: usize) { debug_assert!(n > 0); }\n";
-        assert!(lint_source("crates/tensor/src/io.rs", debug).is_empty());
-        let waived =
-            "fn f() { assert_ne!(a, b); } // checked above — lint: allow(no-panic-ingest)\n";
-        let f = lint_source("crates/serve/src/proto.rs", waived);
-        assert_eq!(f.len(), 1);
-        assert!(f[0].waived);
-    }
-
-    #[test]
-    fn waiver_marks_finding_without_failing() {
-        let src = "fn f() { x.unwrap(); } // invariant: x is Some — lint: allow(no-unwrap)\n";
-        let findings = lint_source("crates/core/src/a.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert!(findings[0].waived);
-        let report = LintReport {
-            findings,
-            files_scanned: 1,
-        };
+    fn waived_finding_does_not_fail() {
+        let report = lint_sources(&sources(&[(
+            "crates/core/src/a.rs",
+            "/// D.\npub fn f(o: Option<u32>) -> u32 { o.unwrap() } // lint: allow(no-unwrap)\n",
+        )]));
+        assert_eq!(report.findings.len(), 1);
         assert!(report.is_clean());
-        assert_eq!(report.waived().count(), 1);
     }
 
     #[test]
-    fn waiver_for_a_different_rule_does_not_apply() {
-        let src = "fn f() { x.unwrap(); } // lint: allow(no-lock-unwrap)\n";
-        let findings = lint_source("crates/core/src/a.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert!(!findings[0].waived);
-    }
-
-    #[test]
-    fn lint_workspace_walks_and_reports() {
-        let dir = std::env::temp_dir().join(format!("tenblock_lint_{}", std::process::id()));
-        let serve = dir.join("crates/serve/src");
-        std::fs::create_dir_all(&serve).unwrap();
-        std::fs::create_dir_all(dir.join("target")).unwrap();
-        std::fs::write(serve.join("bad.rs"), "fn f() { x.unwrap(); }\n").unwrap();
-        std::fs::write(dir.join("target/skip.rs"), "fn f() { x.unwrap(); }\n").unwrap();
-        let report = lint_workspace(&dir).unwrap();
-        assert_eq!(report.files_scanned, 1);
-        assert_eq!(report.failing().count(), 1);
-        assert!(report.to_string().contains("crates/serve/src/bad.rs:1"));
-        std::fs::remove_dir_all(&dir).ok();
+    fn display_includes_chain_hops() {
+        let report = lint_sources(&sources(&[(
+            "crates/tensor/src/io.rs",
+            "pub fn read_tns(t: &str) -> u32 { helper(t) }\nfn helper(t: &str) -> u32 { t.parse().unwrap() }\n",
+        )]));
+        let text = format!("{report}");
+        assert!(text.contains("via crates/tensor/src/io.rs"), "{text}");
     }
 }

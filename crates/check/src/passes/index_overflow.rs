@@ -1,0 +1,139 @@
+//! Index-overflow: unchecked multiplies in block-coordinate and
+//! tile-extent arithmetic in `crates/tensor` must use `checked_mul` (or
+//! carry a waiver explaining why overflow is impossible).
+//!
+//! Rationale: block ids are linearized as `(a·nb + b)·nc + c`, tile
+//! payload offsets as `nnz · entry_bytes`, and the inputs come from
+//! file headers — in release builds a wrapped multiply silently
+//! produces a *valid-looking* wrong block id, which defeats the very
+//! bounds checks that make the blocking schemes safe to parallelize.
+//!
+//! Scope: non-test fns in `crates/tensor/src` whose multiply touches
+//! the coordinate vocabulary (`dim`/`grid`/`extent`/`stride`/`tile`/
+//! `block` in an operand identifier, or the conventional `nb`/`nc`/
+//! `na`/`nnz`/`order` names). Size-estimate helpers (`*_bytes`,
+//! `*_size`, `len`-style) are exempt — a wrapped byte *estimate* skews
+//! a stat, not an index.
+
+use super::{is_shim, is_test_path, mul_sites, Workspace};
+use crate::lint::{Finding, Rule};
+
+/// Substring vocabulary: an operand identifier containing one of these
+/// marks coordinate/extent arithmetic.
+const VOCAB_SUBSTR: &[&str] = &["dim", "grid", "extent", "stride", "tile", "block"];
+/// Exact-match vocabulary (short conventional names).
+const VOCAB_EXACT: &[&str] = &["nb", "nc", "na", "nnz", "order", "n_tiles"];
+/// Functions whose multiplies are size estimates, not indices.
+const EXEMPT_FN_SUBSTR: &[&str] = &["bytes", "size", "estimate", "len", "norm"];
+
+/// Whether an identifier belongs to the coordinate vocabulary.
+fn in_vocab(ident: &str) -> bool {
+    VOCAB_EXACT.contains(&ident) || VOCAB_SUBSTR.iter().any(|v| ident.contains(v))
+}
+
+/// Runs the pass over `crates/tensor/src`.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !file.path.contains("crates/tensor/src")
+            || is_shim(&file.path)
+            || is_test_path(&file.path)
+        {
+            continue;
+        }
+        for item in &file.items {
+            if item.in_test {
+                continue;
+            }
+            let fn_lower = item.name.to_lowercase();
+            if EXEMPT_FN_SUBSTR.iter().any(|s| fn_lower.contains(s)) {
+                continue;
+            }
+            for site in mul_sites(&file.tokens, item) {
+                // `checked_mul` in the window means the site already
+                // converted (the `*` may be a neighboring plain factor
+                // like `* 4` in the same expression).
+                if site.window_idents.iter().any(|w| w == "checked_mul") {
+                    continue;
+                }
+                // Float arithmetic (`x as f64 * frac`) saturates instead
+                // of wrapping — not an index-overflow hazard.
+                if site.window_idents.iter().any(|w| w == "f64" || w == "f32") {
+                    continue;
+                }
+                if !site.window_idents.iter().any(|w| in_vocab(w)) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: Rule::IndexOverflow,
+                    file: file.path.clone(),
+                    line: site.line,
+                    func: Some(item.qualified()),
+                    excerpt: ws.excerpt(fi, site.line),
+                    chain: Vec::new(),
+                    waived: ws.is_waived(fi, site.line, Rule::IndexOverflow.name()),
+                });
+            }
+        }
+    }
+    // A line with several flagged multiplies reads as one finding.
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::test_util::ws;
+
+    #[test]
+    fn block_linearization_is_flagged() {
+        let w = ws(&[(
+            "crates/tensor/src/bcoo.rs",
+            "fn block_id(a: usize, b: usize, c: usize, nb: usize, nc: usize) -> usize {\n    (a * nb + b) * nc + c\n}",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule.name(), "index-overflow");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn checked_mul_is_clean() {
+        let w = ws(&[(
+            "crates/tensor/src/bcoo.rs",
+            "fn block_id(a: usize, nb: usize) -> Option<usize> { a.checked_mul(nb) }",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn non_coordinate_multiplies_and_size_helpers_are_exempt() {
+        let w = ws(&[(
+            "crates/tensor/src/coo.rs",
+            "fn sumsq(vals: &[f64]) -> f64 { vals.iter().map(|v| v * v).sum() }
+             fn payload_bytes(&self) -> usize { self.nnz * 20 }",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn scope_is_tensor_crate_only() {
+        let w = ws(&[(
+            "crates/core/src/mttkrp/mod.rs",
+            "fn f(nb: usize, nc: usize) -> usize { nb * nc }",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn waiver_respected() {
+        let w = ws(&[(
+            "crates/tensor/src/nd.rs",
+            "fn cap(nnz: usize, order: usize) -> usize {\n    nnz * order // both validated ≤ 2^20 at parse — lint: allow(index-overflow)\n}",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+    }
+}

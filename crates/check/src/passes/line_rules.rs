@@ -1,0 +1,180 @@
+//! The v1 line-oriented rules, ported onto the token stream. The old
+//! scanner carried its own half-lexer (string stripping, comment
+//! stripping, `#[cfg(test)]` counting) and got cross-line state wrong —
+//! raw strings spanning lines and `'}'` char literals could desync it.
+//! Here the shared lexer has already resolved all of that, so the rules
+//! reduce to token patterns over non-test fn bodies.
+
+use super::{is_shim, is_test_path, Workspace};
+use crate::lexer::TokenKind;
+use crate::lint::{Finding, Rule};
+
+/// Whether `path` is in the `.unwrap()`/`.expect()`-free zone.
+fn in_unwrap_scope(path: &str) -> bool {
+    path.starts_with("crates/serve/src") || path.starts_with("crates/core/src")
+}
+
+/// Whether `path` must document its `pub fn`s.
+fn in_doc_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src")
+}
+
+/// Runs the three ported rules: `no-unwrap`, `pub-fn-doc`,
+/// `no-lock-unwrap`.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if is_shim(&file.path) || is_test_path(&file.path) {
+            continue;
+        }
+        for item in &file.items {
+            if item.in_test {
+                continue;
+            }
+            // pub-fn-doc: core pub fns need a doc comment.
+            if in_doc_scope(&file.path) && item.is_pub && !item.has_doc {
+                out.push(Finding {
+                    rule: Rule::PubFnDoc,
+                    file: file.path.clone(),
+                    line: item.line,
+                    func: Some(item.qualified()),
+                    excerpt: ws.excerpt(fi, item.line),
+                    chain: Vec::new(),
+                    waived: ws.is_waived(fi, item.line, Rule::PubFnDoc.name()),
+                });
+            }
+            let (open, close) = item.body;
+            if open == usize::MAX || close >= file.tokens.len() {
+                continue;
+            }
+            let body = &file.tokens[open..=close];
+            for (i, tok) in body.iter().enumerate() {
+                let Some(name) = tok.kind.ident() else {
+                    continue;
+                };
+                let is_method_call = i > 0
+                    && body[i - 1].kind.is_punct(".")
+                    && body.get(i + 1).is_some_and(|t| t.kind.is_punct("("));
+                if !is_method_call {
+                    continue;
+                }
+                // no-lock-unwrap: `.lock().unwrap()` / `.lock().expect()`
+                // anywhere outside the shims — poison handling belongs in
+                // `sync.rs`, not at call sites.
+                if (name == "unwrap" || name == "expect")
+                    && i >= 4
+                    && body[i - 2].kind.is_punct(")")
+                    && matches!(&body[i - 3].kind, TokenKind::Punct("("))
+                    && body[i - 4].kind.is_ident("lock")
+                {
+                    out.push(Finding {
+                        rule: Rule::NoLockUnwrap,
+                        file: file.path.clone(),
+                        line: tok.line,
+                        func: Some(item.qualified()),
+                        excerpt: ws.excerpt(fi, tok.line),
+                        chain: Vec::new(),
+                        waived: ws.is_waived(fi, tok.line, Rule::NoLockUnwrap.name()),
+                    });
+                    continue; // don't double-report as no-unwrap
+                }
+                // no-unwrap: `.unwrap()` / `.expect()` in serve and core.
+                if (name == "unwrap" || name == "expect") && in_unwrap_scope(&file.path) {
+                    out.push(Finding {
+                        rule: Rule::NoUnwrap,
+                        file: file.path.clone(),
+                        line: tok.line,
+                        func: Some(item.qualified()),
+                        excerpt: ws.excerpt(fi, tok.line),
+                        chain: Vec::new(),
+                        waived: ws.is_waived(fi, tok.line, Rule::NoUnwrap.name()),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::test_util::ws;
+
+    #[test]
+    fn unwrap_flagged_in_scope_only() {
+        let w = ws(&[
+            (
+                "crates/core/src/a.rs",
+                "/// D.\npub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n",
+            ),
+            (
+                "crates/tensor/src/b.rs",
+                "/// D.\npub fn g(o: Option<u32>) -> u32 { o.unwrap() }\n",
+            ),
+        ]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule.name(), "no-unwrap");
+        assert_eq!(f[0].file, "crates/core/src/a.rs");
+        assert_eq!(f[0].func.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn cross_line_raw_string_does_not_confuse_the_port() {
+        // The v1 scanner lost sync on this input: the raw string spans
+        // lines and contains `.unwrap()`.
+        let src = "/// D.\npub fn f() -> String {\n  let s = r#\"\n x.unwrap()\n\"#.to_string();\n  s\n}\n";
+        let w = ws(&[("crates/core/src/a.rs", src)]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn char_literal_brace_does_not_desync() {
+        let src = "/// D.\npub fn f(c: char, o: Option<u32>) -> u32 {\n  if c == '}' { return 0; }\n  o.unwrap()\n}\n";
+        let w = ws(&[("crates/core/src/a.rs", src)]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn pub_fn_doc_in_core_only() {
+        let w = ws(&[
+            ("crates/core/src/a.rs", "pub fn undocumented() {}\n"),
+            ("crates/serve/src/b.rs", "pub fn undocumented() {}\n"),
+        ]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule.name(), "pub-fn-doc");
+        assert_eq!(f[0].file, "crates/core/src/a.rs");
+    }
+
+    #[test]
+    fn lock_unwrap_flagged_everywhere_but_shims() {
+        let w = ws(&[
+            (
+                "crates/tensor/src/a.rs",
+                "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
+            ),
+            (
+                "crates/serve/src/shims/t.rs",
+                "fn g(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n",
+            ),
+        ]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule.name(), "no-lock-unwrap");
+    }
+
+    #[test]
+    fn tests_and_waivers_respected() {
+        let w = ws(&[(
+            "crates/core/src/a.rs",
+            "#[cfg(test)]\nmod tests {\n  fn t(o: Option<u32>) { o.unwrap(); }\n}\n/// D.\npub fn f(o: Option<u32>) -> u32 { o.unwrap() } // lint: allow(no-unwrap)\n",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+    }
+}

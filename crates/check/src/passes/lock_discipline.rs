@@ -1,0 +1,493 @@
+//! Lock discipline for the serve layer: while any `sync.rs` guard is
+//! live, a function may not perform file/socket I/O — directly or
+//! through any callee — and lock acquisition must follow the single
+//! global order **registry → scheduler → plan-cache**.
+//!
+//! Guard tracking is per function body: an acquisition is a call
+//! through `sync::lock` / `sync::read` / `sync::write` /
+//! `sync::wait_timeout`; a `let`-bound guard lives until `drop(var)` or
+//! the end of its enclosing block, an unbound (temporary) guard until
+//! the end of its statement. The lock *class* is inferred from the
+//! field the guard protects (`entries` → registry, `jobs`/`changed` →
+//! scheduler, `plans`/`compute`/`last_trace` → plan-cache); unknown
+//! fields get no class and are exempt from ordering (but not from the
+//! I/O rule).
+//!
+//! The I/O rule is transitive: a call under a guard into any function
+//! whose call-graph closure reaches `fs::…`/socket I/O is a finding,
+//! with the witness chain down to the I/O site attached.
+
+use super::{io_sites, is_shim, is_test_path, Workspace};
+use crate::callgraph::FnId;
+use crate::lexer::TokenKind;
+use crate::lint::{ChainHop, Finding, Rule};
+use std::collections::BTreeMap;
+
+/// Lock classes in global acquisition order.
+const CLASSES: &[(&str, u8, &str)] = &[
+    ("entries", 0, "registry"),
+    ("jobs", 1, "scheduler"),
+    ("changed", 1, "scheduler"),
+    ("table", 1, "scheduler"),
+    ("plans", 2, "plan-cache"),
+    ("compute", 2, "plan-cache"),
+    ("last_trace", 2, "plan-cache"),
+];
+
+/// Guard-acquiring functions in `sync.rs`.
+const SYNC_FNS: &[&str] = &["lock", "read", "write", "wait_timeout"];
+
+/// A live guard during the body scan.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Lock class (None = unknown field, exempt from ordering).
+    class: Option<u8>,
+    /// Class label for messages.
+    label: String,
+    /// Bound variable, or None for statement temporaries.
+    var: Option<String>,
+    /// Brace depth at acquisition.
+    depth: usize,
+    /// Acquisition line.
+    line: usize,
+}
+
+/// Runs the pass over `crates/serve/src` function bodies.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let (does_io, io_next) = io_closure(ws);
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !file.path.contains("crates/serve/src")
+            || is_shim(&file.path)
+            || is_test_path(&file.path)
+        {
+            continue;
+        }
+        for item in &file.items {
+            if item.in_test {
+                continue;
+            }
+            let intervals = guard_intervals(ws, fi, item, &mut out);
+            if intervals.is_empty() {
+                continue;
+            }
+            let under_guard = |line: usize| {
+                intervals
+                    .iter()
+                    .find(|(g, end)| g.line <= line && line <= *end)
+            };
+            // Direct I/O sites under a guard.
+            for (line, label) in io_sites(&file.tokens, item) {
+                if let Some((g, _)) = under_guard(line) {
+                    out.push(finding(
+                        ws,
+                        fi,
+                        item,
+                        line,
+                        Vec::new(),
+                        &format!("direct I/O ({label}) while holding the {} lock", g.label),
+                    ));
+                }
+            }
+            // Calls into I/O-reaching callees under a guard. Graph edges
+            // already carry call-site lines.
+            let fn_id = match fn_id_of(ws, &file.path, item) {
+                Some(id) => id,
+                None => continue,
+            };
+            let mut seen_lines: BTreeMap<(usize, FnId), ()> = BTreeMap::new();
+            for edge in ws.graph.callees(fn_id) {
+                if !does_io[edge.callee] || under_guard(edge.line).is_none() {
+                    continue;
+                }
+                if seen_lines.insert((edge.line, edge.callee), ()).is_some() {
+                    continue;
+                }
+                let g = &under_guard(edge.line).unwrap().0;
+                let chain = io_witness(ws, edge.callee, &io_next);
+                let callee_name = ws.graph.fns[edge.callee].item.qualified();
+                out.push(finding(
+                    ws,
+                    fi,
+                    item,
+                    edge.line,
+                    chain,
+                    &format!(
+                        "call to {callee_name} (reaches I/O) while holding the {} lock",
+                        g.label
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Builds a finding; the reason goes nowhere today beyond the excerpt,
+/// but the chain carries the I/O witness when transitive.
+fn finding(
+    ws: &Workspace,
+    fi: usize,
+    item: &crate::items::FnItem,
+    line: usize,
+    chain: Vec<ChainHop>,
+    _reason: &str,
+) -> Finding {
+    Finding {
+        rule: Rule::LockDiscipline,
+        file: ws.files[fi].path.clone(),
+        line,
+        func: Some(item.qualified()),
+        excerpt: ws.excerpt(fi, line),
+        chain,
+        waived: ws.is_waived(fi, line, Rule::LockDiscipline.name()),
+    }
+}
+
+/// Scans one body, returning guard live intervals `(guard, end_line)`
+/// and pushing lock-order findings directly.
+fn guard_intervals(
+    ws: &Workspace,
+    fi: usize,
+    item: &crate::items::FnItem,
+    out: &mut Vec<Finding>,
+) -> Vec<(Guard, usize)> {
+    let file = &ws.files[fi];
+    let (open, close) = item.body;
+    if open == usize::MAX || close >= file.tokens.len() {
+        return Vec::new();
+    }
+    let body = &file.tokens[open..=close];
+    let mut depth = 0usize;
+    let mut live: Vec<Guard> = Vec::new();
+    let mut done: Vec<(Guard, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let line = body[i].line;
+        match &body[i].kind {
+            TokenKind::Punct("{") => depth += 1,
+            TokenKind::Punct("}") => {
+                depth = depth.saturating_sub(1);
+                let (dead, alive): (Vec<_>, Vec<_>) = live.drain(..).partition(|g| g.depth > depth);
+                live = alive;
+                done.extend(dead.into_iter().map(|g| (g, line)));
+            }
+            TokenKind::Punct(";") => {
+                let (dead, alive): (Vec<_>, Vec<_>) = live
+                    .drain(..)
+                    .partition(|g| g.var.is_none() && g.depth == depth);
+                live = alive;
+                done.extend(dead.into_iter().map(|g| (g, line)));
+            }
+            // drop(var)
+            TokenKind::Ident(w)
+                if w == "drop" && body.get(i + 1).is_some_and(|t| t.kind.is_punct("(")) =>
+            {
+                if let Some(var) = body.get(i + 2).and_then(|t| t.kind.ident()) {
+                    let (dead, alive): (Vec<_>, Vec<_>) =
+                        live.drain(..).partition(|g| g.var.as_deref() == Some(var));
+                    live = alive;
+                    done.extend(dead.into_iter().map(|g| (g, line)));
+                }
+            }
+            TokenKind::Ident(w) if w == "sync" => {
+                // sync :: fn ( ...field... )
+                let is_acq = body.get(i + 1).is_some_and(|t| t.kind.is_punct("::"))
+                    && body
+                        .get(i + 2)
+                        .and_then(|t| t.kind.ident())
+                        .is_some_and(|f| SYNC_FNS.contains(&f));
+                if is_acq && body.get(i + 3).is_some_and(|t| t.kind.is_punct("(")) {
+                    let args_close = crate::items::match_bracket(body, i + 3, "(", ")");
+                    let (class, label) = classify(&body[i + 3..args_close.min(body.len())]);
+                    // Lock-order check against live guards.
+                    if let Some(c) = class {
+                        if let Some(held) = live
+                            .iter()
+                            .filter_map(|g| g.class.map(|h| (h, g.label.clone(), g.line)))
+                            .find(|(h, _, _)| *h > c)
+                        {
+                            out.push(Finding {
+                                rule: Rule::LockDiscipline,
+                                file: file.path.clone(),
+                                line,
+                                func: Some(item.qualified()),
+                                excerpt: format!(
+                                    "{} (acquires {} while holding {} — order is registry → scheduler → plan-cache)",
+                                    ws.excerpt(fi, line),
+                                    label,
+                                    held.1
+                                ),
+                                chain: Vec::new(),
+                                waived: ws.is_waived(fi, line, Rule::LockDiscipline.name()),
+                            });
+                        }
+                    }
+                    // Binding: `let [mut] v = … sync::f(…)` within the
+                    // current statement, or `v = sync::wait_timeout(…)`
+                    // reassigning an existing guard.
+                    let var = binding_var(body, i);
+                    let reassign = var
+                        .as_deref()
+                        .is_some_and(|v| live.iter().any(|g| g.var.as_deref() == Some(v)));
+                    if !reassign {
+                        live.push(Guard {
+                            class,
+                            label,
+                            var,
+                            depth,
+                            line,
+                        });
+                    }
+                    i = args_close + 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let end_line = body.last().map(|t| t.line).unwrap_or(0);
+    done.extend(live.into_iter().map(|g| (g, end_line)));
+    done
+}
+
+/// Infers the lock class from the idents in the acquisition's argument
+/// tokens.
+fn classify(args: &[crate::lexer::Token]) -> (Option<u8>, String) {
+    for t in args {
+        if let Some(w) = t.kind.ident() {
+            if let Some((_, class, label)) = CLASSES.iter().find(|(f, _, _)| *f == w) {
+                return (Some(*class), label.to_string());
+            }
+        }
+    }
+    (None, "unclassified".to_string())
+}
+
+/// Finds the `let`-bound (or reassigned) variable for the statement
+/// containing token `at`: scans back to the statement start.
+fn binding_var(body: &[crate::lexer::Token], at: usize) -> Option<String> {
+    let mut start = at;
+    while start > 0 {
+        match &body[start - 1].kind {
+            TokenKind::Punct(";") | TokenKind::Punct("{") | TokenKind::Punct("}") => break,
+            _ => start -= 1,
+        }
+    }
+    let stmt = &body[start..at];
+    // `let [mut] v = …` → v; bare `v = …` (reassignment) → v.
+    if stmt.first().is_some_and(|t| t.kind.is_ident("let")) {
+        let mut idx = 1;
+        if stmt.get(idx).is_some_and(|t| t.kind.is_ident("mut")) {
+            idx += 1;
+        }
+        let v = stmt.get(idx).and_then(|t| t.kind.ident())?;
+        if stmt.get(idx + 1).is_some_and(|t| t.kind.is_punct("=")) {
+            return Some(v.to_string());
+        }
+        return None;
+    }
+    let v = stmt.first().and_then(|t| t.kind.ident())?;
+    if stmt.get(1).is_some_and(|t| t.kind.is_punct("=")) {
+        return Some(v.to_string());
+    }
+    None
+}
+
+/// Per-function witness step: the callee hop that reaches I/O (`None`
+/// for a direct site) and the relevant source line.
+type IoStep = Option<(Option<FnId>, usize)>;
+
+/// Graph-wide transitive does-I/O closure; `io_next[f]` records either
+/// the direct I/O line in `f` or the edge to the callee that reaches
+/// I/O, for witness reconstruction.
+fn io_closure(ws: &Workspace) -> (Vec<bool>, Vec<IoStep>) {
+    let n = ws.graph.fns.len();
+    let mut does = vec![false; n];
+    let mut next: Vec<IoStep> = vec![None; n];
+    for (id, node) in ws.graph.fns.iter().enumerate() {
+        if is_shim(&node.path) || is_test_path(&node.path) || node.item.in_test {
+            continue;
+        }
+        let Some(fi) = ws.file_index(&node.path) else {
+            continue;
+        };
+        if let Some((line, _)) = io_sites(&ws.files[fi].tokens, &node.item).first() {
+            does[id] = true;
+            next[id] = Some((None, *line));
+        }
+    }
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            if does[id] {
+                continue;
+            }
+            for edge in ws.graph.callees(id) {
+                if does[edge.callee] {
+                    does[id] = true;
+                    next[id] = Some((Some(edge.callee), edge.line));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (does, next)
+}
+
+/// Witness chain from `start` down to the direct I/O site.
+fn io_witness(
+    ws: &Workspace,
+    start: FnId,
+    io_next: &[Option<(Option<FnId>, usize)>],
+) -> Vec<ChainHop> {
+    let mut chain = Vec::new();
+    let mut cur = start;
+    loop {
+        let node = &ws.graph.fns[cur];
+        match io_next[cur] {
+            Some((Some(succ), line)) => {
+                chain.push(ChainHop {
+                    func: node.item.qualified(),
+                    file: node.path.clone(),
+                    line,
+                });
+                cur = succ;
+            }
+            Some((None, line)) => {
+                chain.push(ChainHop {
+                    func: node.item.qualified(),
+                    file: node.path.clone(),
+                    line,
+                });
+                break;
+            }
+            None => break,
+        }
+        if chain.len() > 64 {
+            break; // cycles in the over-approximated graph
+        }
+    }
+    chain
+}
+
+/// Locates the graph node for an item by path + name + line.
+fn fn_id_of(ws: &Workspace, path: &str, item: &crate::items::FnItem) -> Option<FnId> {
+    ws.graph
+        .fns
+        .iter()
+        .position(|n| n.path == path && n.item.name == item.name && n.item.line == item.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::test_util::ws;
+
+    #[test]
+    fn direct_io_under_guard_is_flagged() {
+        let w = ws(&[(
+            "crates/serve/src/registry.rs",
+            "impl Registry { fn save(&self) {
+                 let map = crate::sync::write(&self.entries);
+                 std::fs::write(\"p\", b\"x\").ok();
+                 drop(map);
+             } }",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule.name(), "lock-discipline");
+    }
+
+    #[test]
+    fn io_after_drop_is_fine() {
+        let w = ws(&[(
+            "crates/serve/src/registry.rs",
+            "impl Registry { fn save(&self) {
+                 let map = crate::sync::write(&self.entries);
+                 let n = map.len();
+                 drop(map);
+                 std::fs::write(\"p\", format!(\"{n}\")).ok();
+             } }",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_releases_at_block_end() {
+        let w = ws(&[(
+            "crates/serve/src/plan_cache.rs",
+            "impl PlanCache { fn save(&self) {
+                 let s = { let plans = crate::sync::lock(&self.plans); plans.len() };
+                 std::fs::write(\"p\", format!(\"{s}\")).ok();
+             } }",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn transitive_io_through_callee_carries_witness() {
+        let w = ws(&[(
+            "crates/serve/src/registry.rs",
+            "impl Registry {
+                 fn register(&self) {
+                     let mut map = crate::sync::write(&self.entries);
+                     self.spill();
+                     drop(map);
+                 }
+                 fn spill(&self) { write_tile(); }
+             }
+             fn write_tile() { std::fs::write(\"t\", b\"x\").ok(); }",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        let hops: Vec<&str> = f[0].chain.iter().map(|h| h.func.as_str()).collect();
+        assert_eq!(hops, vec!["Registry::spill", "write_tile"]);
+    }
+
+    #[test]
+    fn lock_order_violation_flagged() {
+        let w = ws(&[(
+            "crates/serve/src/scheduler.rs",
+            "impl Scheduler { fn bad(&self) {
+                 let jobs = crate::sync::lock(&self.table.jobs);
+                 let map = crate::sync::write(&self.entries);
+                 drop(map); drop(jobs);
+             } }",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].excerpt.contains("order is registry"));
+    }
+
+    #[test]
+    fn correct_order_and_temporaries_pass() {
+        let w = ws(&[(
+            "crates/serve/src/registry.rs",
+            "impl Registry { fn good(&self) {
+                 let map = crate::sync::write(&self.entries);
+                 let jobs = crate::sync::lock(&self.table.jobs);
+                 drop(jobs); drop(map);
+                 crate::sync::lock(&self.plans).insert(1, 2);
+                 std::fs::write(\"p\", b\"x\").ok();
+             } }",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn waiver_applies_at_call_line() {
+        let w = ws(&[(
+            "crates/serve/src/plan_cache.rs",
+            "impl PlanCache { fn compute(&self) {\n    let _g = crate::sync::lock(&self.compute);\n    std::fs::write(\"p\", b\"x\").ok(); // single-flight by design — lint: allow(lock-discipline)\n} }",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+    }
+}

@@ -234,6 +234,9 @@ impl PlanCache {
             Ok(plan) => plan,
             Err(e) => return Ok(Err(e)),
         };
+        // Persisting inside the compute lock is the single-flight
+        // design: concurrent tuners for the same key must observe the
+        // saved plan — lint: allow(lock-discipline)
         self.insert(key, plan.clone())?;
         Ok(Ok((plan, false)))
     }

@@ -455,12 +455,16 @@ impl Service {
             "decompose" => self.submit_cmd(req, Self::parse_decompose),
             "job-status" => self.cmd_job_status(req),
             "cancel" => self.cmd_cancel(req),
-            "trace" => match &*crate::sync::lock(&self.core.last_trace) {
-                Some((id, tree)) => {
-                    ok([("job", Json::str(id.to_string())), ("trace", tree.clone())])
+            "trace" => {
+                // Clone out under the lock and release it before building
+                // the response: a match-scrutinee temporary would hold the
+                // guard for every arm of the surrounding match.
+                let snap = crate::sync::lock(&self.core.last_trace).clone();
+                match snap {
+                    Some((id, tree)) => ok([("job", Json::str(id.to_string())), ("trace", tree)]),
+                    None => err(ErrorCode::NotFound, "no job has finished yet"),
                 }
-                None => err(ErrorCode::NotFound, "no job has finished yet"),
-            },
+            }
             "metrics" => ok([(
                 "metrics",
                 self.core

@@ -247,6 +247,9 @@ impl Registry {
                 last_used: AtomicU64::new(self.tick()),
             },
         );
+        // Spilling evictees to disk under the entries lock is the
+        // residency-cap design: the cap must hold atomically with the
+        // insert that can breach it — lint: allow(lock-discipline)
         self.enforce_residency(&mut map, name);
         Ok(entry)
     }
@@ -341,6 +344,9 @@ impl Registry {
         }
         slot.resident = Some(Arc::clone(&entry));
         slot.last_used.store(self.tick(), Ordering::Relaxed);
+        // Spilling evictees to disk under the entries lock is the
+        // residency-cap design: the cap must hold atomically with the
+        // insert that can breach it — lint: allow(lock-discipline)
         self.enforce_residency(&mut map, name);
         Ok(entry)
     }

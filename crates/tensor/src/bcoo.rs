@@ -33,6 +33,7 @@ use std::ops::Range;
 /// must agree on cell extents for streamed results to match in-memory
 /// kernels bit-for-bit.
 pub fn uniform_bounds(dim: usize, n: usize) -> Vec<usize> {
+    // t ≤ n ≤ dim and dim is an in-memory mode length; t·dim fits usize — lint: allow(index-overflow)
     (0..=n).map(|t| t * dim / n).collect()
 }
 
@@ -149,6 +150,7 @@ impl BcooTensor {
                 let a = find_block(&bounds[0], e.idx[perm[0]] as usize);
                 let b = find_block(&bounds[1], e.idx[perm[1]] as usize);
                 let c = find_block(&bounds[2], e.idx[perm[2]] as usize);
+                // the cell count na·nb·nc is a tuner output bounded by nnz — lint: allow(index-overflow)
                 (((a * nb + b) * nc + c) as u32, *e)
             })
             .collect();
@@ -176,6 +178,7 @@ impl BcooTensor {
             let id = tagged[pos].0 as usize;
             let c = (id % nc) as u32;
             let b = ((id / nc) % nb) as u32;
+            // nb·nc ≤ the materialized cell count — lint: allow(index-overflow)
             let a = (id / (nb * nc)) as u32;
             let origin = [
                 bounds[0][a as usize] as Idx,

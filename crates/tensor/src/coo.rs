@@ -117,12 +117,12 @@ impl CooTensor {
         mut entries: Vec<Entry>,
     ) -> Result<Self, TensorError> {
         for (n, e) in entries.iter().enumerate() {
-            for m in 0..NMODES {
-                if (e.idx[m] as usize) >= dims[m] {
+            for (m, (&c, &dim)) in e.idx.iter().zip(dims.iter()).enumerate() {
+                if (c as usize) >= dim {
                     return Err(TensorError::CoordOutOfRange {
                         mode: m,
-                        coord: e.idx[m],
-                        dim: dims[m],
+                        coord: c,
+                        dim,
                     });
                 }
             }
@@ -153,7 +153,7 @@ impl CooTensor {
     pub fn from_entries(dims: [usize; NMODES], entries: Vec<Entry>) -> Self {
         match Self::try_from_entries(dims, entries) {
             Ok(t) => t,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // documented panic; trusted in-memory callers (generators) — lint: allow(panic-reach)
         }
     }
 
@@ -191,7 +191,7 @@ impl CooTensor {
     ) -> Self {
         match Self::try_from_triples(dims, is, js, ks, vals) {
             Ok(t) => t,
-            Err(e) => panic!("{e}"),
+            Err(e) => panic!("{e}"), // documented panic; trusted in-memory callers (generators) — lint: allow(panic-reach)
         }
     }
 

@@ -92,7 +92,7 @@ pub fn poisson_tensor(cfg: &PoissonConfig, seed: u64) -> CooTensor {
         .collect();
 
     // Sample events and count multiplicities.
-    let total = *lambda_cum.last().unwrap();
+    let total = *lambda_cum.last().unwrap(); // built from NMODES per-mode tables, never empty — lint: allow(panic-reach)
     let mut coords: Vec<[crate::Idx; NMODES]> = Vec::with_capacity(cfg.total_events);
     for _ in 0..cfg.total_events {
         let x = rng.random::<f64>() * total;

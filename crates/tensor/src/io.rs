@@ -91,7 +91,9 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
                 });
             }
             *slot = (c - 1) as Idx;
-            dims[m] = dims[m].max(c as usize);
+            if let Some(d) = dims.get_mut(m) {
+                *d = (*d).max(c as usize);
+            }
         }
         let vtok = it.next().ok_or_else(|| TnsError::Parse {
             line: line_no,

@@ -181,8 +181,15 @@ impl BinCodec for NdCooTensor {
             )));
         }
         let (order, nnz) = (h.dims.len(), h.nnz as usize);
-        let mut coords = Vec::with_capacity(nnz * order);
-        for _ in 0..nnz * order {
+        // The header is untrusted: a wrapped nnz·order would make the
+        // coordinate count disagree with the value count silently.
+        let n_coords = nnz.checked_mul(order).ok_or_else(|| {
+            BinError::Format(format!(
+                "header claims {nnz} entries x {order} modes, which overflows"
+            ))
+        })?;
+        let mut coords = Vec::with_capacity(n_coords);
+        for _ in 0..n_coords {
             coords.push(read_u32(&mut r)?);
         }
         let mut vals = Vec::with_capacity(nnz);
@@ -191,16 +198,8 @@ impl BinCodec for NdCooTensor {
             r.read_exact(&mut b)?;
             vals.push(f64::from_le_bytes(b));
         }
-        for (n, chunk) in coords.chunks_exact(order).enumerate() {
-            for (m, &c) in chunk.iter().enumerate() {
-                if c as usize >= h.dims[m] {
-                    return Err(BinError::Format(format!(
-                        "entry {n}: coordinate {c} out of range for mode {m}"
-                    )));
-                }
-            }
-        }
-        Ok(NdCooTensor::from_flat(h.dims, coords, vals))
+        NdCooTensor::try_from_flat(h.dims, coords, vals)
+            .map_err(|e| BinError::Format(e.to_string()))
     }
 }
 
@@ -211,20 +210,22 @@ impl BinCodec for CooTensor {
 
     fn decode<R: Read>(reader: R) -> Result<Self, BinError> {
         let nd = NdCooTensor::decode(reader)?;
-        if nd.order() != NMODES {
-            return Err(BinError::Format(format!(
+        let dims: [usize; NMODES] = nd.dims().try_into().map_err(|_| {
+            BinError::Format(format!(
                 "expected a 3-mode tensor, file has order {}",
                 nd.order()
-            )));
-        }
-        let dims = [nd.dims()[0], nd.dims()[1], nd.dims()[2]];
+            ))
+        })?;
         let entries = (0..nd.nnz())
             .map(|n| {
                 let c = nd.coord(n);
+                // coord slices have len == order == 3, established above — lint: allow(panic-reach)
                 Entry::new(c[0], c[1], c[2], nd.value(n))
             })
             .collect();
-        Ok(CooTensor::from_entries(dims, entries))
+        // A file value can be NaN/infinite; that must surface as a typed
+        // error, not the panicking constructor.
+        CooTensor::try_from_entries(dims, entries).map_err(|e| BinError::Format(e.to_string()))
     }
 }
 

@@ -10,6 +10,61 @@
 
 use crate::Idx;
 
+/// Typed construction errors for [`NdCooTensor::try_from_flat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NdError {
+    /// `dims` is empty.
+    ZeroOrder,
+    /// `coords.len()` is not `vals.len() * order` (or that product
+    /// overflows `usize`).
+    LengthMismatch {
+        /// Length of the flattened coordinate vector.
+        coords: usize,
+        /// Number of values.
+        vals: usize,
+        /// Tensor order.
+        order: usize,
+    },
+    /// A coordinate is not strictly below its mode's dimension.
+    CoordOutOfRange {
+        /// Entry index in construction order.
+        entry: usize,
+        /// Mode of the offending coordinate.
+        mode: usize,
+        /// The coordinate value.
+        coord: Idx,
+        /// The dimension it must stay below.
+        dim: usize,
+    },
+}
+
+impl std::fmt::Display for NdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NdError::ZeroOrder => write!(f, "tensor order must be positive"),
+            NdError::LengthMismatch {
+                coords,
+                vals,
+                order,
+            } => write!(
+                f,
+                "coordinate/value length mismatch ({coords} coords, {vals} values, order {order})"
+            ),
+            NdError::CoordOutOfRange {
+                entry,
+                mode,
+                coord,
+                dim,
+            } => write!(
+                f,
+                "entry {entry}: coordinate {coord} out of range for mode {mode} (dim {dim})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NdError {}
+
 /// An N-mode sparse tensor in coordinate format.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NdCooTensor {
@@ -21,31 +76,61 @@ pub struct NdCooTensor {
 }
 
 impl NdCooTensor {
+    /// Builds a tensor from flattened coordinates, summing duplicates and
+    /// rejecting malformed input with a typed [`NdError`] instead of
+    /// panicking. Boundary code (the `.tnsb` decoder) uses this form so a
+    /// hostile file becomes a value, not a crash.
+    pub fn try_from_flat(
+        dims: Vec<usize>,
+        coords: Vec<Idx>,
+        vals: Vec<f64>,
+    ) -> Result<Self, NdError> {
+        let order = dims.len();
+        if order == 0 {
+            return Err(NdError::ZeroOrder);
+        }
+        let expect = vals
+            .len()
+            .checked_mul(order)
+            .ok_or(NdError::LengthMismatch {
+                coords: coords.len(),
+                vals: vals.len(),
+                order,
+            })?;
+        if coords.len() != expect {
+            return Err(NdError::LengthMismatch {
+                coords: coords.len(),
+                vals: vals.len(),
+                order,
+            });
+        }
+        for (n, chunk) in coords.chunks_exact(order).enumerate() {
+            for (m, (&c, &dim)) in chunk.iter().zip(dims.iter()).enumerate() {
+                if (c as usize) >= dim {
+                    return Err(NdError::CoordOutOfRange {
+                        entry: n,
+                        mode: m,
+                        coord: c,
+                        dim,
+                    });
+                }
+            }
+        }
+        let mut t = NdCooTensor { dims, coords, vals };
+        t.sort_and_merge(&(0..order).collect::<Vec<_>>());
+        Ok(t)
+    }
+
     /// Builds a tensor from flattened coordinates, summing duplicates.
     ///
     /// # Panics
     /// Panics if `coords.len() != vals.len() * dims.len()`, if the order is
     /// zero, or if a coordinate exceeds its dimension.
     pub fn from_flat(dims: Vec<usize>, coords: Vec<Idx>, vals: Vec<f64>) -> Self {
-        let order = dims.len();
-        assert!(order > 0, "tensor order must be positive");
-        assert_eq!(
-            coords.len(),
-            vals.len() * order,
-            "coordinate/value length mismatch"
-        );
-        for (n, chunk) in coords.chunks_exact(order).enumerate() {
-            for (m, &c) in chunk.iter().enumerate() {
-                assert!(
-                    (c as usize) < dims[m],
-                    "entry {n}: coordinate {c} out of range for mode {m} (dim {})",
-                    dims[m]
-                );
-            }
+        match Self::try_from_flat(dims, coords, vals) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"), // documented panic; trusted in-memory callers (generators) — lint: allow(panic-reach)
         }
-        let mut t = NdCooTensor { dims, coords, vals };
-        t.sort_and_merge(&(0..order).collect::<Vec<_>>());
-        t
     }
 
     /// An empty tensor.
@@ -60,6 +145,8 @@ impl NdCooTensor {
 
     /// Converts a 3-mode [`crate::CooTensor`].
     pub fn from_coo3(t: &crate::CooTensor) -> Self {
+        // nnz entries (≥ 12 bytes each) already fit in memory, so nnz·3
+        // cannot overflow usize — lint: allow(index-overflow)
         let mut coords = Vec::with_capacity(t.nnz() * 3);
         let mut vals = Vec::with_capacity(t.nnz());
         for e in t.entries() {
@@ -92,12 +179,14 @@ impl NdCooTensor {
     #[inline]
     pub fn coord(&self, n: usize) -> &[Idx] {
         let o = self.order();
+        // invariant: coords.len() == nnz·order, callers pass n < nnz — lint: allow(panic-reach)
         &self.coords[n * o..(n + 1) * o]
     }
 
     /// Value of entry `n`.
     #[inline]
     pub fn value(&self, n: usize) -> f64 {
+        // invariant: callers pass n < nnz == vals.len() — lint: allow(panic-reach)
         self.vals[n]
     }
 
@@ -110,6 +199,7 @@ impl NdCooTensor {
     /// permutation of `0..order`) and merges duplicate coordinates.
     pub fn sort_and_merge(&mut self, perm: &[usize]) {
         let order = self.order();
+        // defensive API check; construction passes the identity permutation — lint: allow(panic-reach)
         assert_eq!(perm.len(), order, "perm length must equal order");
         let nnz = self.nnz();
         let mut idx: Vec<usize> = (0..nnz).collect();
@@ -117,6 +207,7 @@ impl NdCooTensor {
             let ca = self.coord(a);
             let cb = self.coord(b);
             for &m in perm {
+                // perm is a permutation of 0..order, so m < order == ca.len() — lint: allow(panic-reach)
                 match ca[m].cmp(&cb[m]) {
                     std::cmp::Ordering::Equal => continue,
                     other => return other,
@@ -130,13 +221,16 @@ impl NdCooTensor {
         for &n in &idx {
             let c = self.coord(n);
             let dup = !vals.is_empty() && {
+                // vals non-empty ⇒ coords holds ≥ order entries — lint: allow(panic-reach)
                 let last = &coords[coords.len() - order..];
                 last == c
             };
             if dup {
+                // dup ⇒ vals non-empty; n < nnz == self.vals.len() — lint: allow(panic-reach)
                 *vals.last_mut().unwrap() += self.vals[n];
             } else {
                 coords.extend_from_slice(c);
+                // n < nnz == self.vals.len() — lint: allow(panic-reach)
                 vals.push(self.vals[n]);
             }
         }
@@ -167,6 +261,7 @@ pub fn uniform_nd(dims: &[usize], nnz: usize, seed: u64) -> NdCooTensor {
             .collect();
         seen.insert(c);
     }
+    // nnz·order coordinates already exist in `seen` — lint: allow(index-overflow)
     let mut coords = Vec::with_capacity(nnz * order);
     let mut vals = Vec::with_capacity(nnz);
     for c in seen {

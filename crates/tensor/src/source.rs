@@ -133,6 +133,7 @@ impl CooSource {
                     cell_of(1, e.idx[1] as usize) as u64,
                     cell_of(2, e.idx[2] as usize) as u64,
                 ];
+                // grid axes are tuner outputs; their product (the cell count) fits u64 — lint: allow(index-overflow)
                 ((c[0] * grid[1] as u64 + c[1]) * grid[2] as u64 + c[2], e)
             })
             .collect();
@@ -145,6 +146,7 @@ impl CooSource {
         let mut prev = None;
         for (n, &(id, e)) in tagged.iter().enumerate() {
             if prev != Some(id) {
+                // grid[1]·grid[2] ≤ the cell count — lint: allow(index-overflow)
                 let c0 = (id / (grid[1] as u64 * grid[2] as u64)) as usize;
                 let c1 = ((id / grid[2] as u64) % grid[1] as u64) as usize;
                 let c2 = (id % grid[2] as u64) as usize;

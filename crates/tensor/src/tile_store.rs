@@ -77,6 +77,7 @@ pub struct TileStore {
 /// The linear cell id ordering tiles in the file: original-axes
 /// row-major.
 fn cell_id(cell: [u32; NMODES], grid: [usize; NMODES]) -> u64 {
+    // id < cell count, which check_grid bounds to u64 — lint: allow(index-overflow, panic-reach)
     (cell[0] as u64 * grid[1] as u64 + cell[1] as u64) * grid[2] as u64 + cell[2] as u64
 }
 
@@ -87,13 +88,20 @@ fn cell_of(bounds: &[usize], idx: usize) -> usize {
 }
 
 fn check_grid(dims: [usize; NMODES], grid: [usize; NMODES]) -> Result<(), BinError> {
-    for ax in 0..NMODES {
-        if grid[ax] == 0 || grid[ax] > dims[ax].max(1) {
+    for (ax, (&g, &d)) in grid.iter().zip(dims.iter()).enumerate() {
+        if g == 0 || g > d.max(1) {
             return Err(BinError::Format(format!(
-                "tile grid count {} invalid for axis {ax} of length {}",
-                grid[ax], dims[ax]
+                "tile grid count {g} invalid for axis {ax} of length {d}"
             )));
         }
+    }
+    // Linear cell ids are formed by u64 multiply-accumulate over the
+    // grid axes; bound the cell count so those products cannot wrap.
+    let cells = grid.iter().map(|&g| g as u128).product::<u128>();
+    if cells > u64::MAX as u128 {
+        return Err(BinError::Format(format!(
+            "tile grid of {cells} cells exceeds the supported maximum"
+        )));
     }
     Ok(())
 }
@@ -109,31 +117,36 @@ fn parse_meta<R: Read>(r: &mut R, total_len: u64) -> Result<StoreMeta, BinError>
             h.version
         )));
     }
-    if h.dims.len() != NMODES {
-        return Err(BinError::Format(format!(
+    let dims: [usize; NMODES] = h.dims.as_slice().try_into().map_err(|_| {
+        BinError::Format(format!(
             "tile store requires a 3-mode tensor, file has order {}",
             h.dims.len()
-        )));
-    }
-    let dims = [h.dims[0], h.dims[1], h.dims[2]];
+        ))
+    })?;
     let mut grid = [0usize; NMODES];
     for g in grid.iter_mut() {
         *g = read_u32(r)? as usize;
     }
     check_grid(dims, grid)?;
+    // dims and grid are fixed [_; NMODES] arrays — lint: allow(panic-reach)
     let bounds = [
-        uniform_bounds(dims[0], grid[0]),
-        uniform_bounds(dims[1], grid[1]),
-        uniform_bounds(dims[2], grid[2]),
+        uniform_bounds(dims[0], grid[0]), // lint: allow(panic-reach)
+        uniform_bounds(dims[1], grid[1]), // lint: allow(panic-reach)
+        uniform_bounds(dims[2], grid[2]), // lint: allow(panic-reach)
     ];
     let n_tiles = read_u64(r)?;
-    let cells = grid.iter().map(|&g| g as u64).product::<u64>();
-    if n_tiles > cells {
+    let cells = grid.iter().map(|&g| g as u128).product::<u128>();
+    if n_tiles as u128 > cells {
         return Err(BinError::Format(format!(
             "tile table lists {n_tiles} tiles but the grid has {cells} cells"
         )));
     }
-    let table_end = h.encoded_len() as u64 + 12 + 8 + n_tiles * TABLE_RECORD_BYTES;
+    // n_tiles is untrusted; a wrapped table size would defeat the
+    // truncation check below.
+    let table_end = n_tiles
+        .checked_mul(TABLE_RECORD_BYTES)
+        .and_then(|t| t.checked_add(h.encoded_len() as u64 + 12 + 8))
+        .ok_or_else(|| BinError::Format("tile table size overflows".into()))?;
     if table_end > total_len {
         return Err(BinError::Format("truncated tile table".into()));
     }
@@ -147,11 +160,10 @@ fn parse_meta<R: Read>(r: &mut R, total_len: u64) -> Result<StoreMeta, BinError>
         for c in cell.iter_mut() {
             *c = read_u32(r)?;
         }
-        for ax in 0..NMODES {
-            if cell[ax] as usize >= grid[ax] {
+        for (ax, (&c, &g)) in cell.iter().zip(grid.iter()).enumerate() {
+            if c as usize >= g {
                 return Err(BinError::Format(format!(
-                    "tile {t}: cell {} out of grid range on axis {ax}",
-                    cell[ax]
+                    "tile {t}: cell {c} out of grid range on axis {ax}"
                 )));
             }
         }
@@ -172,8 +184,10 @@ fn parse_meta<R: Read>(r: &mut R, total_len: u64) -> Result<StoreMeta, BinError>
         }
         let volume: u128 = (0..NMODES)
             .map(|ax| {
-                let c = cell[ax] as usize;
-                (bounds[ax][c + 1] - bounds[ax][c]) as u128
+                // ax < NMODES; c < grid[ax] (checked above) and
+                // bounds[ax].len() == grid[ax] + 1
+                let c = cell[ax] as usize; // lint: allow(panic-reach)
+                (bounds[ax][c + 1] - bounds[ax][c]) as u128 // lint: allow(panic-reach)
             })
             .product();
         if nnz as u128 > volume {
@@ -218,6 +232,7 @@ fn parse_meta<R: Read>(r: &mut R, total_len: u64) -> Result<StoreMeta, BinError>
 /// Decodes one tile's payload bytes into a [`SourceTile`], validating
 /// every local offset against the tile's span.
 fn decode_tile(meta: &StoreMeta, t: usize, payload: &[u8]) -> Result<SourceTile, BinError> {
+    // callers iterate t < meta.tiles.len() — lint: allow(panic-reach)
     let tm = &meta.tiles[t];
     if payload.len() as u64 != tm.len {
         return Err(BinError::Format(format!(
@@ -229,31 +244,41 @@ fn decode_tile(meta: &StoreMeta, t: usize, payload: &[u8]) -> Result<SourceTile,
     let mut origin = [0usize; NMODES];
     let mut span = [0usize; NMODES];
     for ax in 0..NMODES {
-        let c = tm.cell[ax] as usize;
-        origin[ax] = meta.bounds[ax][c];
-        span[ax] = meta.bounds[ax][c + 1] - meta.bounds[ax][c];
+        // parse_meta established cell[ax] < grid[ax] and
+        // bounds[ax].len() == grid[ax] + 1
+        let c = tm.cell[ax] as usize; // lint: allow(panic-reach)
+        origin[ax] = meta.bounds[ax][c]; // lint: allow(panic-reach)
+        span[ax] = meta.bounds[ax][c + 1] - meta.bounds[ax][c]; // lint: allow(panic-reach)
     }
     let n = tm.nnz as usize;
     let mut locals = Vec::with_capacity(n);
     let mut vals = Vec::with_capacity(n);
     for (e, rec) in payload.chunks_exact(TILE_ENTRY_BYTES as usize).enumerate() {
         let mut l = [0u32; NMODES];
+        // rec comes from chunks_exact(20), so rec[0..20] and ax < NMODES
+        // are all in range.
         for ax in 0..NMODES {
+            // lint: allow(panic-reach) — l is a fixed NMODES array
             l[ax] = u32::from_le_bytes([
-                rec[4 * ax],
-                rec[4 * ax + 1],
-                rec[4 * ax + 2],
-                rec[4 * ax + 3],
+                // lint: allow(panic-reach)
+                rec[4 * ax],     // lint: allow(panic-reach)
+                rec[4 * ax + 1], // lint: allow(panic-reach)
+                rec[4 * ax + 2], // lint: allow(panic-reach)
+                rec[4 * ax + 3], // lint: allow(panic-reach)
             ]);
+            // lint: allow(panic-reach) — ax < NMODES fixed arrays
             if l[ax] as usize >= span[ax] {
                 return Err(BinError::Format(format!(
                     "tile {t} entry {e}: local offset {} outside span {} on axis {ax}",
-                    l[ax], span[ax]
+                    l[ax],    // lint: allow(panic-reach)
+                    span[ax]  // lint: allow(panic-reach)
                 )));
             }
         }
         let v = f64::from_le_bytes([
-            rec[12], rec[13], rec[14], rec[15], rec[16], rec[17], rec[18], rec[19],
+            // lint: allow(panic-reach) — rec has exactly 20 bytes
+            rec[12], rec[13], rec[14], rec[15], rec[16], rec[17], rec[18],
+            rec[19], // lint: allow(panic-reach)
         ]);
         locals.push(l);
         vals.push(v);
@@ -287,7 +312,9 @@ impl TileStore {
         let mut r = bytes;
         let meta = parse_meta(&mut r, bytes.len() as u64)?;
         for t in 0..meta.tiles.len() {
-            let tm = &meta.tiles[t];
+            let tm = &meta.tiles[t]; // t < tiles.len() — lint: allow(panic-reach)
+                                     // parse_meta proved payload spans tile [table_end, total_len)
+                                     // exactly, so off..off+len is in range — lint: allow(panic-reach)
             let payload = &bytes[tm.off as usize..(tm.off + tm.len) as usize];
             decode_tile(&meta, t, payload)?;
         }
@@ -346,6 +373,7 @@ impl TileStore {
             header.encoded_len() as u64 + 12 + 8 + tiles.len() as u64 * TABLE_RECORD_BYTES;
         for &(id, nnz) in &tiles {
             let cell = [
+                // grid products ≤ cell count ≤ u64 (check_grid) — lint: allow(index-overflow)
                 (id / (grid[1] as u64 * grid[2] as u64)) as u32,
                 ((id / grid[2] as u64) % grid[1] as u64) as u32,
                 (id % grid[2] as u64) as u32,
@@ -353,6 +381,7 @@ impl TileStore {
             for &c in &cell {
                 write_u32(&mut w, c)?;
             }
+            // nnz ≤ the in-memory entry count, so nnz·20 fits u64 — lint: allow(index-overflow)
             let len = nnz * TILE_ENTRY_BYTES;
             write_u64(&mut w, nnz)?;
             write_u64(&mut w, off)?;
@@ -361,6 +390,7 @@ impl TileStore {
         }
         for &(id, e) in &tagged {
             let cell = [
+                // grid products ≤ cell count ≤ u64 (check_grid) — lint: allow(index-overflow)
                 (id / (grid[1] as u64 * grid[2] as u64)) as usize,
                 ((id / grid[2] as u64) % grid[1] as u64) as usize,
                 (id % grid[2] as u64) as usize,
@@ -404,7 +434,12 @@ impl TileStore {
             uniform_bounds(dims[2], grid[2]),
         ];
         let nnz = header.nnz as usize;
-        let cells = grid[0] * grid[1] * grid[2];
+        // The per-cell count/cursor vectors are allocated at this size;
+        // refuse grids whose cell count cannot even be addressed.
+        let cells = grid[0]
+            .checked_mul(grid[1])
+            .and_then(|x| x.checked_mul(grid[2]))
+            .ok_or_else(|| BinError::Format("tile grid cell count overflows usize".into()))?;
 
         // Pass 1: per-cell nonzero counts, O(cells) memory.
         let mut counts = vec![0u64; cells];
@@ -425,7 +460,10 @@ impl TileStore {
 
         // Table: nonempty cells in id order, contiguous payload offsets.
         let n_tiles = counts.iter().filter(|&&c| c > 0).count() as u64;
-        let table_end = header.encoded_len() as u64 + 12 + 8 + n_tiles * TABLE_RECORD_BYTES;
+        let table_end = n_tiles
+            .checked_mul(TABLE_RECORD_BYTES)
+            .and_then(|t| t.checked_add(header.encoded_len() as u64 + 12 + 8))
+            .ok_or_else(|| BinError::Format("tile table size overflows".into()))?;
         let mut cursor = vec![0u64; cells]; // per-cell write position
         let mut out = std::fs::File::create(dst.as_ref())?;
         {
@@ -449,6 +487,7 @@ impl TileStore {
                 }
                 let id = id as u64;
                 let cell = [
+                    // grid products ≤ cell count ≤ u64 (check_grid) — lint: allow(index-overflow)
                     (id / (grid[1] as u64 * grid[2] as u64)) as u32,
                     ((id / grid[2] as u64) % grid[1] as u64) as u32,
                     (id % grid[2] as u64) as u32,
@@ -477,6 +516,8 @@ impl TileStore {
         };
         let mut vals = {
             let mut f = std::fs::File::open(src)?;
+            // nnz coordinates (12 B each) were just streamed in pass 1,
+            // so 12·nnz is within the source file length — lint: allow(index-overflow)
             f.seek(SeekFrom::Start(coords_at + 12 * nnz as u64))?;
             BufReader::new(f)
         };
@@ -563,7 +604,12 @@ impl TileStore {
 
     /// Loads and decodes one tile from disk.
     pub fn load_tile(&self, i: usize) -> Result<SourceTile, BinError> {
-        let tm = self.meta.tiles[i];
+        let tm = *self.meta.tiles.get(i).ok_or_else(|| {
+            BinError::Format(format!(
+                "tile index {i} out of range ({} tiles)",
+                self.meta.tiles.len()
+            ))
+        })?;
         let mut f = std::fs::File::open(&self.path)?;
         f.seek(SeekFrom::Start(tm.off))?;
         let mut payload = vec![0u8; tm.len as usize];

@@ -142,7 +142,7 @@ USAGE:
                  [--plan-cache <path>] [--max-resident N] [--spill-dir <dir>]
   tenblock check <file> [--rank R]
   tenblock fuzz [--seeds N] [--seed BASE] [--corpus dir]
-  tenblock lint [root]
+  tenblock lint [root] [--json] [--baseline <path>] [--write-baseline <path>]
 
 Files: .tns (FROSTT text) or .tnsb (tenblock binary).
 `stats --grid AxBxC` additionally prints a block-occupancy histogram of
@@ -162,9 +162,16 @@ and .tnsb (tile-framing) byte streams through every kernel, the tuner, the
 planners, the parsers, and the dense reference; mismatches and panics
 print minimized repros (and are written to --corpus, whose .tns/.tnsb
 files are replayed first on later runs). Exits nonzero on any finding.
-`lint` scans `root` (default `.`) for workspace rule violations (unwrap in
-serve/core, undocumented core pub fns, lock().unwrap() outside shims)
-and exits nonzero on findings.
+`lint` runs the static-analysis passes over `root` (default `.`): the
+line rules (unwrap in serve/core, undocumented core pub fns,
+lock().unwrap() outside shims) plus panic-reachability from the declared
+ingest/kernel/serve roots (with call-chain witnesses), lock-discipline
+(no file/socket I/O under a sync.rs guard; lock order registry →
+scheduler → plan-cache), kernel-contract completeness over KernelKind,
+and index-overflow in the tensor crate's block arithmetic. Exits nonzero
+on unwaived findings. --json emits the stable machine-readable report;
+--baseline compares against a checked-in baseline (new findings fail,
+newly-fixed ones warn); --write-baseline regenerates it.
 `decompose --stream` runs CP-ALS out of core: the tensor is served from an
 on-disk tile store (built on the fly for v1/.tns inputs, sized so two
 tiles fit --tile-budget) and streamed per MTTKRP with double-buffered
@@ -650,6 +657,52 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let root = args.positional.first().map(String::as_str).unwrap_or(".");
             let report = tenblock_core::check::lint_workspace(Path::new(root))
                 .map_err(|e| format!("lint {root}: {e}"))?;
+            if let Some(path) = args.flag("write-baseline") {
+                if path.is_empty() {
+                    return Err("--write-baseline requires a path".to_string());
+                }
+                let json = tenblock_core::check::baseline_json(&report);
+                std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+                return Ok(format!(
+                    "wrote baseline for {} finding(s) to {path}",
+                    report.findings.len()
+                ));
+            }
+            if let Some(path) = args.flag("baseline") {
+                if path.is_empty() {
+                    return Err("--baseline requires a path".to_string());
+                }
+                let raw =
+                    std::fs::read_to_string(path).map_err(|e| format!("baseline {path}: {e}"))?;
+                let keys = tenblock_core::check::parse_baseline_keys(&raw);
+                let diff = tenblock_core::check::diff_baseline(&report, &keys);
+                let mut out = String::new();
+                for f in &diff.new {
+                    out.push_str(&format!("new: {f}\n"));
+                }
+                for k in &diff.fixed {
+                    out.push_str(&format!("fixed (update the baseline): {k}\n"));
+                }
+                out.push_str(&format!(
+                    "{} file(s) scanned, {} new finding(s), {} fixed vs baseline",
+                    report.files_scanned,
+                    diff.new.len(),
+                    diff.fixed.len()
+                ));
+                return if diff.new.is_empty() {
+                    Ok(out)
+                } else {
+                    Err(out)
+                };
+            }
+            if args.flag("json").is_some() {
+                let json = tenblock_core::check::to_json(&report);
+                return if report.is_clean() {
+                    Ok(json)
+                } else {
+                    Err(json)
+                };
+            }
             if report.is_clean() {
                 Ok(format!("{report}"))
             } else {
