@@ -9,7 +9,9 @@
 //! analogues of Table II — see `tenblock_tensor::gen::Dataset`), and most
 //! accept `--reps <n>` for timing repetitions.
 
-use std::time::Instant;
+pub mod suite;
+
+use tenblock_core::timing::{time_reps, TimingStats};
 use tenblock_core::MttkrpKernel;
 use tenblock_tensor::gen::Dataset;
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
@@ -72,22 +74,28 @@ pub fn bench_factors(dims: [usize; NMODES], rank: usize, seed: u64) -> Vec<Dense
         .collect()
 }
 
-/// Times `kernel` against `factors`: best of `reps` runs, in seconds.
+/// Times `kernel` against `factors`: best of `reps` runs (after one
+/// discarded warmup rep), in seconds.
 pub fn time_kernel(
     kernel: &dyn MttkrpKernel,
     factors: &[DenseMatrix],
     out: &mut DenseMatrix,
     reps: usize,
 ) -> f64 {
+    time_kernel_stats(kernel, factors, out, reps).min_secs
+}
+
+/// Full min/mean/stddev timing of `kernel` with one discarded warmup rep.
+pub fn time_kernel_stats(
+    kernel: &dyn MttkrpKernel,
+    factors: &[DenseMatrix],
+    out: &mut DenseMatrix,
+    reps: usize,
+) -> TimingStats {
     let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let t0 = Instant::now();
-        kernel.mttkrp(&fs, out);
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
+    let stats = time_reps(1, reps, || kernel.mttkrp(&fs, out));
     std::hint::black_box(out.as_slice());
-    best
+    stats
 }
 
 /// MTTKRP Gflop/s at the SPLATT flop count `W = 2R(nnz + F)` (Equation 2).

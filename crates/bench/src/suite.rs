@@ -1,0 +1,753 @@
+//! The pinned benchmark suite: a schema-stable JSON perf record and the
+//! tolerance comparator behind `tenblock bench --json` / `--compare`.
+//!
+//! One [`BenchRecord`] captures a full sweep — every registry kernel ×
+//! three synthetic generators (clustered, hyper-sparse power-law, Poisson)
+//! × {serial, parallel}, plus a streamed MTTKRP over a tile store and the
+//! in-process serve path's request latency — with warmup-discarded
+//! min/mean/stddev per entry and machine/commit metadata. Records are
+//! written as `BENCH_<date>.json` files; [`compare`] diffs two records
+//! entry by entry so CI can fail on a >10% same-machine regression while
+//! treating cross-machine timing drift as advisory (absolute times from
+//! another host gate nothing, but coverage — added/removed entries — is
+//! always enforced).
+//!
+//! Everything is deterministic except the clock: generator seeds, grids,
+//! strip widths, and factor contents are pinned, so two runs on the same
+//! machine measure the same work.
+
+use crate::bench_factors;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use tenblock_core::stream::StreamingMttkrp;
+use tenblock_core::timing::{time_reps, TimingStats};
+use tenblock_core::tune::grid_for_tile_budget;
+use tenblock_core::{build_kernel, ExecPolicy, KernelConfig, KernelKind};
+use tenblock_serve::{Json, PlanCache, Service};
+use tenblock_tensor::gen::{
+    clustered_tensor, poisson_tensor, powerlaw_tensor, ClusteredConfig, PoissonConfig,
+    PowerLawConfig,
+};
+use tenblock_tensor::{CooTensor, DenseMatrix, TileStore, NMODES};
+
+/// Version of the record layout. Bump on any incompatible key change;
+/// [`BenchRecord::from_json`] rejects records from other versions.
+pub const SCHEMA_VERSION: usize = 1;
+
+/// Identity of the machine a record was measured on. Absolute timings are
+/// only comparable between identical machines, so the comparator downgrades
+/// timing verdicts to advisory when these fields differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineInfo {
+    /// Hostname (best effort; `unknown` when undetectable).
+    pub host: String,
+    /// Logical CPUs visible to the process.
+    pub cpus: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+}
+
+impl MachineInfo {
+    /// Detects the current machine.
+    pub fn detect() -> MachineInfo {
+        let host = std::env::var("HOSTNAME")
+            .ok()
+            .filter(|h| !h.trim().is_empty())
+            .or_else(|| {
+                std::fs::read_to_string("/proc/sys/kernel/hostname")
+                    .ok()
+                    .map(|h| h.trim().to_string())
+                    .filter(|h| !h.is_empty())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        MachineInfo {
+            host,
+            cpus,
+            os: std::env::consts::OS.to_string(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("host", Json::str(self.host.clone())),
+            ("cpus", Json::usize(self.cpus)),
+            ("os", Json::str(self.os.clone())),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<MachineInfo, String> {
+        Ok(MachineInfo {
+            host: j
+                .get_str("host")
+                .ok_or("machine: missing \"host\"")?
+                .to_string(),
+            cpus: j.get_usize("cpus").ok_or("machine: missing \"cpus\"")?,
+            os: j
+                .get_str("os")
+                .ok_or("machine: missing \"os\"")?
+                .to_string(),
+        })
+    }
+}
+
+/// One timed suite entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable identifier, `group/tensor/exec/kernel`
+    /// (e.g. `kernel/clustered/serial/splatt`).
+    pub id: String,
+    /// Coarse family: `kernel`, `stream`, or `serve`.
+    pub group: String,
+    /// Fastest measured repetition, seconds (warmup discarded).
+    pub min_secs: f64,
+    /// Mean over measured repetitions, seconds.
+    pub mean_secs: f64,
+    /// Population standard deviation over measured repetitions, seconds.
+    pub stddev_secs: f64,
+    /// Measured repetitions (warmup excluded).
+    pub reps: usize,
+    /// Nonzeros of the tensor the entry ran against.
+    pub nnz: usize,
+    /// Bytes of the kernel's tensor representation (0 where meaningless).
+    pub tensor_bytes: usize,
+    /// Open-ended numeric side channel (`bytes_per_nnz`, stream counters,
+    /// serve histogram stats, …) — comparators ignore unknown keys.
+    pub extra: BTreeMap<String, f64>,
+}
+
+impl BenchEntry {
+    fn new(
+        id: String,
+        group: &str,
+        stats: TimingStats,
+        nnz: usize,
+        tensor_bytes: usize,
+    ) -> BenchEntry {
+        BenchEntry {
+            id,
+            group: group.to_string(),
+            min_secs: stats.min_secs,
+            mean_secs: stats.mean_secs,
+            stddev_secs: stats.stddev_secs,
+            reps: stats.reps,
+            nnz,
+            tensor_bytes,
+            extra: BTreeMap::new(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".to_string(), Json::str(self.id.clone()));
+        obj.insert("group".to_string(), Json::str(self.group.clone()));
+        obj.insert("min_secs".to_string(), Json::num(self.min_secs));
+        obj.insert("mean_secs".to_string(), Json::num(self.mean_secs));
+        obj.insert("stddev_secs".to_string(), Json::num(self.stddev_secs));
+        obj.insert("reps".to_string(), Json::usize(self.reps));
+        obj.insert("nnz".to_string(), Json::usize(self.nnz));
+        obj.insert("tensor_bytes".to_string(), Json::usize(self.tensor_bytes));
+        let extra: BTreeMap<String, Json> = self
+            .extra
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::num(*v)))
+            .collect();
+        obj.insert("extra".to_string(), Json::Obj(extra));
+        Json::Obj(obj)
+    }
+
+    fn from_json(j: &Json) -> Result<BenchEntry, String> {
+        let id = j.get_str("id").ok_or("entry: missing \"id\"")?.to_string();
+        let num = |key: &str| {
+            j.get_num(key)
+                .filter(|n| n.is_finite())
+                .ok_or_else(|| format!("entry {id}: missing or non-finite \"{key}\""))
+        };
+        Ok(BenchEntry {
+            group: j
+                .get_str("group")
+                .ok_or_else(|| format!("entry {id}: missing \"group\""))?
+                .to_string(),
+            min_secs: num("min_secs")?,
+            mean_secs: num("mean_secs")?,
+            stddev_secs: num("stddev_secs")?,
+            reps: j
+                .get_usize("reps")
+                .ok_or_else(|| format!("entry {id}: missing \"reps\""))?,
+            nnz: j
+                .get_usize("nnz")
+                .ok_or_else(|| format!("entry {id}: missing \"nnz\""))?,
+            tensor_bytes: j
+                .get_usize("tensor_bytes")
+                .ok_or_else(|| format!("entry {id}: missing \"tensor_bytes\""))?,
+            extra: match j.get("extra") {
+                Some(Json::Obj(m)) => m
+                    .iter()
+                    .filter_map(|(k, v)| match v {
+                        Json::Num(n) => Some((k.clone(), *n)),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => BTreeMap::new(),
+            },
+            id,
+        })
+    }
+}
+
+/// A full suite run: metadata plus every timed entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Record layout version ([`SCHEMA_VERSION`]).
+    pub schema: usize,
+    /// Suite name (`pinned` or `quick`).
+    pub suite: String,
+    /// Seconds since the Unix epoch when the run started.
+    pub created_unix: u64,
+    /// Short commit hash of the workspace, `unknown` outside a checkout.
+    pub commit: String,
+    /// Machine the record was measured on.
+    pub machine: MachineInfo,
+    /// Timed entries, in suite order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchRecord {
+    /// Serializes the record (deterministic key order).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::usize(self.schema)),
+            ("suite", Json::str(self.suite.clone())),
+            ("created_unix", Json::usize(self.created_unix as usize)),
+            ("commit", Json::str(self.commit.clone())),
+            ("machine", self.machine.to_json()),
+            (
+                "entries",
+                Json::Arr(self.entries.iter().map(BenchEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses and validates a record, rejecting other schema versions.
+    pub fn from_json(j: &Json) -> Result<BenchRecord, String> {
+        let schema = j.get_usize("schema").ok_or("record: missing \"schema\"")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "record: schema {schema} unsupported (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let entries = match j.get("entries") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(BenchEntry::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("record: missing \"entries\" array".to_string()),
+        };
+        Ok(BenchRecord {
+            schema,
+            suite: j
+                .get_str("suite")
+                .ok_or("record: missing \"suite\"")?
+                .to_string(),
+            created_unix: j
+                .get_u64("created_unix")
+                .ok_or("record: missing \"created_unix\"")?,
+            commit: j
+                .get_str("commit")
+                .ok_or("record: missing \"commit\"")?
+                .to_string(),
+            machine: MachineInfo::from_json(
+                j.get("machine").ok_or("record: missing \"machine\"")?,
+            )?,
+            entries,
+        })
+    }
+
+    /// Parses a record from serialized text.
+    pub fn parse(text: &str) -> Result<BenchRecord, String> {
+        let j = Json::parse(text).map_err(|e| format!("record: invalid JSON: {e}"))?;
+        BenchRecord::from_json(&j)
+    }
+
+    /// Serializes to the on-disk format (single line, trailing newline).
+    pub fn to_file_string(&self) -> String {
+        let mut s = self.to_json().to_string_compact();
+        s.push('\n');
+        s
+    }
+}
+
+/// Knobs of a suite run. The tensors, seeds, grids, and factor contents
+/// are pinned by the suite itself; options only control measurement cost.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Suite name recorded in the output (`pinned` or `quick`).
+    pub name: String,
+    /// Measured repetitions per entry.
+    pub reps: usize,
+    /// Discarded warmup repetitions per entry.
+    pub warmup: usize,
+    /// Factor rank.
+    pub rank: usize,
+    /// Data-set scale: nnz scales linearly, dimensions by `sqrt(scale)`.
+    pub scale: f64,
+}
+
+impl SuiteOptions {
+    /// The full pinned suite (the shape `BENCH_*.json` history is built
+    /// from).
+    pub fn pinned() -> SuiteOptions {
+        SuiteOptions {
+            name: "pinned".to_string(),
+            reps: 3,
+            warmup: 1,
+            rank: 16,
+            scale: 1.0,
+        }
+    }
+
+    /// The reduced suite CI's `bench-gate` job runs: same entry ids, a
+    /// quarter of the data, fewer reps.
+    pub fn quick() -> SuiteOptions {
+        SuiteOptions {
+            name: "quick".to_string(),
+            reps: 2,
+            warmup: 1,
+            rank: 8,
+            scale: 0.25,
+        }
+    }
+
+    fn scaled_dims(&self, dims: [usize; NMODES]) -> [usize; NMODES] {
+        let f = self.scale.sqrt();
+        std::array::from_fn(|m| ((dims[m] as f64 * f) as usize).max(8))
+    }
+
+    fn scaled_nnz(&self, nnz: usize) -> usize {
+        ((nnz as f64 * self.scale) as usize).max(500)
+    }
+}
+
+/// The three pinned synthetic tensors, as `(label, tensor)` pairs: a
+/// clustered tensor (block-friendly), a hyper-sparse power-law tensor
+/// (long first mode, density far below one per fiber — the blocking
+/// schemes' worst case), and a Poisson count tensor (the paper's
+/// Poisson1–3 family).
+pub fn suite_tensors(opts: &SuiteOptions) -> Vec<(&'static str, CooTensor)> {
+    let clustered = {
+        let cfg = ClusteredConfig::new(opts.scaled_dims([300, 250, 200]), opts.scaled_nnz(60_000));
+        clustered_tensor(&cfg, 0xb10c_0001)
+    };
+    let hypersparse = {
+        let cfg = PowerLawConfig::new(opts.scaled_dims([20_000, 400, 50]), opts.scaled_nnz(40_000));
+        powerlaw_tensor(&cfg, 0xb10c_0002)
+    };
+    let poisson = {
+        let cfg = PoissonConfig::new(opts.scaled_dims([200, 300, 150]), opts.scaled_nnz(50_000));
+        poisson_tensor(&cfg, 0xb10c_0003)
+    };
+    vec![
+        ("clustered", clustered),
+        ("hypersparse", hypersparse),
+        ("poisson", poisson),
+    ]
+}
+
+/// Fixed kernel configuration for suite timing: a modest MB grid clamped
+/// to the tensor (no tuner in the loop — tuner nondeterminism would make
+/// run-to-run diffs meaningless) and a 16-column strip.
+fn suite_config(dims: [usize; NMODES], exec: ExecPolicy, rank: usize) -> KernelConfig {
+    KernelConfig {
+        grid: [
+            8.min(dims[0].max(1)),
+            8.min(dims[1].max(1)),
+            4.min(dims[2].max(1)),
+        ],
+        strip_width: 16.min(rank.max(1)),
+        exec,
+    }
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before 1970).
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Best-effort short commit hash of the working tree.
+fn detect_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Runs the suite: 7 kernels × 3 generators × {serial, parallel}, one
+/// streamed MTTKRP pair over a tile store, and the in-process serve
+/// request path. Returns the complete record (nothing is written to disk
+/// except a temporary tile store, which is removed).
+pub fn run_suite(opts: &SuiteOptions) -> Result<BenchRecord, String> {
+    let mut entries = Vec::new();
+    let tensors = suite_tensors(opts);
+
+    // --- Kernel sweep -----------------------------------------------------
+    for (label, t) in &tensors {
+        let factors = bench_factors(t.dims(), opts.rank, 0xfac7);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        let mut out = DenseMatrix::zeros(t.dims()[0], opts.rank);
+        for (exec_label, exec) in [
+            ("serial", ExecPolicy::serial()),
+            ("parallel", ExecPolicy::auto()),
+        ] {
+            for kind in KernelKind::ALL {
+                let cfg = suite_config(t.dims(), exec.clone(), opts.rank);
+                let k = build_kernel(kind, t, 0, &cfg);
+                let stats = time_reps(opts.warmup, opts.reps, || k.mttkrp(&fs, &mut out));
+                let mut e = BenchEntry::new(
+                    format!("kernel/{label}/{exec_label}/{}", kind.as_str()),
+                    "kernel",
+                    stats,
+                    t.nnz(),
+                    k.tensor_bytes(),
+                );
+                e.extra.insert(
+                    "bytes_per_nnz".to_string(),
+                    k.tensor_bytes() as f64 / t.nnz().max(1) as f64,
+                );
+                entries.push(e);
+            }
+        }
+    }
+
+    // --- Streamed MTTKRP over a tile store --------------------------------
+    let (label, t) = &tensors[0];
+    let grid = grid_for_tile_budget(t.dims(), t.nnz(), 1 << 18);
+    let tile_path = std::env::temp_dir().join(format!(
+        "tenblock-bench-{}-{}.tiles",
+        std::process::id(),
+        opts.name
+    ));
+    let store = TileStore::create_from_coo(t, grid, &tile_path)
+        .map_err(|e| format!("suite: tile store creation failed: {e}"))?;
+    let factors = bench_factors(t.dims(), opts.rank, 0xfac7);
+    let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+    let mut out = DenseMatrix::zeros(t.dims()[0], opts.rank);
+    for (exec_label, exec) in [
+        ("serial", ExecPolicy::serial()),
+        ("parallel", ExecPolicy::auto()),
+    ] {
+        let driver = StreamingMttkrp::new(&store, 0, 16.min(opts.rank)).with_exec(exec);
+        let mut stream_err = None;
+        let stats = time_reps(opts.warmup, opts.reps, || {
+            if let Err(e) = driver.run(&fs, &mut out) {
+                stream_err = Some(format!("suite: streamed MTTKRP failed: {e}"));
+            }
+        });
+        if let Some(e) = stream_err {
+            let _ = std::fs::remove_file(&tile_path);
+            return Err(e);
+        }
+        let snap = driver.stats().snapshot();
+        let mut e = BenchEntry::new(
+            format!("stream/{label}/{exec_label}/mttkrp"),
+            "stream",
+            stats,
+            t.nnz(),
+            snap.bytes_streamed as usize / (opts.warmup + opts.reps).max(1),
+        );
+        e.extra
+            .insert("tiles_loaded".to_string(), snap.tiles_loaded as f64);
+        e.extra
+            .insert("bytes_streamed".to_string(), snap.bytes_streamed as f64);
+        e.extra.insert(
+            "prefetch_stall_secs".to_string(),
+            snap.prefetch_stall_ns as f64 / 1e9,
+        );
+        entries.push(e);
+    }
+    drop(store);
+    let _ = std::fs::remove_file(&tile_path);
+
+    // --- Serve request path (in-process, no sockets) ----------------------
+    entries.push(serve_entry(opts)?);
+
+    Ok(BenchRecord {
+        schema: SCHEMA_VERSION,
+        suite: opts.name.clone(),
+        created_unix: now_unix(),
+        commit: detect_commit(),
+        machine: MachineInfo::detect(),
+        entries,
+    })
+}
+
+/// Times the serve path end to end: generate a registry tensor, then issue
+/// waited `mttkrp` jobs through [`Service::handle`] and measure each
+/// request's wall time client-side. The service's own latency histogram
+/// (the `metrics` command) rides along in `extra`, exercising the metrics
+/// export path the record consumes.
+fn serve_entry(opts: &SuiteOptions) -> Result<BenchEntry, String> {
+    let svc = Service::new(2, 16, PlanCache::in_memory());
+    let gen = Json::obj([
+        ("cmd", Json::str("gen")),
+        ("name", Json::str("bench")),
+        ("dataset", Json::str("poisson2")),
+        ("nnz", Json::usize(opts.scaled_nnz(20_000))),
+        ("seed", Json::usize(7)),
+    ]);
+    let resp = svc.handle(&gen);
+    let nnz = resp
+        .get_usize("nnz")
+        .ok_or_else(|| format!("suite: serve gen failed: {}", resp.to_string_compact()))?;
+    let req = Json::obj([
+        ("cmd", Json::str("mttkrp")),
+        ("tensor", Json::str("bench")),
+        ("kernel", Json::str("mbrankb")),
+        ("rank", Json::usize(opts.rank)),
+        ("reps", Json::usize(1)),
+        ("wait", Json::Bool(true)),
+    ]);
+    let mut req_err = None;
+    let stats = time_reps(opts.warmup, opts.reps.max(3), || {
+        let r = svc.handle(&req);
+        if r.get("error").is_some() {
+            req_err = Some(format!(
+                "suite: serve mttkrp failed: {}",
+                r.to_string_compact()
+            ));
+        }
+    });
+    if let Some(e) = req_err {
+        return Err(e);
+    }
+    let mut entry = BenchEntry::new(
+        "serve/poisson2/inproc/mttkrp-wait".to_string(),
+        "serve",
+        stats,
+        nnz,
+        0,
+    );
+    if stats.mean_secs > 0.0 {
+        entry
+            .extra
+            .insert("throughput_rps".to_string(), 1.0 / stats.mean_secs);
+    }
+    let hist = svc.core().metrics.mttkrp_latency.snapshot();
+    entry
+        .extra
+        .insert("kernel_hist_mean_secs".to_string(), hist.mean_secs());
+    entry
+        .extra
+        .insert("kernel_hist_total".to_string(), hist.total as f64);
+    entry.extra.insert(
+        "requests".to_string(),
+        svc.core().metrics.requests.load(Ordering::Relaxed) as f64,
+    );
+    Ok(entry)
+}
+
+/// Tolerances of [`compare`].
+#[derive(Debug, Clone)]
+pub struct CompareOptions {
+    /// Allowed fractional slowdown before an entry regresses. `0.10`
+    /// means a current `min_secs` strictly above `1.10 ×` baseline fails;
+    /// exactly 10% slower passes.
+    pub tolerance: f64,
+    /// Entries whose baseline `min_secs` is at or below this floor are
+    /// advisory-only: too fast (or zero — empty tensors, degenerate
+    /// clocks) for a ratio to mean anything, and gating would divide by
+    /// zero or amplify scheduler noise.
+    pub min_gate_secs: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            tolerance: 0.10,
+            min_gate_secs: 50e-6,
+        }
+    }
+}
+
+/// Per-entry comparison verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance.
+    Ok {
+        /// `current / baseline` min-time ratio.
+        ratio: f64,
+    },
+    /// Slower than `1 + tolerance` on the same machine.
+    Regressed {
+        /// `current / baseline` min-time ratio.
+        ratio: f64,
+    },
+    /// Timing differs but the machines do, or the baseline is below the
+    /// gate floor — reported, never fatal.
+    Advisory {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Present in the baseline, missing from the current record.
+    Removed,
+    /// New in the current record (no baseline to compare against).
+    Added,
+}
+
+/// One line of a comparison report.
+#[derive(Debug, Clone)]
+pub struct CompareLine {
+    /// Entry id.
+    pub id: String,
+    /// Verdict for this entry.
+    pub verdict: Verdict,
+}
+
+/// Full result of diffing two records.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-entry verdicts, baseline order then additions.
+    pub lines: Vec<CompareLine>,
+    /// Whether both records were measured on the same machine.
+    pub machine_match: bool,
+    /// Baseline suite name (for the report header).
+    pub base_suite: String,
+    /// Current suite name.
+    pub cur_suite: String,
+}
+
+impl CompareReport {
+    /// Ids that regressed past tolerance (same machine only).
+    pub fn regressed(&self) -> Vec<&str> {
+        self.lines
+            .iter()
+            .filter(|l| matches!(l.verdict, Verdict::Regressed { .. }))
+            .map(|l| l.id.as_str())
+            .collect()
+    }
+
+    /// Ids present in the baseline but missing now (coverage loss).
+    pub fn removed(&self) -> Vec<&str> {
+        self.lines
+            .iter()
+            .filter(|l| l.verdict == Verdict::Removed)
+            .map(|l| l.id.as_str())
+            .collect()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = vec![format!(
+            "bench compare: baseline suite `{}`, current suite `{}`{}",
+            self.base_suite,
+            self.cur_suite,
+            if self.machine_match {
+                ""
+            } else {
+                " (different machines — timings advisory)"
+            }
+        )];
+        for l in &self.lines {
+            out.push(match &l.verdict {
+                Verdict::Ok { ratio } => format!("  ok        {:<44} {:>6.2}x", l.id, ratio),
+                Verdict::Regressed { ratio } => {
+                    format!("  REGRESSED {:<44} {:>6.2}x", l.id, ratio)
+                }
+                Verdict::Advisory { reason } => {
+                    format!("  advisory  {:<44} {}", l.id, reason)
+                }
+                Verdict::Removed => format!("  REMOVED   {}", l.id),
+                Verdict::Added => format!("  added     {}", l.id),
+            });
+        }
+        let reg = self.regressed().len();
+        let rem = self.removed().len();
+        out.push(format!(
+            "{} entr{} compared: {} regression(s), {} removed",
+            self.lines.len(),
+            if self.lines.len() == 1 { "y" } else { "ies" },
+            reg,
+            rem
+        ));
+        out.join("\n")
+    }
+
+    /// Gate verdict: `Err` (nonzero exit) on any same-machine regression
+    /// or on coverage loss, `Ok` otherwise. Both carry the rendered report.
+    pub fn gate(&self) -> Result<String, String> {
+        if self.regressed().is_empty() && self.removed().is_empty() {
+            Ok(self.render())
+        } else {
+            Err(self.render())
+        }
+    }
+}
+
+/// Diffs `cur` against `base` entry by entry. Never panics: added and
+/// removed entries become verdicts, and zero/near-zero baseline times are
+/// advisory instead of divided by.
+pub fn compare(base: &BenchRecord, cur: &BenchRecord, opts: &CompareOptions) -> CompareReport {
+    let machine_match = base.machine == cur.machine;
+    let mut lines = Vec::new();
+    for b in &base.entries {
+        let Some(c) = cur.entries.iter().find(|c| c.id == b.id) else {
+            lines.push(CompareLine {
+                id: b.id.clone(),
+                verdict: Verdict::Removed,
+            });
+            continue;
+        };
+        if b.min_secs <= opts.min_gate_secs {
+            lines.push(CompareLine {
+                id: b.id.clone(),
+                verdict: Verdict::Advisory {
+                    reason: format!(
+                        "baseline {:.1} us at or below the {:.1} us gate floor",
+                        b.min_secs * 1e6,
+                        opts.min_gate_secs * 1e6
+                    ),
+                },
+            });
+            continue;
+        }
+        let ratio = c.min_secs / b.min_secs;
+        let verdict = if ratio > 1.0 + opts.tolerance {
+            if machine_match {
+                Verdict::Regressed { ratio }
+            } else {
+                Verdict::Advisory {
+                    reason: format!("{ratio:.2}x slower, but measured on a different machine"),
+                }
+            }
+        } else {
+            Verdict::Ok { ratio }
+        };
+        lines.push(CompareLine {
+            id: b.id.clone(),
+            verdict,
+        });
+    }
+    for c in &cur.entries {
+        if !base.entries.iter().any(|b| b.id == c.id) {
+            lines.push(CompareLine {
+                id: c.id.clone(),
+                verdict: Verdict::Added,
+            });
+        }
+    }
+    CompareReport {
+        lines,
+        machine_match,
+        base_suite: base.suite.clone(),
+        cur_suite: cur.suite.clone(),
+    }
+}

@@ -14,8 +14,15 @@
 //! `na`/`nnz`/`order` names). Size-estimate helpers (`*_bytes`,
 //! `*_size`, `len`-style) are exempt — a wrapped byte *estimate* skews
 //! a stat, not an index.
+//!
+//! The pass also flags *narrowing casts of freshly linearized ids*:
+//! `(a * nb + b) as u32` truncates silently for grids with ≥ 2³² cells,
+//! even when the wide arithmetic itself cannot wrap — the exact shape of
+//! the BCOO block-tag bug. Casts of bounded decodes (`(id % nc) as u32`,
+//! `(id / (nb * nc)) as u32`) and of finished values (`x as u32`,
+//! `f(...) as u32`) are not flagged.
 
-use super::{is_shim, is_test_path, mul_sites, Workspace};
+use super::{is_shim, is_test_path, mul_sites, narrowing_cast_sites, Workspace};
 use crate::lint::{Finding, Rule};
 
 /// Substring vocabulary: an operand identifier containing one of these
@@ -49,6 +56,7 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
             if EXEMPT_FN_SUBSTR.iter().any(|s| fn_lower.contains(s)) {
                 continue;
             }
+            let mut mul_lines = Vec::new();
             for site in mul_sites(&file.tokens, item) {
                 // `checked_mul` in the window means the site already
                 // converted (the `*` may be a neighboring plain factor
@@ -62,6 +70,36 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
                     continue;
                 }
                 if !site.window_idents.iter().any(|w| in_vocab(w)) {
+                    continue;
+                }
+                mul_lines.push(site.line);
+                out.push(Finding {
+                    rule: Rule::IndexOverflow,
+                    file: file.path.clone(),
+                    line: site.line,
+                    func: Some(item.qualified()),
+                    excerpt: ws.excerpt(fi, site.line),
+                    chain: Vec::new(),
+                    waived: ws.is_waived(fi, site.line, Rule::IndexOverflow.name()),
+                });
+            }
+            for site in narrowing_cast_sites(&file.tokens, item) {
+                // `checked_*` in the operand means the arithmetic already
+                // guards its range; float math saturates instead of
+                // wrapping before the cast truncates.
+                if site
+                    .operand_idents
+                    .iter()
+                    .any(|w| w.starts_with("checked_") || w == "f64" || w == "f32")
+                {
+                    continue;
+                }
+                if !site.operand_idents.iter().any(|w| in_vocab(w)) {
+                    continue;
+                }
+                // The multiply rule already reported this line; one
+                // finding per line keeps the output readable.
+                if mul_lines.contains(&site.line) {
                     continue;
                 }
                 out.push(Finding {
@@ -124,6 +162,55 @@ mod tests {
             "fn f(nb: usize, nc: usize) -> usize { nb * nc }",
         )]);
         assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_of_linearized_id_is_flagged() {
+        // Addition-only linearization: the multiply rule has nothing to
+        // flag, so any finding here comes from the cast rule alone.
+        let w = ws(&[(
+            "crates/tensor/src/bcoo.rs",
+            "fn tag(base: u64, block_off: u64) -> u32 {\n    (base + block_off) as u32\n}",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule.name(), "index-overflow");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn the_original_bcoo_tag_line_would_have_been_caught() {
+        // Verbatim shape of the pre-fix crates/tensor/src/bcoo.rs:154.
+        let w = ws(&[(
+            "crates/tensor/src/bcoo.rs",
+            "fn tag(a: usize, b: usize, c: usize, nb: usize, nc: usize) -> u32 {\n    (((a * nb + b) * nc + c) as u32, 0).0\n}",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn bounded_decodes_and_finished_values_are_clean() {
+        let w = ws(&[(
+            "crates/tensor/src/bcoo.rs",
+            "fn decode(id: u64, nb: u64, nc: u64) -> (u32, u32, u32) {\n    let c = (id % nc) as u32;\n    let b = ((id / nc) % nb) as u32;\n    let a = (id / nb.checked_mul(nc).unwrap()) as u32;\n    (a, b, c)\n}
+             fn call_result(grid: [usize; 3]) -> u32 { cell_of(grid) as u32 }
+             fn finished(block_id: u64) -> u32 { block_id as u32 }",
+        )]);
+        assert!(run(&w).is_empty(), "{:?}", run(&w));
+    }
+
+    #[test]
+    fn widening_casts_are_not_narrowing() {
+        let w = ws(&[(
+            "crates/tensor/src/bcoo.rs",
+            "fn tag(a: u64, nb: u64, b: u64) -> u64 { (a * nb + b) as u64 }",
+        )]);
+        // The multiply rule still fires (vocab `nb`), but no extra cast
+        // finding appears for the same line.
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod exec;
 pub mod kernel;
 pub mod mttkrp;
 pub mod stream;
+pub mod timing;
 pub mod tune;
 
 pub use exec::{ExecPolicy, Threads};

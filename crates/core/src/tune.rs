@@ -25,7 +25,7 @@ use crate::block::MbRankBKernel;
 use crate::exec::ExecPolicy;
 use crate::kernel::{KernelKind, MttkrpKernel};
 use crate::mttkrp::{BcooKernel, REG_BLOCK};
-use std::time::Instant;
+use crate::timing::{time_reps, TimingStats};
 use tenblock_tensor::coo::perm_for_mode;
 use tenblock_tensor::{CooTensor, DenseMatrix, NMODES};
 
@@ -111,8 +111,12 @@ pub struct TuneSample {
     pub grid: [usize; NMODES],
     /// RankB strip width of the candidate.
     pub strip_width: usize,
-    /// Best-of-`reps` execution time in seconds.
+    /// Best-of-`reps` execution time in seconds (warmup discarded).
     pub secs: f64,
+    /// Mean over the measured repetitions in seconds.
+    pub mean_secs: f64,
+    /// Population standard deviation over the measured repetitions.
+    pub stddev_secs: f64,
 }
 
 /// Result of the heuristic search.
@@ -183,9 +187,11 @@ fn timing_factors(coo: &CooTensor, rank: usize, seed: u64) -> Vec<DenseMatrix> {
         .collect()
 }
 
-/// Times one configuration: best of `reps` runs of a freshly built kernel
-/// of the candidate family (construction cost excluded, as the paper
-/// amortizes it over the CPD iterations).
+/// Times one configuration: one discarded warmup rep then best of `reps`
+/// runs of a freshly built kernel of the candidate family (construction
+/// cost excluded, as the paper amortizes it over the CPD iterations). The
+/// warmup absorbs first-touch page faults in `out`, which otherwise skew
+/// min-of-1 candidate comparisons on small tensors.
 #[allow(clippy::too_many_arguments)]
 fn time_config(
     kind: KernelKind,
@@ -196,7 +202,7 @@ fn time_config(
     factors: &[DenseMatrix],
     out: &mut DenseMatrix,
     opts: &TuneOptions,
-) -> f64 {
+) -> TimingStats {
     // Candidate timing runs with the recorder stripped: per-candidate spans
     // come from `tune` itself, not from every repetition's kernel call.
     let exec = ExecPolicy {
@@ -208,13 +214,7 @@ fn time_config(
         _ => Box::new(MbRankBKernel::new(coo, mode, grid, strip_width).with_exec(exec)),
     };
     let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
-    let mut best = f64::INFINITY;
-    for _ in 0..opts.reps.max(1) {
-        let t0 = Instant::now();
-        kernel.mttkrp(&fs, out);
-        best = best.min(t0.elapsed().as_secs_f64());
-    }
-    best
+    time_reps(1, opts.reps, || kernel.mttkrp(&fs, out))
 }
 
 /// Runs the Section V-C heuristic, rejecting degenerate inputs (empty
@@ -317,20 +317,22 @@ fn tune_validated(coo: &CooTensor, mode: usize, opts: &TuneOptions) -> TuneResul
     let mut eval =
         |kind: KernelKind, grid: [usize; NMODES], strip: usize, history: &mut Vec<TuneSample>| {
             let span = opts.exec.recorder.span("tune/candidate");
-            let secs = time_config(kind, coo, mode, grid, strip, &factors, &mut out, opts);
+            let stats = time_config(kind, coo, mode, grid, strip, &factors, &mut out, opts);
             if span.active() {
                 span.annotate_str("kernel", kind.as_str());
                 span.annotate_str("grid", &format!("{}x{}x{}", grid[0], grid[1], grid[2]));
                 span.annotate_num("strip_width", strip as f64);
-                span.annotate_num("secs", secs);
+                span.annotate_num("secs", stats.min_secs);
             }
             history.push(TuneSample {
                 kind,
                 grid,
                 strip_width: strip,
-                secs,
+                secs: stats.min_secs,
+                mean_secs: stats.mean_secs,
+                stddev_secs: stats.stddev_secs,
             });
-            secs
+            stats.min_secs
         };
 
     // --- Phase 1: rank strip width, 16-column increments, stop when the

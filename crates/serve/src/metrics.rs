@@ -33,14 +33,26 @@ pub struct LatencyHistogram {
 
 impl LatencyHistogram {
     /// Records one observation.
+    ///
+    /// Pathological observations — a non-finite duration from a stuck or
+    /// stepped clock, or anything past the top bucket bound — land in the
+    /// overflow bucket, but their contribution to `sum_us` is clamped to
+    /// the top bucket bound. Without the clamp a single `f64::INFINITY`
+    /// saturates the cast to `u64::MAX` and the relaxed wrapping
+    /// `fetch_add` corrupts `mean_secs` for the life of the process.
     pub fn observe(&self, seconds: f64) {
-        let us = (seconds * 1e6).max(0.0) as u64;
+        let top = LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1];
+        let raw = if seconds.is_finite() {
+            (seconds * 1e6).max(0.0) as u64
+        } else {
+            u64::MAX
+        };
         let bucket = LATENCY_BOUNDS_US
             .iter()
-            .position(|&b| us <= b)
+            .position(|&b| raw <= b)
             .unwrap_or(LATENCY_BOUNDS_US.len());
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.sum_us.fetch_add(raw.min(top), Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -255,6 +267,32 @@ mod tests {
             (mean - (50e-6 + 5e-3 + 2.0) / 3.0).abs() < 1e-4,
             "mean {mean}"
         );
+    }
+
+    #[test]
+    fn pathological_observations_cannot_corrupt_the_mean() {
+        let top_secs = LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1] as f64 / 1e6;
+        let h = LatencyHistogram::default();
+        h.observe(f64::INFINITY);
+        h.observe(f64::NAN);
+        h.observe(1e30); // huge but finite: cast saturates to u64::MAX
+        h.observe(-5.0); // negative clock skew clamps to zero
+        h.observe(1e9); // > top bound but representable in us
+        let s = h.snapshot();
+        assert_eq!(s.total, 5);
+        // Non-finite and huge observations land in the overflow bucket...
+        assert_eq!(s.counts[LATENCY_BOUNDS_US.len()], 4);
+        assert_eq!(s.counts[0], 1); // the clamped negative
+                                    // ...but each contributes at most the top bucket bound to the sum,
+                                    // so the mean stays within the histogram's representable range and
+                                    // a second wave of sane observations still moves it.
+        assert!(s.mean_secs() <= top_secs, "mean {}", s.mean_secs());
+        for _ in 0..5 {
+            h.observe(1e-3);
+        }
+        let s2 = h.snapshot();
+        assert!(s2.mean_secs() < s.mean_secs());
+        assert!(s2.mean_secs().is_finite());
     }
 
     #[test]

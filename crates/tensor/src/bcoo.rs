@@ -143,15 +143,29 @@ impl BcooTensor {
         // contiguous and each block's entries run (a, k, j) — the fiber
         // order the micro-kernel consumes.
         let (nb, nc) = (grid[1], grid[2]);
-        let mut tagged: Vec<(u32, Entry)> = coo
+        // The linear cell id must be wide enough for na·nb·nc cells. A u32
+        // tag silently truncated ids on grids with ≥ 2^32 cells, scattering
+        // entries into the wrong blocks; the tag is u64 with the cell count
+        // checked up front so the arithmetic below cannot wrap.
+        assert!(
+            (grid[0] as u64)
+                .checked_mul(nb as u64)
+                .and_then(|x| x.checked_mul(nc as u64))
+                .is_some(),
+            "block grid {}x{}x{} has more than u64::MAX cells",
+            grid[0],
+            nb,
+            nc
+        );
+        let mut tagged: Vec<(u64, Entry)> = coo
             .entries()
             .iter()
             .map(|e| {
-                let a = find_block(&bounds[0], e.idx[perm[0]] as usize);
-                let b = find_block(&bounds[1], e.idx[perm[1]] as usize);
-                let c = find_block(&bounds[2], e.idx[perm[2]] as usize);
-                // the cell count na·nb·nc is a tuner output bounded by nnz — lint: allow(index-overflow)
-                (((a * nb + b) * nc + c) as u32, *e)
+                let a = find_block(&bounds[0], e.idx[perm[0]] as usize) as u64;
+                let b = find_block(&bounds[1], e.idx[perm[1]] as usize) as u64;
+                let c = find_block(&bounds[2], e.idx[perm[2]] as usize) as u64;
+                // bounded by the checked cell count above — lint: allow(index-overflow)
+                ((a * nb as u64 + b) * nc as u64 + c, *e)
             })
             .collect();
         tagged
@@ -175,18 +189,18 @@ impl BcooTensor {
         let mut fibers = 0usize;
         let mut pos = 0;
         while pos < tagged.len() {
-            let id = tagged[pos].0 as usize;
-            let c = (id % nc) as u32;
-            let b = ((id / nc) % nb) as u32;
-            // nb·nc ≤ the materialized cell count — lint: allow(index-overflow)
-            let a = (id / (nb * nc)) as u32;
+            let id = tagged[pos].0;
+            let c = (id % nc as u64) as u32;
+            let b = ((id / nc as u64) % nb as u64) as u32;
+            // nb·nc ≤ the checked cell count — lint: allow(index-overflow)
+            let a = (id / (nb as u64 * nc as u64)) as u32;
             let origin = [
                 bounds[0][a as usize] as Idx,
                 bounds[1][b as usize] as Idx,
                 bounds[2][c as usize] as Idx,
             ];
             let mut prev_fiber = None;
-            while pos < tagged.len() && tagged[pos].0 as usize == id {
+            while pos < tagged.len() && tagged[pos].0 == id {
                 let e = tagged[pos].1;
                 let la = e.idx[perm[0]] - origin[0];
                 let lj = e.idx[perm[1]] - origin[1];
@@ -449,6 +463,24 @@ mod tests {
                 assert_eq!(t.to_coo(), x, "mode {mode} grid {g:?}");
             }
         }
+    }
+
+    #[test]
+    fn bcoo_survives_grids_with_more_than_u32_cells() {
+        // 2048^3 = 2^33 cells: with the old u32 tag, block (1024, 0, 0)
+        // (linear id 1024 * 2048 * 2048 = 2^32) aliased block (0, 0, 0),
+        // so both entries landed in one block — and the second entry's
+        // local offset (1024) wrapped the narrow offset encoding, silently
+        // corrupting its coordinates. The bounds arrays stay tiny (3 ×
+        // 2049 usize), so the adversarial grid is cheap to test.
+        let dims = [2048, 2048, 2048];
+        let x = CooTensor::from_entries(
+            dims,
+            vec![Entry::new(0, 0, 0, 1.0), Entry::new(1024, 0, 0, 2.0)],
+        );
+        let t = BcooTensor::from_coo(&x, 0, [2048, 2048, 2048]);
+        assert_eq!(t.n_blocks(), 2, "distinct cells must stay distinct");
+        assert_eq!(t.to_coo(), x);
     }
 
     #[test]

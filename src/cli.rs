@@ -22,6 +22,7 @@
 use std::path::Path;
 use std::sync::Arc;
 use tenblock_core::obs::{Rec, TraceRecorder};
+use tenblock_core::timing::time_reps;
 use tenblock_core::tune::grid_for_tile_budget;
 use tenblock_core::{build_kernel, tune, ExecPolicy, KernelConfig, KernelKind, TuneOptions};
 use tenblock_cpd::{cp_apr, CpAls, CpAlsOptions, CpAlsStream, CpAprOptions};
@@ -132,6 +133,9 @@ USAGE:
   tenblock gen <dataset> <out> [--nnz N] [--seed S]
   tenblock bench <file> [--rank R] [--reps N] [--grid AxBxC] [--strip W]
                        [--trace [path]]
+  tenblock bench --json [--out PATH] [--suite pinned|quick] [--reps N]
+  tenblock bench --compare BASELINE.json [--current RECORD.json]
+                 [--suite pinned|quick] [--reps N]
   tenblock tune <file> [--rank R] [--plan-cache <path>] [--trace [path]]
   tenblock decompose <file> [--rank R] [--iters N] [--method als|apr]
                             [--kernel splatt|mb|rankb|mbrankb|bcoo]
@@ -150,6 +154,13 @@ the mode-1 BCOO blocking under that grid (how many nonzeros each
 nonempty block holds — the profile that decides whether the BCOO
 dense micro-kernel pays off).
 Datasets: Poisson1-3, NELL2, Netflix, Reddit, Amazon (scaled analogues).
+`bench --json` (no tensor file) runs the pinned benchmark suite — every
+registry kernel × three synthetic generators × {serial, parallel}, plus a
+streamed MTTKRP and the in-process serve path — and writes a schema-stable
+BENCH_<date>.json record (override with --out). `bench --compare BASELINE`
+diffs a record (freshly measured, or loaded via --current) against the
+baseline and exits nonzero on a >10% same-machine regression or coverage
+loss; cross-machine timing drift is advisory only.
 --trace records execution spans (kernel calls, ALS iterations, tune
 candidates) with Section IV byte/flop counters and writes chrome://tracing
 JSON to `path` (default trace.json); open it at chrome://tracing or
@@ -352,6 +363,89 @@ fn decompose_stream(
     Ok(msg)
 }
 
+/// UTC calendar date (`YYYY-MM-DD`) for the default `BENCH_<date>.json`
+/// name, via the days-to-civil conversion (no date crate in the offline
+/// workspace).
+fn utc_date_string() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `bench` without a tensor file: the pinned JSON suite and comparator.
+/// `--json [--out PATH]` measures and writes a record; `--compare BASE`
+/// gates a record (measured, or loaded via `--current`) against a
+/// baseline, exiting nonzero on same-machine regressions or coverage loss.
+fn bench_suite(args: &Args) -> Result<String, String> {
+    use tenblock_bench::suite::{compare, run_suite, BenchRecord, CompareOptions, SuiteOptions};
+    let mut opts = match args.flag("suite").unwrap_or("pinned") {
+        "pinned" | "" => SuiteOptions::pinned(),
+        "quick" => SuiteOptions::quick(),
+        other => return Err(format!("bench: unknown suite `{other}` (pinned|quick)")),
+    };
+    if let Some(reps) = args.flag("reps") {
+        opts.reps = reps
+            .parse()
+            .map_err(|_| format!("bench: bad --reps `{reps}`"))?;
+    }
+    let wants_json = args.flag("json").is_some() || args.flag("out").is_some();
+    let compare_path = args.flag("compare");
+    if !wants_json && compare_path.is_none() {
+        return Err(
+            "bench: pass a tensor <file>, or --json [--out PATH] / --compare BASELINE.json \
+             for the suite"
+                .to_string(),
+        );
+    }
+    let load = |path: &str| -> Result<BenchRecord, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("bench: read {path}: {e}"))?;
+        BenchRecord::parse(&text).map_err(|e| format!("bench: {path}: {e}"))
+    };
+    let current = match args.flag("current") {
+        Some(path) if !path.is_empty() => load(path)?,
+        _ => run_suite(&opts)?,
+    };
+    let mut out_lines = Vec::new();
+    if wants_json {
+        let out_path = match args.flag("out") {
+            Some(p) if !p.is_empty() => p.to_string(),
+            _ => format!("BENCH_{}.json", utc_date_string()),
+        };
+        std::fs::write(&out_path, current.to_file_string())
+            .map_err(|e| format!("bench: write {out_path}: {e}"))?;
+        out_lines.push(format!(
+            "wrote {} suite record ({} entries, commit {}) -> {}",
+            current.suite,
+            current.entries.len(),
+            current.commit,
+            out_path
+        ));
+    }
+    if let Some(base_path) = compare_path {
+        let base = load(base_path)?;
+        let report = compare(&base, &current, &CompareOptions::default());
+        match report.gate() {
+            Ok(text) => out_lines.push(text),
+            Err(text) => {
+                out_lines.push(text);
+                return Err(out_lines.join("\n"));
+            }
+        }
+    }
+    Ok(out_lines.join("\n"))
+}
+
 /// Runs one subcommand; returns the text to print or an error message.
 pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
     match cmd {
@@ -403,7 +497,9 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             ))
         }
         "bench" => {
-            let path = args.positional.first().ok_or("bench: missing <file>")?;
+            let Some(path) = args.positional.first() else {
+                return bench_suite(args);
+            };
             let rank: usize = args.flag_or("rank", 64);
             let reps: usize = args.flag_or("reps", 3);
             let t = load_tensor(path)?;
@@ -426,7 +522,7 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
                 exec: with_tracing(ExecPolicy::serial(), &trace, &tracer),
             };
             let mut lines = vec![format!(
-                "mode-1 MTTKRP on {path}: nnz {}, rank {rank}, grid {}x{}x{}, strip {} (best of {reps})",
+                "mode-1 MTTKRP on {path}: nnz {}, rank {rank}, grid {}x{}x{}, strip {} (min/mean/stddev of {reps}, 1 warmup)",
                 t.nnz(),
                 cfg.grid[0],
                 cfg.grid[1],
@@ -436,16 +532,13 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             let nnz = t.nnz().max(1) as f64;
             for kind in KernelKind::ALL {
                 let k = build_kernel(kind, &t, 0, &cfg);
-                let mut best = f64::INFINITY;
-                for _ in 0..reps {
-                    let t0 = std::time::Instant::now();
-                    k.mttkrp(&fs, &mut out);
-                    best = best.min(t0.elapsed().as_secs_f64());
-                }
+                let stats = time_reps(1, reps, || k.mttkrp(&fs, &mut out));
                 lines.push(format!(
-                    "  {:<10} {:>10.4} s   {:>6.1} tensor B/nnz",
+                    "  {:<10} {:>10.4} s  mean {:>10.4} s  sd {:>9.4} s   {:>6.1} tensor B/nnz",
                     k.name(),
-                    best,
+                    stats.min_secs,
+                    stats.mean_secs,
+                    stats.stddev_secs,
                     k.tensor_bytes() as f64 / nnz
                 ));
             }

@@ -1,0 +1,222 @@
+//! Properties of the benchmark record schema and the regression
+//! comparator: round-trips, tolerance edges, and gate consistency.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tenblock_bench::suite::{
+    compare, suite_tensors, BenchEntry, BenchRecord, CompareOptions, MachineInfo, SuiteOptions,
+    Verdict, SCHEMA_VERSION,
+};
+
+fn machine(host: &str) -> MachineInfo {
+    MachineInfo {
+        host: host.to_string(),
+        cpus: 8,
+        os: "linux".to_string(),
+    }
+}
+
+fn entry(id: &str, min_secs: f64) -> BenchEntry {
+    BenchEntry {
+        id: id.to_string(),
+        group: id.split('/').next().unwrap_or("kernel").to_string(),
+        min_secs,
+        mean_secs: min_secs * 1.25,
+        stddev_secs: min_secs * 0.05,
+        reps: 3,
+        nnz: 60_000,
+        tensor_bytes: 1_200_000,
+        extra: BTreeMap::new(),
+    }
+}
+
+fn record(host: &str, entries: Vec<BenchEntry>) -> BenchRecord {
+    BenchRecord {
+        schema: SCHEMA_VERSION,
+        suite: "pinned".to_string(),
+        created_unix: 1_754_000_000,
+        commit: "abc1234".to_string(),
+        machine: machine(host),
+        entries,
+    }
+}
+
+#[test]
+fn record_round_trips_through_file_format() {
+    let mut e = entry("kernel/clustered/serial/splatt", 0.004);
+    e.extra.insert("bytes_per_nnz".to_string(), 21.5);
+    let r = record(
+        "ci-host",
+        vec![e, entry("stream/clustered/serial/mttkrp", 0.012)],
+    );
+    let parsed = BenchRecord::parse(&r.to_file_string()).expect("round-trip parse");
+    assert_eq!(parsed, r);
+}
+
+#[test]
+fn foreign_schema_versions_are_rejected() {
+    let mut r = record("h", vec![entry("kernel/a/serial/coo", 0.001)]);
+    r.schema = SCHEMA_VERSION + 1;
+    let err = BenchRecord::parse(&r.to_file_string()).expect_err("wrong schema must fail");
+    assert!(err.contains("schema"), "{err}");
+}
+
+#[test]
+fn exact_tolerance_boundary_is_not_a_regression() {
+    // tolerance 0.25 with power-of-two-friendly times: ratio exactly 1.25
+    // must pass (strictly-greater gate), the next representable step fails.
+    let opts = CompareOptions {
+        tolerance: 0.25,
+        min_gate_secs: 50e-6,
+    };
+    let base = record("h", vec![entry("kernel/a/serial/coo", 4.0)]);
+    let at_boundary = record("h", vec![entry("kernel/a/serial/coo", 5.0)]);
+    let over = record("h", vec![entry("kernel/a/serial/coo", 5.0 + 1e-9)]);
+    assert!(compare(&base, &at_boundary, &opts).gate().is_ok());
+    let report = compare(&base, &over, &opts);
+    assert_eq!(report.regressed(), vec!["kernel/a/serial/coo"]);
+    assert!(report.gate().is_err());
+}
+
+#[test]
+fn removed_entries_fail_the_gate_and_added_ones_do_not() {
+    let opts = CompareOptions::default();
+    let base = record(
+        "h",
+        vec![
+            entry("kernel/a/serial/coo", 0.01),
+            entry("kernel/a/serial/splatt", 0.01),
+        ],
+    );
+    let missing = record("h", vec![entry("kernel/a/serial/coo", 0.01)]);
+    let report = compare(&base, &missing, &opts);
+    assert_eq!(report.removed(), vec!["kernel/a/serial/splatt"]);
+    assert!(report.gate().is_err(), "coverage loss must fail");
+
+    let grown = record(
+        "h",
+        vec![
+            entry("kernel/a/serial/coo", 0.01),
+            entry("kernel/a/serial/splatt", 0.01),
+            entry("kernel/a/serial/newkernel", 0.02),
+        ],
+    );
+    let report = compare(&base, &grown, &opts);
+    assert!(report
+        .lines
+        .iter()
+        .any(|l| l.id == "kernel/a/serial/newkernel" && l.verdict == Verdict::Added));
+    assert!(report.gate().is_ok(), "additions are informational");
+}
+
+#[test]
+fn zero_time_entries_are_advisory_not_a_division() {
+    let opts = CompareOptions::default();
+    let base = record("h", vec![entry("kernel/empty/serial/coo", 0.0)]);
+    let cur = record("h", vec![entry("kernel/empty/serial/coo", 0.5)]);
+    let report = compare(&base, &cur, &opts);
+    assert!(matches!(report.lines[0].verdict, Verdict::Advisory { .. }));
+    assert!(report.gate().is_ok());
+}
+
+#[test]
+fn cross_machine_regressions_are_advisory() {
+    let opts = CompareOptions::default();
+    let base = record("ci-host-a", vec![entry("kernel/a/serial/coo", 0.01)]);
+    let cur = record("laptop-b", vec![entry("kernel/a/serial/coo", 0.05)]);
+    let report = compare(&base, &cur, &opts);
+    assert!(!report.machine_match);
+    assert!(matches!(report.lines[0].verdict, Verdict::Advisory { .. }));
+    assert!(report.gate().is_ok());
+
+    // Same 5x slowdown on the same machine is fatal.
+    let cur_same = record("ci-host-a", vec![entry("kernel/a/serial/coo", 0.05)]);
+    assert!(compare(&base, &cur_same, &opts).gate().is_err());
+}
+
+#[test]
+fn suite_tensor_generation_is_deterministic() {
+    let opts = SuiteOptions::quick();
+    let a = suite_tensors(&opts);
+    let b = suite_tensors(&opts);
+    assert_eq!(a.len(), 3);
+    for ((la, ta), (lb, tb)) in a.iter().zip(&b) {
+        assert_eq!(la, lb);
+        assert_eq!(ta, tb, "generator `{la}` must be seed-deterministic");
+        assert!(ta.nnz() > 0);
+    }
+    // The three generators are pinned to distinct shapes.
+    assert_ne!(a[0].1.dims(), a[1].1.dims());
+}
+
+/// `(idx, min_us, spread_us, nnz)` tuples → entries with deduplicated ids
+/// (records never contain duplicate entry ids).
+fn entries_from_tuples(raw: Vec<(usize, u64, u64, usize)>) -> Vec<BenchEntry> {
+    let mut seen = std::collections::BTreeSet::new();
+    raw.into_iter()
+        .filter_map(|(idx, min_us, spread, nnz)| {
+            let id = format!("kernel/gen{}/serial/k{}", idx % 3, idx);
+            if !seen.insert(id.clone()) {
+                return None;
+            }
+            let min_secs = min_us as f64 / 1e6;
+            Some(BenchEntry {
+                id,
+                group: "kernel".to_string(),
+                min_secs,
+                mean_secs: min_secs + spread as f64 / 1e6,
+                stddev_secs: spread as f64 / 2e6,
+                reps: 1 + idx % 5,
+                nnz,
+                tensor_bytes: nnz * 20,
+                extra: BTreeMap::new(),
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serialization is lossless for any finite record contents.
+    #[test]
+    fn any_record_round_trips(
+        raw in proptest::collection::vec(
+            (0usize..24, 0u64..2_000_000, 0u64..1_000, 0usize..1_000_000), 0..12),
+    ) {
+        let r = record("prop-host", entries_from_tuples(raw));
+        let parsed = BenchRecord::parse(&r.to_file_string()).expect("parse");
+        prop_assert_eq!(parsed, r);
+    }
+
+    /// The comparator never panics and its gate agrees with its verdicts,
+    /// for any pair of records (shared, disjoint, or empty id sets).
+    #[test]
+    fn compare_gate_is_consistent(
+        base in proptest::collection::vec(
+            (0usize..24, 0u64..2_000_000, 0u64..1_000, 0usize..1_000_000), 0..10),
+        cur in proptest::collection::vec(
+            (0usize..24, 0u64..2_000_000, 0u64..1_000, 0usize..1_000_000), 0..10),
+        machine_bit in 0u64..2,
+    ) {
+        let same_machine = machine_bit == 1;
+        let base = record("host-a", entries_from_tuples(base));
+        let cur = record(
+            if same_machine { "host-a" } else { "host-b" },
+            entries_from_tuples(cur),
+        );
+        let report = compare(&base, &cur, &CompareOptions::default());
+        let fatal = !report.regressed().is_empty() || !report.removed().is_empty();
+        prop_assert_eq!(report.gate().is_err(), fatal);
+        if !same_machine {
+            prop_assert!(
+                report.regressed().is_empty(),
+                "cross-machine comparisons must not hard-fail on timing"
+            );
+        }
+        // Every baseline id is accounted for exactly once.
+        for b in &base.entries {
+            prop_assert_eq!(report.lines.iter().filter(|l| l.id == b.id).count(), 1);
+        }
+    }
+}
