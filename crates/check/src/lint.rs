@@ -27,6 +27,9 @@
 //!   kernel ships a write-set derivation, an obs span, and a fuzz hook.
 //! * `index-overflow` — block-coordinate/tile-extent multiplies in
 //!   `crates/tensor` use `checked_mul` or carry a waiver.
+//! * `atomic-persist` — persistence modules publish durable files only
+//!   through the temp-file + rename protocol (`persist::atomic_write`
+//!   / `AtomicFile`); direct `fs::write`/`File::create` is a finding.
 //!
 //! A finding can be waived in place with a trailing
 //! `// lint: allow(<rule>[, <rule>…])` comment; waived findings are
@@ -57,11 +60,13 @@ pub enum Rule {
     KernelContract,
     /// Coordinate/extent multiplies in `crates/tensor` are checked.
     IndexOverflow,
+    /// Durable artifacts are published via temp-file + rename only.
+    AtomicPersist,
 }
 
 impl Rule {
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NoUnwrap,
         Rule::PubFnDoc,
         Rule::NoLockUnwrap,
@@ -69,6 +74,7 @@ impl Rule {
         Rule::LockDiscipline,
         Rule::KernelContract,
         Rule::IndexOverflow,
+        Rule::AtomicPersist,
     ];
 
     /// Stable rule name, as used in `lint: allow(...)` waivers and the
@@ -82,6 +88,7 @@ impl Rule {
             Rule::LockDiscipline => "lock-discipline",
             Rule::KernelContract => "kernel-contract",
             Rule::IndexOverflow => "index-overflow",
+            Rule::AtomicPersist => "atomic-persist",
         }
     }
 }
@@ -229,6 +236,7 @@ pub fn lint_sources(sources: &[(String, String)]) -> LintReport {
     findings.extend(passes::lock_discipline::run(&ws));
     findings.extend(passes::kernel_contract::run(&ws));
     findings.extend(passes::index_overflow::run(&ws));
+    findings.extend(passes::atomic_persist::run(&ws));
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
     });

@@ -1,0 +1,136 @@
+//! `atomic-persist`: durable artifacts must be published atomically.
+//!
+//! Every file this workspace persists — `.tnsb` tile stores, the plan
+//! cache, bench records — goes through `tenblock_tensor::persist`
+//! (write to a temp name, `sync_all`, rename over the final path, sync
+//! the parent dir), so a crash mid-write can never leave a half-written
+//! file visible at the final path. This pass keeps that invariant
+//! honest: inside the persistence-owning modules, a direct `fs::write`,
+//! `File::create`, or `OpenOptions` open is a finding unless waived.
+//! The one sanctioned site is `AtomicFile::create` itself (it targets
+//! the temp name the rename makes atomic) — it carries a
+//! `lint: allow(atomic-persist)` waiver at the call.
+//!
+//! Test code is exempt: tests plant corrupt or partial files on purpose.
+
+use super::{is_shim, is_test_path, Workspace};
+use crate::callgraph::CallKind;
+use crate::lint::{Finding, Rule};
+
+/// Modules that own a durable on-disk artifact.
+const PERSIST_SCOPE: &[&str] = &[
+    "crates/tensor/src/tile_store.rs",
+    "crates/tensor/src/io_bin.rs",
+    "crates/tensor/src/persist.rs",
+    "crates/serve/src/plan_cache.rs",
+    "crates/serve/src/registry.rs",
+];
+
+/// Whether `path` owns persisted state.
+fn in_persist_scope(path: &str) -> bool {
+    PERSIST_SCOPE
+        .iter()
+        .any(|p| path.ends_with(p) || path == *p)
+}
+
+/// Direct-write constructors that bypass the temp-file + rename
+/// protocol.
+fn is_direct_write(kind: &CallKind, name: &str) -> bool {
+    match kind {
+        CallKind::Qualified(owner) => {
+            (owner == "fs" && matches!(name, "write" | "copy"))
+                || (owner == "File" && name == "create")
+                || (owner == "OpenOptions" && name == "new")
+        }
+        _ => false,
+    }
+}
+
+/// Runs the `atomic-persist` pass.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if is_shim(&file.path) || is_test_path(&file.path) || !in_persist_scope(&file.path) {
+            continue;
+        }
+        for item in &file.items {
+            if item.in_test {
+                continue;
+            }
+            for call in crate::callgraph::extract_calls(&file.tokens, item) {
+                if !is_direct_write(&call.kind, &call.name) {
+                    continue;
+                }
+                let label = match &call.kind {
+                    CallKind::Qualified(owner) => format!("{owner}::{}", call.name),
+                    _ => format!(".{}()", call.name),
+                };
+                out.push(Finding {
+                    rule: Rule::AtomicPersist,
+                    file: file.path.clone(),
+                    line: call.line,
+                    func: Some(item.qualified()),
+                    excerpt: format!(
+                        "direct write ({label}) in a persistence module — use persist::atomic_write / AtomicFile"
+                    ),
+                    chain: Vec::new(),
+                    waived: ws.is_waived(fi, call.line, Rule::AtomicPersist.name()),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::test_util::ws;
+
+    #[test]
+    fn direct_write_in_persist_scope_is_flagged() {
+        let w = ws(&[(
+            "crates/serve/src/plan_cache.rs",
+            "fn save(p: &str) { std::fs::write(p, b\"x\").ok(); }\n",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule.name(), "atomic-persist");
+        assert!(f[0].excerpt.contains("fs::write"));
+    }
+
+    #[test]
+    fn out_of_scope_and_test_code_are_exempt() {
+        let w = ws(&[
+            (
+                "crates/analysis/src/report.rs",
+                "fn dump(p: &str) { std::fs::write(p, b\"x\").ok(); }\n",
+            ),
+            (
+                "crates/serve/src/registry.rs",
+                "#[cfg(test)]\nmod tests {\n  fn plant(p: &str) { std::fs::write(p, b\"garbage\").ok(); }\n}\n",
+            ),
+        ]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn waiver_covers_the_sanctioned_temp_create() {
+        let w = ws(&[(
+            "crates/tensor/src/persist.rs",
+            "fn create(tmp: &str) {\n  // temp name, made atomic by the rename. lint: allow(atomic-persist)\n  let _f = std::fs::File::create(tmp);\n}\n",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+    }
+
+    #[test]
+    fn openoptions_and_copy_count_as_direct_writes() {
+        let w = ws(&[(
+            "crates/tensor/src/tile_store.rs",
+            "fn f(p: &str) {\n  let _o = OpenOptions::new();\n  std::fs::copy(p, \"q\").ok();\n}\n",
+        )]);
+        assert_eq!(run(&w).len(), 2);
+    }
+}

@@ -18,7 +18,10 @@
 //!   fuzz hook per variant.
 //! - [`index_overflow`] — unchecked multiplies in block-coordinate and
 //!   tile-extent arithmetic in `crates/tensor`.
+//! - [`atomic_persist`] — durable files in persistence modules are
+//!   published via temp-file + rename, never written in place.
 
+pub mod atomic_persist;
 pub mod index_overflow;
 pub mod kernel_contract;
 pub mod line_rules;

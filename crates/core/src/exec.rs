@@ -8,6 +8,7 @@
 //! `.with_parallel(bool)` builders went through a `#[deprecated]` cycle
 //! and are gone.
 
+use tenblock_faults::FaultPolicy;
 use tenblock_obs::Rec;
 
 /// Threading policy for slice/block-row loops.
@@ -63,6 +64,10 @@ pub struct ExecPolicy {
     /// Span/counter sink; defaults to the no-op recorder, which costs one
     /// branch per kernel call.
     pub recorder: Rec,
+    /// Fault-injection policy for I/O the execution performs (streaming
+    /// tile loads). No-op by default; `tenblock chaos` and the
+    /// fault-injection tests arm it to prove the recovery paths.
+    pub faults: FaultPolicy,
 }
 
 impl ExecPolicy {
@@ -75,7 +80,7 @@ impl ExecPolicy {
     pub fn auto() -> Self {
         ExecPolicy {
             threads: Threads::Auto,
-            recorder: Rec::noop(),
+            ..ExecPolicy::default()
         }
     }
 
@@ -83,7 +88,7 @@ impl ExecPolicy {
     pub fn fixed(n: usize) -> Self {
         ExecPolicy {
             threads: Threads::Fixed(n),
-            recorder: Rec::noop(),
+            ..ExecPolicy::default()
         }
     }
 
@@ -91,13 +96,20 @@ impl ExecPolicy {
     pub fn checked() -> Self {
         ExecPolicy {
             threads: Threads::Checked,
-            recorder: Rec::noop(),
+            ..ExecPolicy::default()
         }
     }
 
     /// Attaches a recorder.
     pub fn with_recorder(mut self, recorder: Rec) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a fault-injection policy for the I/O this execution
+    /// performs.
+    pub fn with_faults(mut self, faults: FaultPolicy) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -23,10 +23,12 @@
 
 use crate::exec::ExecPolicy;
 use crate::mttkrp::micro::{process_block_bcoo, GatherBuf};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::time::Instant;
 use tenblock_check::{write_set_violations, RaceReport, WriteSet};
+use tenblock_faults::{is_transient, Backoff, FaultOp, FaultPolicy, IoOutcome};
 use tenblock_obs::{KernelCounters, StreamStats};
 use tenblock_tensor::coo::perm_for_mode;
 use tenblock_tensor::io_bin::BinError;
@@ -35,8 +37,24 @@ use tenblock_tensor::{DenseMatrix, SourceTile, TensorSource, NMODES};
 /// Why a streaming pass stopped.
 #[derive(Debug)]
 pub enum StreamError {
-    /// The source failed to produce a tile (I/O or framing).
+    /// The source failed to produce a tile for a non-I/O reason (framing,
+    /// validation) — permanent; retrying cannot help.
     Load(BinError),
+    /// An I/O failure that survived the transient-retry budget. Carries
+    /// the tile index and the tile's byte offset within its backing file
+    /// (0 for in-memory sources) so operators can localise bad media.
+    Io {
+        /// Index of the tile whose load failed.
+        tile: usize,
+        /// Byte offset of the tile payload in the backing file.
+        offset: u64,
+        /// The underlying load error.
+        source: BinError,
+    },
+    /// The prefetch thread panicked or vanished before delivering every
+    /// tile. The partial output is discarded; this never surfaces as a
+    /// silently-truncated result.
+    Prefetch(String),
     /// Checked mode refused the result: a tile decoded rows outside its
     /// band's bounds-derived claim.
     Race(RaceReport),
@@ -46,6 +64,15 @@ impl std::fmt::Display for StreamError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StreamError::Load(e) => write!(f, "tile load failed: {e}"),
+            StreamError::Io {
+                tile,
+                offset,
+                source,
+            } => write!(
+                f,
+                "tile {tile} load failed at byte offset {offset}: {source}"
+            ),
+            StreamError::Prefetch(what) => write!(f, "prefetch thread failed: {what}"),
             StreamError::Race(r) => write!(f, "streaming write-set check failed: {r}"),
         }
     }
@@ -179,6 +206,8 @@ impl<'a> StreamingMttkrp<'a> {
 
         let src = self.src;
         let stats = Arc::clone(&self.stats);
+        let faults = self.exec.faults.clone();
+        let n_expected = order.len();
         let mut scratch = GatherBuf::default();
         let out_rows = out.as_mut_slice();
 
@@ -186,13 +215,24 @@ impl<'a> StreamingMttkrp<'a> {
             // Rendezvous channel: the handoff blocks until the compute
             // thread takes the tile, so at most two tiles are ever
             // resident (one computing, one prefetched).
-            let (tx, rx) = sync_channel::<Result<KernelTile, BinError>>(0);
+            let (tx, rx) = sync_channel::<Result<KernelTile, StreamError>>(0);
             let bounds = &bounds;
+            let prefetch_stats = Arc::clone(&stats);
             scope.spawn(move || {
                 for &i in &order {
-                    let msg = src
-                        .load_tile(i)
-                        .map(|t| prepare_tile(t, perm, src.tile_bytes(i), bounds));
+                    // catch_unwind: a panicking `TensorSource` impl (or a
+                    // bug in `prepare_tile`) must surface as a typed error
+                    // on the channel, never as a poisoned rendezvous that
+                    // the compute side would misread as end-of-stream.
+                    let msg = catch_unwind(AssertUnwindSafe(|| {
+                        load_tile_retrying(src, i, perm, bounds, &faults, &prefetch_stats)
+                    }))
+                    .unwrap_or_else(|panic| {
+                        Err(StreamError::Prefetch(format!(
+                            "panic while loading tile {i}: {}",
+                            panic_message(panic.as_ref())
+                        )))
+                    });
                     let failed = msg.is_err();
                     if tx.send(msg).is_err() || failed {
                         return; // compute side hung up, or error delivered
@@ -200,14 +240,28 @@ impl<'a> StreamingMttkrp<'a> {
                 }
             });
 
+            let mut received = 0usize;
             loop {
                 let wait = Instant::now();
                 let msg = match rx.recv() {
                     Ok(msg) => msg,
-                    Err(_) => break, // prefetcher done
+                    Err(_) => {
+                        // The sender is gone. That is only legitimate once
+                        // every tile has been delivered — anything earlier
+                        // means the prefetch thread died without sending
+                        // its error, and a silently-truncated result must
+                        // not escape as success.
+                        if received == n_expected {
+                            break;
+                        }
+                        return Err(StreamError::Prefetch(format!(
+                            "prefetch thread exited after {received} of {n_expected} tiles"
+                        )));
+                    }
                 };
                 stats.add_stall_ns(wait.elapsed().as_nanos() as u64);
                 let tile = msg?;
+                received += 1;
                 stats.add_tile(tile.bytes);
                 if self.exec.is_checked() {
                     let band = &mut touched[tile.slice_cell];
@@ -289,6 +343,91 @@ fn prepare_tile(
         offs,
         vals,
         bytes,
+    }
+}
+
+/// Loads and prepares one tile, retrying transient I/O failures with
+/// seeded exponential backoff. Classification:
+///
+/// * transient ([`is_transient`]: `EINTR`/`EAGAIN`/timeouts) → retry up
+///   to the [`Backoff`] budget, counting each retry in
+///   [`StreamStats::add_retry`];
+/// * permanent I/O (any other [`BinError::Io`], or a transient one that
+///   exhausted the budget) → [`StreamError::Io`] with the tile index and
+///   its byte offset in the backing file;
+/// * framing/validation ([`BinError::Format`]) → [`StreamError::Load`] —
+///   the bytes arrived fine but mean nothing, so retrying cannot help.
+///
+/// The [`FaultPolicy`] hook fires before each attempt so `tenblock chaos`
+/// can exercise the retry and failure paths against healthy sources.
+fn load_tile_retrying(
+    src: &dyn TensorSource,
+    i: usize,
+    perm: [usize; NMODES],
+    bounds: &[Vec<usize>; NMODES],
+    faults: &FaultPolicy,
+    stats: &StreamStats,
+) -> Result<KernelTile, StreamError> {
+    let io_err = |source: BinError| StreamError::Io {
+        tile: i,
+        offset: src.tile_offset(i),
+        source,
+    };
+    let mut backoff = Backoff::for_io(i as u64);
+    loop {
+        let attempt = load_tile_once(src, i, faults);
+        match attempt {
+            Ok(tile) => return Ok(prepare_tile(tile, perm, src.tile_bytes(i), bounds)),
+            Err(BinError::Io(e)) if is_transient(&e) => match backoff.next_delay() {
+                Some(delay) => {
+                    stats.add_retry();
+                    std::thread::sleep(delay);
+                }
+                None => return Err(io_err(BinError::Io(e))),
+            },
+            Err(e @ BinError::Format(_)) => return Err(StreamError::Load(e)),
+            Err(e) => return Err(io_err(e)),
+        }
+    }
+}
+
+/// One load attempt with the stream-layer fault hook applied. `Errno`
+/// faults become the corresponding I/O error (transient errnos then take
+/// the retry path); `ShortRead` and `Crash` become an unexpected-EOF /
+/// crash error; `FlipByte` perturbs one loaded value, modelling silent
+/// media corruption that only checked mode or a downstream consumer can
+/// notice.
+fn load_tile_once(
+    src: &dyn TensorSource,
+    i: usize,
+    faults: &FaultPolicy,
+) -> Result<SourceTile, BinError> {
+    match faults.before(FaultOp::Read, src.tile_bytes(i) as usize) {
+        IoOutcome::Ok => src.load_tile(i),
+        IoOutcome::Err(e) => Err(BinError::Io(e)),
+        IoOutcome::Short(_) => Err(BinError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            format!("short read injected on tile {i}"),
+        ))),
+        IoOutcome::Corrupt(off) => {
+            let mut tile = src.load_tile(i)?;
+            if !tile.vals.is_empty() {
+                let k = off % tile.vals.len();
+                tile.vals[k] = f64::from_bits(tile.vals[k].to_bits() ^ 0x40);
+            }
+            Ok(tile)
+        }
+    }
+}
+
+/// Best-effort text for a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -482,6 +621,140 @@ mod tests {
             .run(&fs, &mut out)
             .unwrap_err();
         assert!(matches!(err, StreamError::Race(_)), "got: {err}");
+    }
+
+    /// Delegating source that fails or panics on a chosen tile — the
+    /// streamed analogue of bad media under the mmap.
+    struct FaultySource {
+        inner: CooSource,
+        bad_tile: usize,
+        /// `true` → panic on the bad tile; `false` → return an I/O error.
+        panic: bool,
+    }
+    impl TensorSource for FaultySource {
+        fn dims(&self) -> [usize; NMODES] {
+            self.inner.dims()
+        }
+        fn nnz(&self) -> usize {
+            self.inner.nnz()
+        }
+        fn grid(&self) -> [usize; NMODES] {
+            self.inner.grid()
+        }
+        fn n_tiles(&self) -> usize {
+            self.inner.n_tiles()
+        }
+        fn tile_cell(&self, i: usize) -> [usize; NMODES] {
+            self.inner.tile_cell(i)
+        }
+        fn tile_nnz(&self, i: usize) -> usize {
+            self.inner.tile_nnz(i)
+        }
+        fn tile_offset(&self, i: usize) -> u64 {
+            (i as u64) * 1000
+        }
+        fn load_tile(&self, i: usize) -> Result<SourceTile, BinError> {
+            if i == self.bad_tile {
+                if self.panic {
+                    panic!("injected panic on tile {i}");
+                }
+                return Err(BinError::Io(std::io::Error::other("injected EIO")));
+            }
+            self.inner.load_tile(i)
+        }
+    }
+
+    fn small_run(
+        src: &dyn TensorSource,
+        exec: ExecPolicy,
+    ) -> (Result<(), StreamError>, Arc<StreamStats>) {
+        let x = uniform_tensor([20, 12, 12], 400, 11);
+        let rank = 4;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        let mut out = DenseMatrix::zeros(20, rank);
+        let driver = StreamingMttkrp::new(src, 0, 16).with_exec(exec);
+        let res = driver.run(&fs, &mut out);
+        let stats = Arc::clone(driver.stats());
+        (res, stats)
+    }
+
+    #[test]
+    fn permanent_io_error_is_typed_with_tile_and_offset() {
+        let x = uniform_tensor([20, 12, 12], 400, 11);
+        let src = FaultySource {
+            inner: CooSource::new(&x, [2, 2, 2]),
+            bad_tile: 3,
+            panic: false,
+        };
+        let (res, _) = small_run(&src, ExecPolicy::serial());
+        match res.unwrap_err() {
+            StreamError::Io {
+                tile,
+                offset,
+                source,
+            } => {
+                assert_eq!(tile, 3);
+                assert_eq!(offset, 3000, "offset must come from tile_offset");
+                assert!(matches!(source, BinError::Io(_)));
+            }
+            other => panic!("expected StreamError::Io, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn panicking_source_yields_typed_error_not_truncation_or_hang() {
+        let x = uniform_tensor([20, 12, 12], 400, 11);
+        let src = FaultySource {
+            inner: CooSource::new(&x, [2, 2, 2]),
+            bad_tile: 0,
+            panic: true,
+        };
+        let (res, _) = small_run(&src, ExecPolicy::serial());
+        let err = res.unwrap_err();
+        assert!(matches!(err, StreamError::Prefetch(_)), "got: {err}");
+        assert!(err.to_string().contains("injected panic"), "got: {err}");
+    }
+
+    #[test]
+    fn transient_faults_retry_and_heal_bit_exactly() {
+        use tenblock_faults::{FaultAction, FaultOp, FaultPolicy, Trigger};
+        let x = uniform_tensor([20, 12, 12], 400, 11);
+        let src = CooSource::new(&x, [2, 2, 2]);
+        let rank = 4;
+        let factors = factors_for(&x, rank);
+        let fs: [&DenseMatrix; NMODES] = [&factors[0], &factors[1], &factors[2]];
+        let mut expect = DenseMatrix::zeros(20, rank);
+        StreamingMttkrp::new(&src, 0, 16)
+            .run(&fs, &mut expect)
+            .unwrap();
+        // EINTR on every read until two have fired, then healed.
+        let faults = FaultPolicy::transient(
+            FaultOp::Read,
+            FaultAction::Errno(4),
+            Trigger::EveryNth(1),
+            7,
+            2,
+        );
+        let mut got = DenseMatrix::zeros(20, rank);
+        let driver =
+            StreamingMttkrp::new(&src, 0, 16).with_exec(ExecPolicy::serial().with_faults(faults));
+        driver.run(&fs, &mut got).unwrap();
+        assert_eq!(driver.stats().snapshot().tile_retries, 2);
+        assert_bits_equal(&expect, &got, "post-retry stream");
+    }
+
+    #[test]
+    fn injected_permanent_errno_is_a_typed_io_error() {
+        use tenblock_faults::{FaultAction, FaultOp, FaultPolicy, Trigger};
+        let x = uniform_tensor([20, 12, 12], 400, 11);
+        let src = CooSource::new(&x, [2, 2, 2]);
+        // EIO (5) is not transient: fails immediately, no retries.
+        let faults = FaultPolicy::new(FaultOp::Read, FaultAction::Errno(5), Trigger::Nth(2), 7);
+        let (res, stats) = small_run(&src, ExecPolicy::serial().with_faults(faults));
+        let err = res.unwrap_err();
+        assert!(matches!(err, StreamError::Io { .. }), "got: {err}");
+        assert_eq!(stats.snapshot().tile_retries, 0);
     }
 
     #[test]

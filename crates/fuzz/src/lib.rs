@@ -115,6 +115,9 @@ pub struct FuzzReport {
     pub tnsb_accepted: u64,
     /// Tile-framing mutants the validator rejected with a typed error.
     pub tnsb_rejected: u64,
+    /// Fault-injected `create_from_coo` runs (store published or typed
+    /// error; never a panic or a half-written store).
+    pub fault_runs: u64,
     /// Tuner differential runs.
     pub tuner_runs: u64,
     /// Distributed-executor differential runs.
@@ -151,8 +154,9 @@ impl std::fmt::Display for FuzzReport {
         )?;
         writeln!(
             f,
-            "      {} tuner run(s), {} dist run(s), {} corpus file(s) replayed",
-            self.tuner_runs, self.dist_runs, self.corpus_replayed
+            "      {} tuner run(s), {} dist run(s), {} fault run(s), \
+             {} corpus file(s) replayed",
+            self.tuner_runs, self.dist_runs, self.fault_runs, self.corpus_replayed
         )?;
         if self.findings.is_empty() {
             write!(f, "      no findings")
@@ -212,6 +216,68 @@ fn run_seed(seed: u64, report: &mut FuzzReport) {
     let (label, bytes) = gen::mutant_tnsb(&mut rng);
     report.tnsb_cases += 1;
     tnsb_stage(label, &bytes, seed, report);
+
+    if rng.below(4) == 0 {
+        fault_stage(&case, seed, &mut rng, report);
+        report.fault_runs += 1;
+    }
+}
+
+/// Fault stage: `TileStore::create_from_coo_with` under one randomly
+/// drawn I/O fault (site × action × trigger) must publish a decodable
+/// store or fail with a typed error — never panic, and never leave a
+/// half-written file visible at the final path. The byte-flip action is
+/// exempt from decodability (the payload is unchecksummed by design).
+fn fault_stage(case: &FuzzCase, seed: u64, rng: &mut FuzzRng, report: &mut FuzzReport) {
+    use tenblock_faults::{FaultAction, FaultOp, FaultPolicy, Trigger};
+    if case.coo.nnz() == 0 {
+        return;
+    }
+    let op = *rng.pick(&[FaultOp::Write, FaultOp::Sync, FaultOp::Rename]);
+    let (action, flip) = *rng.pick(&[
+        (FaultAction::Errno(5), false),
+        (FaultAction::Errno(28), false),
+        (FaultAction::ShortRead, false),
+        (FaultAction::FlipByte, true),
+        (FaultAction::Crash, false),
+    ]);
+    let trigger = if rng.below(2) == 0 {
+        Trigger::Nth(rng.below(16) as u64)
+    } else {
+        Trigger::EveryNth(1 + rng.below(5) as u64)
+    };
+    let dir =
+        std::env::temp_dir().join(format!("tenblock_fuzz_fault_{}_{seed}", std::process::id()));
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("store.tnsb");
+    let policy = FaultPolicy::new(op, action, trigger, seed);
+    let outcome = diff::catch(|| {
+        tenblock_tensor::TileStore::create_from_coo_with(&case.coo, [2, 2, 2], &path, policy)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    });
+    let mut fail = |detail: String| {
+        report.findings.push(Finding {
+            seed,
+            case: format!("fault/{}/{op:?}-{action:?}-{trigger:?}", case.label),
+            detail,
+            repro: None,
+            repro_bin: None,
+        });
+    };
+    match outcome {
+        Err(p) => fail(format!("create_from_coo_with panicked: {p}")),
+        Ok(_) => {
+            if path.exists() && !flip {
+                if let Err(e) = tenblock_tensor::TileStore::open(&path).and_then(|s| s.to_coo()) {
+                    fail(format!("half-written store visible after fault: {e}"));
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Binary parse-stage check: `TileStore::validate_bytes` must return `Ok`

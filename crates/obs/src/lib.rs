@@ -146,6 +146,9 @@ pub struct StreamStats {
     /// Nanoseconds the compute thread spent waiting on the prefetcher —
     /// the I/O time double buffering failed to hide.
     pub prefetch_stall_ns: std::sync::atomic::AtomicU64,
+    /// Tile loads retried after a transient I/O error (each retry that
+    /// eventually fed a tile to the kernel, all passes).
+    pub tile_retries: std::sync::atomic::AtomicU64,
 }
 
 impl StreamStats {
@@ -167,6 +170,12 @@ impl StreamStats {
             .fetch_add(ns, std::sync::atomic::Ordering::Relaxed);
     }
 
+    /// Records one transient-error retry of a tile load.
+    pub fn add_retry(&self) {
+        self.tile_retries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// A plain-value copy of the counters.
     pub fn snapshot(&self) -> StreamSnapshot {
         use std::sync::atomic::Ordering::Relaxed;
@@ -174,6 +183,7 @@ impl StreamStats {
             tiles_loaded: self.tiles_loaded.load(Relaxed),
             bytes_streamed: self.bytes_streamed.load(Relaxed),
             prefetch_stall_ns: self.prefetch_stall_ns.load(Relaxed),
+            tile_retries: self.tile_retries.load(Relaxed),
         }
     }
 }
@@ -187,6 +197,8 @@ pub struct StreamSnapshot {
     pub bytes_streamed: u64,
     /// Compute-thread wait on the prefetcher, in nanoseconds.
     pub prefetch_stall_ns: u64,
+    /// Tile loads retried after a transient I/O error.
+    pub tile_retries: u64,
 }
 
 /// The recording sink. Every method has a no-op default so a custom

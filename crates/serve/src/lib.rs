@@ -28,9 +28,9 @@ pub mod server;
 mod sync;
 
 pub use json::Json;
-pub use metrics::{Metrics, MetricsSnapshot};
+pub use metrics::{FaultCounters, FaultSnapshot, Metrics, MetricsSnapshot};
 pub use plan_cache::{PlanCache, PlanKey, TunedPlan};
 pub use proto::{ErrorCode, Service, PROTOCOL_VERSION};
-pub use registry::{Registry, TensorEntry};
+pub use registry::{Registry, RegistryError, TensorEntry};
 pub use scheduler::{JobId, JobState, Scheduler, SubmitError};
 pub use server::{Server, ServerConfig};

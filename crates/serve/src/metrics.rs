@@ -113,6 +113,66 @@ impl HistogramSnapshot {
     }
 }
 
+/// Fault-tolerance counters, shared between the [`crate::Registry`] (which
+/// increments them as it degrades gracefully) and [`Metrics`] (which
+/// serializes them). An `Arc` of one instance is held by both.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Transient I/O errors that were retried (spill writes and reloads).
+    pub io_retries: AtomicU64,
+    /// Spill writes that failed permanently; the victim stayed resident.
+    pub spill_failures: AtomicU64,
+    /// Spill stores moved to a `*.quarantine/` directory after failing
+    /// validation (on reload or at startup adoption).
+    pub quarantined_stores: AtomicU64,
+    /// Evictions skipped because the spill write failed (the memory cap
+    /// is best-effort; losing the tensor is not an option).
+    pub evictions_skipped: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Plain-data view.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            spill_failures: self.spill_failures.load(Ordering::Relaxed),
+            quarantined_stores: self.quarantined_stores.load(Ordering::Relaxed),
+            evictions_skipped: self.evictions_skipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Materialized [`FaultCounters`] state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// See [`FaultCounters::io_retries`].
+    pub io_retries: u64,
+    /// See [`FaultCounters::spill_failures`].
+    pub spill_failures: u64,
+    /// See [`FaultCounters::quarantined_stores`].
+    pub quarantined_stores: u64,
+    /// See [`FaultCounters::evictions_skipped`].
+    pub evictions_skipped: u64,
+}
+
+impl FaultSnapshot {
+    /// Serializes for the `metrics` / `list` responses.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("io_retries", Json::usize(self.io_retries as usize)),
+            ("spill_failures", Json::usize(self.spill_failures as usize)),
+            (
+                "quarantined_stores",
+                Json::usize(self.quarantined_stores as usize),
+            ),
+            (
+                "evictions_skipped",
+                Json::usize(self.evictions_skipped as usize),
+            ),
+        ])
+    }
+}
+
 /// All service counters. One instance lives for the life of the server.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -144,6 +204,8 @@ pub struct Metrics {
     pub job_queue_wait: LatencyHistogram,
     /// Time jobs spent actually running (`job_latency` minus queue wait).
     pub job_run: LatencyHistogram,
+    /// Fault-tolerance counters, shared with the registry that bumps them.
+    pub faults: std::sync::Arc<FaultCounters>,
 }
 
 /// Materialized view of [`Metrics`] plus instantaneous queue state.
@@ -181,6 +243,8 @@ pub struct MetricsSnapshot {
     pub job_queue_wait: HistogramSnapshot,
     /// Run-time portion of job latency.
     pub job_run: HistogramSnapshot,
+    /// Fault-tolerance counters.
+    pub faults: FaultSnapshot,
 }
 
 impl Metrics {
@@ -204,6 +268,7 @@ impl Metrics {
             job_latency: self.job_latency.snapshot(),
             job_queue_wait: self.job_queue_wait.snapshot(),
             job_run: self.job_run.snapshot(),
+            faults: self.faults.snapshot(),
         }
     }
 }
@@ -239,6 +304,7 @@ impl MetricsSnapshot {
                 ]),
             ),
             ("tensors", Json::usize(self.tensors_registered as usize)),
+            ("faults", self.faults.to_json()),
             ("mttkrp_latency", self.mttkrp_latency.to_json()),
             ("job_latency", self.job_latency.to_json()),
             ("job_queue_wait", self.job_queue_wait.to_json()),

@@ -278,9 +278,7 @@ impl PlanCache {
                 ),
             ])
         };
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, doc.to_string_compact() + "\n")?;
-        std::fs::rename(&tmp, path)
+        tenblock_tensor::atomic_write(path, (doc.to_string_compact() + "\n").as_bytes())
     }
 }
 

@@ -53,6 +53,9 @@ pub enum ErrorCode {
     /// The request was well-formed but a parameter is semantically invalid
     /// for the computation (rank 0, mode out of range).
     InvalidConfig,
+    /// A spilled tensor's on-disk store failed validation on reload and
+    /// was quarantined; the data is unavailable until re-registered.
+    SpillCorrupt,
     /// Server-side failure not attributable to the request.
     Internal,
 }
@@ -67,6 +70,7 @@ impl ErrorCode {
             ErrorCode::QueueFull => "queue-full",
             ErrorCode::InvalidTensor => "invalid-tensor",
             ErrorCode::InvalidConfig => "invalid-config",
+            ErrorCode::SpillCorrupt => "spill-corrupt",
             ErrorCode::Internal => "internal",
         }
     }
@@ -195,6 +199,7 @@ fn registry_err(e: RegistryError) -> Json {
     match e {
         RegistryError::NotFound(_) => err(ErrorCode::NotFound, e.to_string()),
         RegistryError::InvalidTensor(_) => err(ErrorCode::InvalidTensor, e.to_string()),
+        RegistryError::SpillCorrupt(_) => err(ErrorCode::SpillCorrupt, e.to_string()),
         RegistryError::Exists(_) | RegistryError::Load(_) => {
             err(ErrorCode::BadRequest, e.to_string())
         }
@@ -397,7 +402,12 @@ impl Service {
         plans: PlanCache,
         registry: Registry,
     ) -> Service {
-        let metrics = Arc::new(Metrics::default());
+        let metrics = Arc::new(Metrics {
+            // Share the registry's degradation counters so the `metrics`
+            // command sees spill failures and quarantines as they happen.
+            faults: Arc::clone(registry.fault_counters()),
+            ..Metrics::default()
+        });
         metrics
             .plan_skipped
             .store(plans.skipped(), Ordering::Relaxed);
@@ -446,8 +456,13 @@ impl Service {
                                 "prefetch_stall_ns",
                                 Json::num(stream.prefetch_stall_ns as f64),
                             ),
+                            // Additive (protocol stays v1): transient tile
+                            // reloads that were retried.
+                            ("tile_retries", Json::num(stream.tile_retries as f64)),
                         ]),
                     ),
+                    // Additive (protocol stays v1): degradation counters.
+                    ("faults", reg.fault_counters().snapshot().to_json()),
                 ])
             }
             "tune" => self.submit_cmd(req, Self::parse_tune),
@@ -792,6 +807,45 @@ mod tests {
         let stream = list.get("stream").unwrap();
         assert!(stream.get_num("tiles_loaded").unwrap() > 0.0, "{list:?}");
         assert!(stream.get_num("bytes_streamed").unwrap() > 0.0);
+        // Additive v1 fields: retry and degradation counters, all zero on
+        // this healthy run.
+        assert_eq!(stream.get_num("tile_retries"), Some(0.0));
+        let faults = list.get("faults").unwrap();
+        assert_eq!(faults.get_usize("spill_failures"), Some(0));
+        assert_eq!(faults.get_usize("quarantined_stores"), Some(0));
+        let m = s.handle(&req(r#"{"cmd":"metrics"}"#));
+        let mf = m.get("metrics").unwrap().get("faults").unwrap();
+        assert_eq!(mf.get_usize("io_retries"), Some(0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_surfaces_spill_corrupt_code() {
+        let dir =
+            std::env::temp_dir().join(format!("tenblock_proto_quarantine_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Service::with_registry(2, 8, PlanCache::in_memory(), Registry::with_spill(&dir, 1));
+        gen_small(&s, "a");
+        gen_small(&s, "b"); // spills "a"
+        let spill_file = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "tnsb"))
+            .unwrap();
+        let mut bytes = std::fs::read(&spill_file).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&spill_file, &bytes).unwrap();
+
+        // Touching "a" trips validation: typed spill-corrupt, no panic.
+        let stats = s.handle(&req(r#"{"cmd":"stats","tensor":"a"}"#));
+        assert_eq!(stats.get_bool("ok"), Some(false), "{stats:?}");
+        assert_eq!(stats.get_str("code"), Some("spill-corrupt"));
+        let list = s.handle(&req(r#"{"cmd":"list"}"#));
+        let faults = list.get("faults").unwrap();
+        assert_eq!(faults.get_usize("quarantined_stores"), Some(1), "{list:?}");
+        // The service keeps serving: the healthy tensor still works.
+        let ok_stats = s.handle(&req(r#"{"cmd":"stats","tensor":"b"}"#));
+        assert_eq!(ok_stats.get_bool("ok"), Some(true), "{ok_stats:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

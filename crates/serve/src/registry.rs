@@ -28,15 +28,31 @@
 //!   bits and coordinates, so a reloaded entry has the same fingerprint
 //!   and statistics as the original.
 //!
-//! Eviction is best-effort: if writing the spill file fails, the victim
-//! simply stays resident (correctness over the memory cap).
+//! # Fault tolerance
+//!
+//! Spill I/O degrades gracefully instead of taking the registry down:
+//!
+//! * **Eviction is best-effort.** Transient spill-write errors
+//!   (`EINTR`/`EAGAIN`) retry with seeded capped backoff; a write that
+//!   fails permanently leaves the victim resident (correctness over the
+//!   memory cap), counted in [`FaultCounters::evictions_skipped`].
+//! * **Corrupt stores are quarantined.** A spill file that fails
+//!   validation on reload is moved into a sibling `<file>.quarantine/`
+//!   directory and the caller gets a typed
+//!   [`RegistryError::SpillCorrupt`] — never a worker panic.
+//! * **Startup re-adopts the spill dir.** [`Registry::with_spill`] scans
+//!   `dir`: valid `*.tnsb` stores are re-registered as spilled entries
+//!   (surviving a restart), invalid ones are quarantined, and `*.tmp`
+//!   litter from a crashed writer is removed.
 
+use crate::metrics::FaultCounters;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use tenblock_core::obs::StreamStats;
 use tenblock_core::tune::grid_for_tile_budget;
+use tenblock_faults::{is_transient, Backoff, FaultPolicy};
 use tenblock_tensor::gen::ALL_DATASETS;
 use tenblock_tensor::{io, io_bin, CooTensor, SplattTensor, TensorStats, TileStore, NMODES};
 
@@ -93,6 +109,10 @@ pub enum RegistryError {
     /// The tensor file was readable but its contents are malformed
     /// (parse or format error from the `.tns` / `.tnsb` readers).
     InvalidTensor(String),
+    /// A spilled tile store failed validation on reload and was moved to
+    /// its `*.quarantine/` directory. The handle stays registered but its
+    /// data is gone until an operator re-registers it.
+    SpillCorrupt(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -100,7 +120,9 @@ impl std::fmt::Display for RegistryError {
         match self {
             RegistryError::Exists(n) => write!(f, "tensor {n:?} is already registered"),
             RegistryError::NotFound(n) => write!(f, "no tensor registered as {n:?}"),
-            RegistryError::Load(msg) | RegistryError::InvalidTensor(msg) => write!(f, "{msg}"),
+            RegistryError::Load(msg)
+            | RegistryError::InvalidTensor(msg)
+            | RegistryError::SpillCorrupt(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -135,6 +157,11 @@ pub struct Registry {
     spill: Option<SpillConfig>,
     clock: AtomicU64,
     stream_stats: Arc<StreamStats>,
+    /// Fault-injection hook for spill writes and reloads (no-op in
+    /// production; armed by `tenblock chaos` and the fault tests).
+    faults: FaultPolicy,
+    /// Degradation counters, shared with the service [`crate::Metrics`].
+    counters: Arc<FaultCounters>,
 }
 
 /// `name`, reduced to filesystem-safe characters for the spill filename.
@@ -150,6 +177,21 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Recovers the registry handle from a spill filename stem: eviction
+/// writes `{sanitized-name}-{fingerprint:016x}`, so strip a trailing
+/// 16-hex-digit suffix if present, else use the whole stem.
+fn adopted_name(stem: &str) -> String {
+    if stem.len() > 17 {
+        let (head, tail) = stem.split_at(stem.len() - 17);
+        if let Some(hex) = tail.strip_prefix('-') {
+            if hex.len() == 16 && hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                return head.to_string();
+            }
+        }
+    }
+    stem.to_string()
+}
+
 impl Registry {
     /// Empty registry; everything stays resident.
     pub fn new() -> Registry {
@@ -158,19 +200,103 @@ impl Registry {
 
     /// Empty registry that keeps at most `max_resident` tensors in
     /// memory, spilling the least recently used to tile stores in `dir`.
+    ///
+    /// If `dir` already holds spill stores from a previous process, valid
+    /// ones are re-adopted as spilled entries (named by stripping the
+    /// fingerprint suffix from the filename), invalid ones are moved to
+    /// their `*.quarantine/` directory, and leftover `*.tmp` files from a
+    /// crashed writer are deleted.
     pub fn with_spill<P: AsRef<Path>>(dir: P, max_resident: usize) -> Registry {
-        Registry {
+        let reg = Registry {
             spill: Some(SpillConfig {
                 dir: dir.as_ref().to_path_buf(),
                 max_resident: max_resident.max(1),
             }),
             ..Registry::default()
-        }
+        };
+        reg.adopt_spill_dir();
+        reg
+    }
+
+    /// Arms a fault-injection policy over spill writes and reloads.
+    pub fn with_faults(mut self, faults: FaultPolicy) -> Registry {
+        self.faults = faults;
+        self
+    }
+
+    /// The degradation counters this registry increments (shared into the
+    /// service metrics).
+    pub fn fault_counters(&self) -> &Arc<FaultCounters> {
+        &self.counters
     }
 
     /// The stream counters charged by spill reloads.
     pub fn stream_stats(&self) -> &Arc<StreamStats> {
         &self.stream_stats
+    }
+
+    /// Scans the spill directory at startup: re-adopts valid stores as
+    /// spilled entries, quarantines stores that fail validation, removes
+    /// `*.tmp` crash litter. A missing or unreadable directory is fine —
+    /// the first eviction will create it.
+    fn adopt_spill_dir(&self) {
+        let Some(cfg) = &self.spill else { return };
+        let Ok(rd) = std::fs::read_dir(&cfg.dir) else {
+            return;
+        };
+        for entry in rd.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if !path.is_file() {
+                continue;
+            }
+            match path.extension().and_then(|e| e.to_str()) {
+                Some("tmp") => {
+                    // An uncommitted temp file from a writer that died:
+                    // never adoptable, safe to delete.
+                    let _ = std::fs::remove_file(&path);
+                }
+                Some("tnsb") => match TileStore::open(&path) {
+                    Ok(_) => {
+                        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+                        let name = adopted_name(stem);
+                        let mut map = crate::sync::write(&self.entries);
+                        // First wins, as everywhere else.
+                        map.entry(name).or_insert_with(|| Slot {
+                            resident: None,
+                            spill_path: Some(path.clone()),
+                            last_used: AtomicU64::new(self.tick()),
+                        });
+                    }
+                    Err(_) => self.quarantine(&path),
+                },
+                _ => {}
+            }
+        }
+    }
+
+    /// Moves a spill store that failed validation into a sibling
+    /// `<file>.quarantine/` directory so it can never be adopted again but
+    /// stays available for offline inspection.
+    fn quarantine(&self, path: &Path) {
+        self.counters
+            .quarantined_stores
+            .fetch_add(1, Ordering::Relaxed);
+        let Some(file) = path.file_name().and_then(|f| f.to_str()) else {
+            return;
+        };
+        let qdir = path.with_file_name(format!("{file}.quarantine"));
+        let moved =
+            std::fs::create_dir_all(&qdir).and_then(|()| std::fs::rename(path, qdir.join(file)));
+        match moved {
+            Ok(()) => eprintln!(
+                "tenblock-serve: quarantined corrupt spill store {}",
+                path.display()
+            ),
+            Err(e) => eprintln!(
+                "tenblock-serve: failed to quarantine {}: {e}",
+                path.display()
+            ),
+        }
     }
 
     fn tick(&self) -> u64 {
@@ -214,17 +340,50 @@ impl Registry {
                 entry.fingerprint
             ));
             let grid = grid_for_tile_budget(entry.coo.dims(), entry.coo.nnz(), SPILL_TILE_BUDGET);
-            let written = std::fs::create_dir_all(&cfg.dir)
-                .map_err(io_bin::BinError::from)
-                .and_then(|()| TileStore::create_from_coo(&entry.coo, grid, &path));
+            // Transient write errors retry with seeded capped backoff;
+            // permanent ones skip the eviction (counted, logged): the
+            // victim stays resident rather than being lost.
+            let mut backoff = Backoff::for_io(entry.fingerprint);
+            let written = loop {
+                let attempt = std::fs::create_dir_all(&cfg.dir)
+                    .map_err(io_bin::BinError::from)
+                    .and_then(|()| {
+                        TileStore::create_from_coo_with(
+                            &entry.coo,
+                            grid,
+                            &path,
+                            self.faults.clone(),
+                        )
+                    });
+                match attempt {
+                    Err(io_bin::BinError::Io(e)) if is_transient(&e) => {
+                        match backoff.next_delay() {
+                            Some(delay) => {
+                                self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(delay);
+                            }
+                            None => break Err(io_bin::BinError::Io(e)),
+                        }
+                    }
+                    other => break other,
+                }
+            };
             match written {
                 Ok(_) => {
                     slot.spill_path = Some(path);
                     slot.resident = None;
                 }
-                // Best-effort: an unevictable tensor stays resident
-                // rather than being lost.
-                Err(_) => return,
+                Err(e) => {
+                    self.counters.spill_failures.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .evictions_skipped
+                        .fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "tenblock-serve: spill of {name:?} failed ({e}); \
+                         tensor stays resident over the cap"
+                    );
+                    return;
+                }
             }
         }
     }
@@ -324,15 +483,56 @@ impl Registry {
             }
         };
         // Reload outside the lock: tile streaming plus the SPLATT rebuild
-        // must not block concurrent lookups of other tensors.
-        let store = TileStore::open(&spill_path)
-            .map_err(|e| RegistryError::Load(format!("reloading spilled {name:?}: {e}")))?;
-        for i in 0..store.n_tiles() {
-            self.stream_stats.add_tile(store.tile(i).len);
-        }
-        let coo = store
-            .to_coo()
-            .map_err(|e| RegistryError::Load(format!("reloading spilled {name:?}: {e}")))?;
+        // must not block concurrent lookups of other tensors. Transient
+        // I/O errors retry with backoff; a validation failure means the
+        // bytes on disk are wrong — quarantine the store and surface a
+        // typed error instead of panicking a worker.
+        let mut backoff = Backoff::for_io(self.clock.load(Ordering::Relaxed));
+        let coo = loop {
+            let attempt =
+                TileStore::open_with(&spill_path, self.faults.clone()).and_then(|store| {
+                    let lens: Vec<u64> = (0..store.n_tiles()).map(|i| store.tile(i).len).collect();
+                    store.to_coo().map(|coo| (coo, lens))
+                });
+            match attempt {
+                Ok((coo, lens)) => {
+                    // Charge the stream stats only for the attempt that
+                    // succeeded; retried partial reads don't count tiles.
+                    for len in lens {
+                        self.stream_stats.add_tile(len);
+                    }
+                    break coo;
+                }
+                Err(io_bin::BinError::Io(e)) if is_transient(&e) => match backoff.next_delay() {
+                    Some(delay) => {
+                        self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(delay);
+                    }
+                    None => {
+                        return Err(RegistryError::Load(format!(
+                            "reloading spilled {name:?}: {e}"
+                        )))
+                    }
+                },
+                Err(io_bin::BinError::Format(msg)) => {
+                    self.quarantine(&spill_path);
+                    let mut map = crate::sync::write(&self.entries);
+                    if let Some(slot) = map.get_mut(name) {
+                        // The file is gone; the handle stays registered
+                        // (names never shrink) but has no data to serve.
+                        slot.spill_path = None;
+                    }
+                    return Err(RegistryError::SpillCorrupt(format!(
+                        "spilled store for {name:?} failed validation and was quarantined: {msg}"
+                    )));
+                }
+                Err(e) => {
+                    return Err(RegistryError::Load(format!(
+                        "reloading spilled {name:?}: {e}"
+                    )))
+                }
+            }
+        };
         let entry = Arc::new(TensorEntry::build(name, coo));
         let mut map = crate::sync::write(&self.entries);
         let Some(slot) = map.get_mut(name) else {
@@ -530,6 +730,143 @@ mod tests {
         assert_eq!(reg.resident_names(), vec!["a".to_string(), "c".to_string()]);
         assert_eq!(reg.spilled_names(), vec!["b".to_string()]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_spill_keeps_victim_resident_and_counts() {
+        use tenblock_faults::{FaultAction, FaultOp, Trigger};
+        let dir = spill_dir("spillfail");
+        // Every write fails with ENOSPC (28): eviction can never succeed.
+        let reg = Registry::with_spill(&dir, 1).with_faults(FaultPolicy::new(
+            FaultOp::Write,
+            FaultAction::Errno(28),
+            Trigger::EveryNth(1),
+            3,
+        ));
+        reg.register("a", uniform_tensor([10, 10, 10], 200, 1))
+            .unwrap();
+        reg.register("b", uniform_tensor([10, 10, 10], 200, 2))
+            .unwrap();
+        // Over the cap, but nothing was lost: the spill failed so "a"
+        // stays resident.
+        assert_eq!(reg.resident_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(reg.spilled_names().is_empty());
+        let snap = reg.fault_counters().snapshot();
+        assert!(snap.spill_failures >= 1, "snap: {snap:?}");
+        assert!(snap.evictions_skipped >= 1);
+        assert_eq!(snap.quarantined_stores, 0);
+        // No half-written spill file is left behind.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .map(|rd| rd.filter_map(|e| e.ok().map(|e| e.path())).collect())
+            .unwrap_or_default();
+        assert!(stray.is_empty(), "stray files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_spill_errors_retry_and_succeed() {
+        use tenblock_faults::{FaultAction, FaultOp, Trigger};
+        let dir = spill_dir("spillretry");
+        // First two writes hit EAGAIN, then the fault heals. (EINTR would
+        // be swallowed: `Write::write_all` retries `Interrupted` itself.)
+        let reg = Registry::with_spill(&dir, 1).with_faults(FaultPolicy::transient(
+            FaultOp::Write,
+            FaultAction::Errno(11),
+            Trigger::EveryNth(1),
+            9,
+            2,
+        ));
+        reg.register("a", uniform_tensor([10, 10, 10], 200, 1))
+            .unwrap();
+        reg.register("b", uniform_tensor([10, 10, 10], 200, 2))
+            .unwrap();
+        assert_eq!(reg.spilled_names(), vec!["a".to_string()]);
+        let snap = reg.fault_counters().snapshot();
+        assert!(snap.io_retries >= 1, "snap: {snap:?}");
+        assert_eq!(snap.spill_failures, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_store_is_quarantined_with_typed_error() {
+        let dir = spill_dir("quarantine");
+        let reg = Registry::with_spill(&dir, 1);
+        reg.register("a", uniform_tensor([12, 10, 8], 300, 3))
+            .unwrap();
+        reg.register("b", uniform_tensor([8, 8, 8], 100, 4))
+            .unwrap();
+        assert_eq!(reg.spilled_names(), vec!["a".to_string()]);
+        // Corrupt the spilled store's header in place.
+        let spill_file = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "tnsb"))
+            .unwrap();
+        let mut bytes = std::fs::read(&spill_file).unwrap();
+        bytes[0] ^= 0xff; // break the magic
+        std::fs::write(&spill_file, &bytes).unwrap();
+
+        let err = reg.get("a").unwrap_err();
+        assert!(
+            matches!(err, RegistryError::SpillCorrupt(_)),
+            "got: {err:?}"
+        );
+        assert_eq!(reg.fault_counters().snapshot().quarantined_stores, 1);
+        // The store moved into its quarantine directory...
+        assert!(!spill_file.exists());
+        let qdir = spill_file.with_file_name(format!(
+            "{}.quarantine",
+            spill_file.file_name().unwrap().to_str().unwrap()
+        ));
+        assert!(qdir.join(spill_file.file_name().unwrap()).exists());
+        // ...the handle stays registered (names never shrink), and a
+        // second get fails typed rather than panicking.
+        assert!(reg.contains("a"));
+        assert!(matches!(reg.get("a"), Err(RegistryError::Load(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_adopts_valid_stores_quarantines_bad_and_sweeps_tmp() {
+        let dir = spill_dir("adopt");
+        {
+            let reg = Registry::with_spill(&dir, 1);
+            let a = reg
+                .register("alpha", uniform_tensor([12, 10, 8], 250, 6))
+                .unwrap();
+            let _fp = a.fingerprint;
+            reg.register("beta", uniform_tensor([8, 8, 8], 90, 7))
+                .unwrap();
+            assert_eq!(reg.spilled_names(), vec!["alpha".to_string()]);
+        }
+        // Simulate crash litter: a half-written temp and a corrupt store.
+        std::fs::write(dir.join("halfway.tnsb.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("bad-0000000000000bad.tnsb"), b"TNSBgarbage").unwrap();
+
+        let reg2 = Registry::with_spill(&dir, 1);
+        // The valid store was re-adopted under its original name.
+        assert_eq!(reg2.names(), vec!["alpha".to_string()]);
+        assert_eq!(reg2.spilled_names(), vec!["alpha".to_string()]);
+        let a = reg2.get("alpha").unwrap();
+        assert_eq!(a.coo.nnz(), 250);
+        // The corrupt store was quarantined, the tmp litter deleted.
+        assert_eq!(reg2.fault_counters().snapshot().quarantined_stores, 1);
+        assert!(!dir.join("halfway.tnsb.tmp").exists());
+        assert!(!dir.join("bad-0000000000000bad.tnsb").exists());
+        assert!(dir
+            .join("bad-0000000000000bad.tnsb.quarantine")
+            .join("bad-0000000000000bad.tnsb")
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adopted_name_strips_fingerprint_suffix() {
+        assert_eq!(adopted_name("amazon-00deadbeef123456"), "amazon");
+        assert_eq!(adopted_name("has-dashes-0123456789abcdef"), "has-dashes");
+        // Not a fingerprint suffix: kept verbatim.
+        assert_eq!(adopted_name("short"), "short");
+        assert_eq!(adopted_name("name-notahexsuffix00"), "name-notahexsuffix00");
     }
 
     #[test]

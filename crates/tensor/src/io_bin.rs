@@ -229,9 +229,14 @@ impl BinCodec for CooTensor {
     }
 }
 
-/// Writes any [`BinCodec`] tensor to a file path.
+/// Writes any [`BinCodec`] tensor to a file path, atomically: bytes go
+/// to a same-directory temp file that a post-`sync_all` rename
+/// publishes, so a crash mid-write never leaves a partial `.tnsb` under
+/// the final name.
 pub fn write_file<T: BinCodec, P: AsRef<Path>>(t: &T, path: P) -> std::io::Result<()> {
-    t.encode(std::fs::File::create(path)?)
+    let mut out = crate::persist::AtomicFile::create(path, tenblock_faults::FaultPolicy::none())?;
+    t.encode(&mut out)?;
+    out.commit()
 }
 
 /// Reads any [`BinCodec`] tensor from a file path.

@@ -33,6 +33,7 @@ pub mod gen;
 pub mod io;
 pub mod io_bin;
 pub mod nd;
+pub mod persist;
 pub mod reorder;
 pub mod source;
 pub mod splatt;
@@ -45,6 +46,7 @@ pub use coo::{CooTensor, Entry, TensorError};
 pub use csf::CsfTensor;
 pub use dense::{DenseMatrix, StripMatrix};
 pub use nd::NdCooTensor;
+pub use persist::{atomic_write, atomic_write_with, AtomicFile};
 pub use source::{BcooSource, CooSource, SourceTile, TensorSource};
 pub use splatt::SplattTensor;
 pub use stats::TensorStats;

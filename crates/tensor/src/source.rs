@@ -84,6 +84,13 @@ pub trait TensorSource: Send + Sync {
     fn total_tile_bytes(&self) -> u64 {
         (0..self.n_tiles()).map(|i| self.tile_bytes(i)).sum()
     }
+
+    /// Byte offset of tile `i`'s payload in the backing file, when there
+    /// is one. In-memory sources report 0; error reports use this to
+    /// point at the failing region of an on-disk store.
+    fn tile_offset(&self, _i: usize) -> u64 {
+        0
+    }
 }
 
 /// An in-memory COO tensor pre-sharded into grid tiles. Entries are
@@ -320,6 +327,9 @@ impl TensorSource for TileStore {
     }
     fn tile_bytes(&self, i: usize) -> u64 {
         self.tile(i).len
+    }
+    fn tile_offset(&self, i: usize) -> u64 {
+        self.tile(i).off
     }
     fn load_tile(&self, i: usize) -> Result<SourceTile, BinError> {
         TileStore::load_tile(self, i)

@@ -32,10 +32,12 @@ use crate::io_bin::{
     read_header, read_u32, read_u64, write_header, write_u32, write_u64, BinError, BinHeader,
     VERSION_COO, VERSION_TILES,
 };
+use crate::persist::{AtomicFile, FaultRead};
 use crate::source::SourceTile;
 use crate::{Entry, Idx, NMODES};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use tenblock_faults::FaultPolicy;
 
 /// Bytes per stored tile entry: three `u32` locals plus the `f64` value.
 pub const TILE_ENTRY_BYTES: u64 = 20;
@@ -72,6 +74,7 @@ struct StoreMeta {
 pub struct TileStore {
     path: PathBuf,
     meta: StoreMeta,
+    faults: FaultPolicy,
 }
 
 /// The linear cell id ordering tiles in the file: original-axes
@@ -295,13 +298,20 @@ impl TileStore {
     /// Opens and validates an existing tile-store file. Only the header
     /// and tile table are read into memory.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, BinError> {
+        Self::open_with(path, FaultPolicy::none())
+    }
+
+    /// [`TileStore::open`] with fault injection: every read during open
+    /// and every later [`TileStore::load_tile`] routes through `faults`.
+    pub fn open_with<P: AsRef<Path>>(path: P, faults: FaultPolicy) -> Result<Self, BinError> {
         let file = std::fs::File::open(&path)?;
         let total_len = file.metadata()?.len();
-        let mut r = BufReader::new(file);
+        let mut r = FaultRead::new(BufReader::new(file), faults.clone());
         let meta = parse_meta(&mut r, total_len)?;
         Ok(TileStore {
             path: path.as_ref().to_path_buf(),
             meta,
+            faults,
         })
     }
 
@@ -405,14 +415,30 @@ impl TileStore {
     }
 
     /// Writes `coo` as a tile-store file and opens it (which re-validates
-    /// the bytes just written).
+    /// the bytes just written). The write is crash-safe: bytes land in a
+    /// same-directory temp file that only a post-`sync_all` rename makes
+    /// visible at `path`, so a killed process never leaves a partial
+    /// store where `open` can see it.
     pub fn create_from_coo<P: AsRef<Path>>(
         coo: &CooTensor,
         grid: [usize; NMODES],
         path: P,
     ) -> Result<Self, BinError> {
-        Self::write_tiles(coo, grid, std::fs::File::create(&path)?)?;
-        Self::open(path)
+        Self::create_from_coo_with(coo, grid, path, FaultPolicy::none())
+    }
+
+    /// [`TileStore::create_from_coo`] with fault injection over every
+    /// write, sync, and the committing rename.
+    pub fn create_from_coo_with<P: AsRef<Path>>(
+        coo: &CooTensor,
+        grid: [usize; NMODES],
+        path: P,
+        faults: FaultPolicy,
+    ) -> Result<Self, BinError> {
+        let mut out = AtomicFile::create(&path, faults.clone())?;
+        Self::write_tiles(coo, grid, &mut out)?;
+        out.commit()?;
+        Self::open_with(path, faults)
     }
 
     /// Converts a v1 (flat COO) `.tnsb` file into a tile store at `dst`
@@ -423,6 +449,18 @@ impl TileStore {
         src: P,
         grid: [usize; NMODES],
         dst: Q,
+    ) -> Result<Self, BinError> {
+        Self::build_from_tnsb_with(src, grid, dst, FaultPolicy::none())
+    }
+
+    /// [`TileStore::build_from_tnsb`] with fault injection. Like
+    /// [`TileStore::create_from_coo_with`], the scatter writes target a
+    /// temp file and only a post-sync rename publishes `dst`.
+    pub fn build_from_tnsb_with<P: AsRef<Path>, Q: AsRef<Path>>(
+        src: P,
+        grid: [usize; NMODES],
+        dst: Q,
+        faults: FaultPolicy,
     ) -> Result<Self, BinError> {
         let src = src.as_ref();
         let (header, coords_at) = read_v1_prelude(src)?;
@@ -465,7 +503,7 @@ impl TileStore {
             .and_then(|t| t.checked_add(header.encoded_len() as u64 + 12 + 8))
             .ok_or_else(|| BinError::Format("tile table size overflows".into()))?;
         let mut cursor = vec![0u64; cells]; // per-cell write position
-        let mut out = std::fs::File::create(dst.as_ref())?;
+        let mut out = AtomicFile::create(dst.as_ref(), faults.clone())?;
         {
             let mut w = BufWriter::new(&mut out);
             write_header(
@@ -521,7 +559,7 @@ impl TileStore {
             f.seek(SeekFrom::Start(coords_at + 12 * nnz as u64))?;
             BufReader::new(f)
         };
-        let flush = |out: &mut std::fs::File,
+        let flush = |out: &mut AtomicFile,
                      id: usize,
                      buf: &mut Vec<u8>,
                      cursor: &mut [u64]|
@@ -557,8 +595,8 @@ impl TileStore {
             }
         }
         out.flush()?;
-        drop(out);
-        Self::open(dst)
+        out.commit()?;
+        Self::open_with(dst, faults)
     }
 
     /// Tensor dimensions (original mode order).
@@ -613,7 +651,7 @@ impl TileStore {
         let mut f = std::fs::File::open(&self.path)?;
         f.seek(SeekFrom::Start(tm.off))?;
         let mut payload = vec![0u8; tm.len as usize];
-        f.read_exact(&mut payload)?;
+        FaultRead::new(f, self.faults.clone()).read_exact(&mut payload)?;
         decode_tile(&self.meta, i, &payload)
     }
 
@@ -636,7 +674,12 @@ impl TileStore {
                 });
             }
         }
-        Ok(CooTensor::from_entries(self.dims(), entries))
+        // The bytes came from disk: a store that passes tile-framing
+        // validation can still carry a corrupted payload (e.g. a bit flip
+        // turning a value non-finite), so this must stay a typed error,
+        // never the panicking constructor.
+        CooTensor::try_from_entries(self.dims(), entries)
+            .map_err(|e| BinError::Format(format!("decoded store is not a valid tensor: {e}")))
     }
 }
 

@@ -146,6 +146,7 @@ USAGE:
                  [--plan-cache <path>] [--max-resident N] [--spill-dir <dir>]
   tenblock check <file> [--rank R]
   tenblock fuzz [--seeds N] [--seed BASE] [--corpus dir]
+  tenblock chaos [--seeds N]
   tenblock lint [root] [--json] [--baseline <path>] [--write-baseline <path>]
 
 Files: .tns (FROSTT text) or .tnsb (tenblock binary).
@@ -173,6 +174,15 @@ and .tnsb (tile-framing) byte streams through every kernel, the tuner, the
 planners, the parsers, and the dense reference; mismatches and panics
 print minimized repros (and are written to --corpus, whose .tns/.tnsb
 files are replayed first on later runs). Exits nonzero on any finding.
+`chaos` runs a pinned matrix of fault-injection scenarios (every fault
+site × {errno, transient errno, short read, bit flip, crash} × {first op,
+mid-run, every Nth}) against store creation, streamed MTTKRP, and an
+in-process serve registry with a spill tier, plus a kill -9 test
+mid-`create_from_coo`. Each scenario must recover bit-exactly or fail
+with a typed error; panics, hangs (60s watchdog), and half-written
+stores visible to `open` are failures. --seeds N draws N scenario
+instances round-robin over the matrix (N >= 90 covers every cell).
+Exits nonzero on any violation.
 `lint` runs the static-analysis passes over `root` (default `.`): the
 line rules (unwrap in serve/core, undocumented core pub fns,
 lock().unwrap() outside shims) plus panic-reachability from the declared
@@ -422,7 +432,7 @@ fn bench_suite(args: &Args) -> Result<String, String> {
             Some(p) if !p.is_empty() => p.to_string(),
             _ => format!("BENCH_{}.json", utc_date_string()),
         };
-        std::fs::write(&out_path, current.to_file_string())
+        tenblock_tensor::atomic_write(&out_path, current.to_file_string().as_bytes())
             .map_err(|e| format!("bench: write {out_path}: {e}"))?;
         out_lines.push(format!(
             "wrote {} suite record ({} entries, commit {}) -> {}",
@@ -745,6 +755,16 @@ pub fn run(cmd: &str, args: &Args) -> Result<String, String> {
             } else {
                 Err(format!("{report}"))
             }
+        }
+        "chaos" => {
+            if let Some(dir) = args.flag("child") {
+                if dir.is_empty() {
+                    return Err("--child requires a directory".to_string());
+                }
+                return crate::chaos::child_loop(dir);
+            }
+            let seeds = args.flag_or("seeds", 90u64);
+            crate::chaos::run(seeds)
         }
         "lint" => {
             let root = args.positional.first().map(String::as_str).unwrap_or(".");

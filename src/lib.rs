@@ -18,9 +18,14 @@
 //!   ([`tenblock_check`])
 //! * [`fuzz`] — structure-aware differential fuzzer for the input boundary
 //!   ([`tenblock_fuzz`])
+//! * [`faults`] — deterministic fault-injection plane for every disk
+//!   touchpoint ([`tenblock_faults`])
+//! * [`serve`] — in-process decomposition service with spill tier and
+//!   plan cache ([`tenblock_serve`])
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub mod chaos;
 pub mod cli;
 
 pub use tenblock_analysis as analysis;
@@ -28,5 +33,7 @@ pub use tenblock_check as check;
 pub use tenblock_core as core;
 pub use tenblock_cpd as cpd;
 pub use tenblock_dist as dist;
+pub use tenblock_faults as faults;
 pub use tenblock_fuzz as fuzz;
+pub use tenblock_serve as serve;
 pub use tenblock_tensor as tensor;

@@ -1,0 +1,119 @@
+//! Fault-persistence properties: a single injected I/O fault during
+//! `TileStore::create_from_coo_with` or a registry spill never produces a
+//! half-written store. Whatever is visible at the final path either opens
+//! fully valid or fails with a typed error — never a panic.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use tenblock::faults::{FaultAction, FaultOp, FaultPolicy, Trigger};
+use tenblock::serve::Registry;
+use tenblock::tensor::gen::uniform_tensor;
+use tenblock::tensor::{CooTensor, TileStore};
+
+/// Unique scratch dir per proptest case (cases run in one process).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tenblock_fault_persist_{}_{tag}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn content_of(coo: &CooTensor) -> Vec<([u32; 3], u64)> {
+    let mut v: Vec<_> = coo
+        .entries()
+        .iter()
+        .map(|e| (e.idx, e.val.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// `(op, action, flip?)` drawn from the full fault vocabulary by index.
+/// EINTR is excluded for writes (`Write::write_all` retries `Interrupted`
+/// itself, so it can never surface); EAGAIN and EIO both propagate.
+fn arb_fault() -> impl Strategy<Value = (FaultOp, FaultAction, bool)> {
+    (0usize..3, 0usize..6).prop_map(|(o, a)| {
+        let op = [FaultOp::Write, FaultOp::Sync, FaultOp::Rename][o];
+        let (action, flip) = [
+            (FaultAction::Errno(5), false),
+            (FaultAction::Errno(11), false),
+            (FaultAction::Errno(28), false),
+            (FaultAction::ShortRead, false),
+            (FaultAction::FlipByte, true),
+            (FaultAction::Crash, false),
+        ][a];
+        (op, action, flip)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One fault at op #n during store creation: `create_from_coo_with`
+    /// either succeeds with a bit-exact store on disk or fails typed, and
+    /// in both cases `open` never sees a half-written file.
+    #[test]
+    fn single_fault_during_create_never_leaves_partial_store(
+        (op, action, flip) in arb_fault(),
+        nth in 0u64..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let dir = scratch("create");
+        let coo = uniform_tensor([16, 12, 8], 400, seed);
+        let expect = content_of(&coo);
+        let path = dir.join("store.tnsb");
+        let policy = FaultPolicy::new(op, action, Trigger::Nth(nth), seed);
+        // A create error is typed — the acceptable failure shape. On
+        // success the published store must decode; with a byte flip the
+        // payload may differ or be detectably invalid.
+        if let Ok(store) = TileStore::create_from_coo_with(&coo, [2, 2, 2], &path, policy) {
+            match store.to_coo() {
+                Ok(back) => prop_assert!(flip || content_of(&back) == expect),
+                Err(_) => prop_assert!(flip),
+            }
+        }
+        if path.exists() {
+            // Whatever is visible must be openable + decodable (a flip may
+            // fail either step with a typed error, never a panic).
+            match TileStore::open(&path).and_then(|s| s.to_coo()) {
+                Ok(back) => prop_assert!(flip || content_of(&back) == expect),
+                Err(_) => prop_assert!(flip),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One fault during a registry spill: both tensors stay registered
+    /// (the victim stays resident if its spill fails), and every `.tnsb`
+    /// published to the spill dir opens fully valid.
+    #[test]
+    fn single_fault_during_spill_degrades_gracefully(
+        (op, action, flip) in arb_fault(),
+        nth in 0u64..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let dir = scratch("spill");
+        let policy = FaultPolicy::new(op, action, Trigger::Nth(nth), seed);
+        let reg = Registry::with_spill(&dir, 1).with_faults(policy);
+        reg.register("a", uniform_tensor([12, 10, 8], 250, seed)).unwrap();
+        reg.register("b", uniform_tensor([10, 10, 10], 200, seed ^ 1)).unwrap();
+        prop_assert_eq!(reg.len(), 2);
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+            let p = entry.path();
+            if p.is_file() && p.extension().is_some_and(|e| e == "tnsb") {
+                match TileStore::open(&p).and_then(|s| s.to_coo()) {
+                    Ok(_) => {}
+                    Err(_) => prop_assert!(flip, "half-written spill at {}", p.display()),
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
